@@ -1,0 +1,174 @@
+"""Design-choice ablations the paper discusses.
+
+* FTQ depth (§3.3): the FTQ buys predictor/cache rate decoupling.
+* Selective trace storage (§4.1): storing purely sequential ("blue")
+  traces wastes trace cache capacity.
+* Partial matching (§4.1 footnote): the paper found it *hurts* with
+  layout-optimized codes — we verify it at least does not help.
+* Stream predictor cascade (§3.2): path correlation vs. a single
+  address-indexed table.
+* Layout statistics (§3.2): the not-taken alignment claim.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments.ablations import (
+    cascade_ablation,
+    ftq_depth_sweep,
+    trace_storage_ablation,
+)
+from repro.experiments.configs import simulate
+from repro.isa.streams import stream_statistics
+from repro.isa.trace import TraceWalker
+from repro.isa.workloads import prepare_program, ref_trace_seed
+
+BENCH = "gzip"
+
+
+def test_ftq_depth(benchmark, sim_budget, results_dir):
+    def run():
+        out = {}
+        for depth in (1, 4):
+            from dataclasses import replace
+            from repro.common.params import default_machine
+            from repro.experiments.configs import build_processor
+            program = prepare_program(BENCH, optimized=True,
+                                      scale=sim_budget["scale"])
+            base = default_machine(8)
+            machine = replace(base, core=replace(base.core,
+                                                 ftq_entries=depth))
+            processor = build_processor(
+                "stream", program, 8, machine=machine,
+                trace_seed=ref_trace_seed(BENCH),
+            )
+            out[depth] = processor.run(
+                sim_budget["instructions"], warmup=sim_budget["warmup"]
+            ).ipc
+        return out
+
+    ipcs = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_ftq_depth",
+                 ftq_depth_sweep(BENCH, (1, 2, 4, 8),
+                                 instructions=sim_budget["instructions"],
+                                 scale=sim_budget["scale"]))
+    benchmark.extra_info.update(
+        {f"ftq{k}_ipc": round(v, 3) for k, v in ipcs.items()}
+    )
+    # The 4-entry FTQ of Table 2 must not lose to a depth-1 queue.
+    assert ipcs[4] >= ipcs[1] * 0.97
+
+
+def test_selective_trace_storage(benchmark, sim_budget, results_dir):
+    def run():
+        program = prepare_program(BENCH, optimized=True,
+                                  scale=sim_budget["scale"])
+        out = {}
+        for name, kwargs in (
+            ("selective", dict(selective_storage=True)),
+            ("store_all", dict(selective_storage=False)),
+            ("partial", dict(selective_storage=True, partial_matching=True)),
+        ):
+            result = simulate(
+                "trace", BENCH, width=8, optimized=True,
+                instructions=sim_budget["instructions"],
+                warmup=sim_budget["warmup"], scale=sim_budget["scale"],
+                program=program, **kwargs,
+            )
+            stats = result.engine_stats
+            hits = stats.get("tc_hits", 0)
+            misses = stats.get("tc_misses", 0)
+            out[name] = (result.ipc, hits / max(hits + misses, 1))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_trace_storage",
+                 trace_storage_ablation(
+                     BENCH, instructions=sim_budget["instructions"],
+                     scale=sim_budget["scale"]))
+    for name, (ipc, hit_rate) in results.items():
+        benchmark.extra_info[f"{name}_ipc"] = round(ipc, 3)
+        benchmark.extra_info[f"{name}_tc_hit"] = round(hit_rate, 3)
+
+    # Selective storage must be at least as good as storing everything
+    # (it frees capacity for the traces the I-cache cannot serve).
+    assert results["selective"][0] >= results["store_all"][0] * 0.95
+    # Partial matching must not help on optimized codes (paper footnote).
+    assert results["partial"][0] <= results["selective"][0] * 1.05
+
+
+def test_stream_cascade(benchmark, sim_budget, results_dir):
+    from dataclasses import replace as dc_replace
+    from repro.fetch.stream_predictor import StreamPredictorConfig
+
+    def run():
+        program = prepare_program(BENCH, optimized=True,
+                                  scale=sim_budget["scale"])
+        out = {}
+        for name, config in (
+            ("cascade", StreamPredictorConfig()),
+            ("address_only", dc_replace(StreamPredictorConfig(),
+                                        second_entries=4, second_assoc=1)),
+        ):
+            result = simulate(
+                "stream", BENCH, width=8, optimized=True,
+                instructions=sim_budget["instructions"],
+                warmup=sim_budget["warmup"], scale=sim_budget["scale"],
+                program=program, predictor_config=config,
+            )
+            out[name] = result.branch_misprediction_rate
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_stream_cascade",
+                 cascade_ablation(BENCH,
+                                  instructions=sim_budget["instructions"],
+                                  scale=sim_budget["scale"]))
+    benchmark.extra_info.update(
+        {f"{k}_mispred": round(100 * v, 2) for k, v in rates.items()}
+    )
+    # Path correlation is where the loop-exit / overlapping-stream
+    # accuracy comes from: removing it must not improve prediction.
+    assert rates["cascade"] <= rates["address_only"] * 1.05
+
+
+def test_layout_statistics(benchmark, sim_budget, results_dir):
+    """§3.2: '~80% of conditional branch instances are not taken' after
+    layout optimization, versus roughly half before."""
+
+    def run():
+        out = {}
+        for optimized in (False, True):
+            program = prepare_program(BENCH, optimized=optimized,
+                                      scale=sim_budget["scale"])
+            out[optimized] = stream_statistics(
+                TraceWalker(program, ref_trace_seed(BENCH)),
+                sim_budget["instructions"],
+            )
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for optimized, s in stats.items():
+        layout = "optimized" if optimized else "baseline"
+        lines.append(
+            f"{layout:10s} not-taken={1 - s['taken_fraction']:.2%} "
+            f"avg stream={s['avg_stream_length']:.1f} "
+            f"avg block={s['avg_block_length']:.1f}"
+        )
+    write_result(results_dir, "ablation_layout_stats", "\n".join(lines))
+
+    benchmark.extra_info["base_not_taken"] = round(
+        1 - stats[False]["taken_fraction"], 3)
+    benchmark.extra_info["opt_not_taken"] = round(
+        1 - stats[True]["taken_fraction"], 3)
+
+    # Optimization must push conditionals decisively towards not-taken
+    # and lengthen streams past the paper's 16-instruction average; the
+    # absolute not-taken level varies with the sampled code at small
+    # workload scales.
+    assert (stats[True]["taken_fraction"]
+            < 0.75 * stats[False]["taken_fraction"])
+    assert stats[True]["avg_stream_length"] > 16.0
+    assert (stats[True]["avg_stream_length"]
+            > 1.4 * stats[False]["avg_stream_length"])

@@ -1,0 +1,29 @@
+"""Table 1 (cost column): quantified state and complexity accounting.
+
+Not a simulation benchmark — it times the (cheap) accounting and
+asserts the structural cost claims of §3.1, writing the rendered table
+alongside the other results.
+"""
+
+from conftest import write_result
+from repro.experiments.cost_model import cost_comparison, cost_table_text
+
+
+def test_cost_model(benchmark, results_dir):
+    reports = benchmark.pedantic(cost_comparison, rounds=1, iterations=1)
+    write_result(results_dir, "table1_cost_column", cost_table_text())
+
+    by_name = {r.name: r for r in reports}
+    for name, report in by_name.items():
+        benchmark.extra_info[f"{name}_kib"] = round(report.total_kib, 1)
+
+    # §3.1 structural claims.
+    assert by_name["stream"].instruction_paths == 1
+    assert by_name["stream"].predictors == 1
+    assert by_name["stream"].special_stores == 0
+    assert by_name["trace"].instruction_paths == 2
+    assert by_name["trace"].predictors == 2
+    # The trace cache is the most expensive engine overall.
+    assert by_name["trace"].total_bits == max(
+        r.total_bits for r in reports
+    )

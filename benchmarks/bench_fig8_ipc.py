@@ -1,0 +1,50 @@
+"""Figure 8: IPC for 2/4/8-wide processors, base and optimized layouts.
+
+One benchmark per pipeline width; each regenerates the corresponding
+sub-figure (harmonic-mean IPC of the four fetch architectures over the
+benchmark suite) and checks the paper's headline orderings.
+"""
+
+import pytest
+
+from conftest import FIGURE_SUITE, write_result
+from repro.experiments.figures import figure8_data, figure8_text
+from repro.experiments.runner import run_matrix
+
+
+def _run_width(width, sim_budget):
+    return run_matrix(
+        FIGURE_SUITE, widths=(width,),
+        instructions=sim_budget["instructions"],
+        warmup=sim_budget["warmup"],
+        scale=sim_budget["scale"],
+    )
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_figure8(benchmark, width, sim_budget, results_dir):
+    matrix = benchmark.pedantic(
+        _run_width, args=(width, sim_budget), rounds=1, iterations=1,
+    )
+    text = figure8_text(matrix, FIGURE_SUITE, widths=(width,))
+    write_result(results_dir, f"fig8_{width}wide", text)
+
+    data = figure8_data(matrix, FIGURE_SUITE, widths=(width,))[width]
+    for arch, per_layout in data.items():
+        benchmark.extra_info[f"{arch}_base_ipc"] = round(per_layout[False], 3)
+        benchmark.extra_info[f"{arch}_opt_ipc"] = round(per_layout[True], 3)
+
+    # Shape assertions (scaled-down analogues of the paper's claims).
+    if width == 2:
+        # Fig 8a: little advantage to high-end front-ends on a narrow
+        # pipe — the four engines bunch together.
+        opt = [per[True] for per in data.values()]
+        assert max(opt) / min(opt) < 1.25
+    if width == 8:
+        # Fig 8c: streams clearly beat the EV8 with optimized layouts
+        # and stay within reach of the trace cache.
+        assert data["stream"][True] >= data["ev8"][True] * 0.97
+        assert data["stream"][True] >= data["trace"][True] * 0.85
+    # Layout optimization never hurts on the harmonic mean.
+    for arch, per_layout in data.items():
+        assert per_layout[True] >= per_layout[False] * 0.9

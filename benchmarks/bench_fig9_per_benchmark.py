@@ -1,0 +1,54 @@
+"""Figure 9: per-benchmark IPC, 8-wide processor, optimized layouts.
+
+Runs all eleven SPECint stand-ins and regenerates the per-benchmark bar
+chart as a table, asserting the qualitative properties the paper calls
+out: the stream architecture is at or near the top for most codes and
+trades wins with the trace cache.
+"""
+
+from conftest import write_result
+from repro.experiments.figures import figure9_data, figure9_text
+from repro.experiments.runner import run_matrix
+from repro.isa.workloads import SPEC_BENCHMARKS
+
+
+def _run(sim_budget):
+    return run_matrix(
+        SPEC_BENCHMARKS, widths=(8,), layouts=(True,),
+        instructions=sim_budget["instructions"],
+        warmup=sim_budget["warmup"],
+        scale=sim_budget["scale"],
+    )
+
+
+def test_figure9(benchmark, sim_budget, results_dir):
+    matrix = benchmark.pedantic(_run, args=(sim_budget,), rounds=1,
+                                iterations=1)
+    text = figure9_text(matrix, SPEC_BENCHMARKS)
+    write_result(results_dir, "fig9_per_benchmark", text)
+
+    data = figure9_data(matrix, SPEC_BENCHMARKS)
+    benchmark.extra_info["hmean_stream"] = round(data["hmean"]["stream"], 3)
+    benchmark.extra_info["hmean_trace"] = round(data["hmean"]["trace"], 3)
+
+    # Streams trade wins with the other engines across the suite
+    # (paper: best in 5 of 11, second in all but one).  Exact ranks at
+    # ~1% IPC differences are noise at bench scale, so assert the
+    # robust version: streams win outright somewhere, place top-2 on
+    # several codes, and are never far from the per-benchmark leader.
+    wins = 0
+    top2 = 0
+    for bench in SPEC_BENCHMARKS:
+        per_arch = data[bench]
+        ranking = sorted(per_arch, key=per_arch.get, reverse=True)
+        wins += ranking[0] == "stream"
+        top2 += "stream" in ranking[:2]
+        # Paper: second-best in all but one benchmark; we allow one
+        # crafty-like outlier by bounding the worst-case gap instead.
+        assert per_arch["stream"] > 0.8 * per_arch[ranking[0]]
+    assert wins >= 1
+    assert top2 >= 3
+
+    # Per-benchmark IPCs span a wide range (Fig. 9's 2..6 axis).
+    ipcs = [data[b]["stream"] for b in SPEC_BENCHMARKS]
+    assert max(ipcs) > 2 * min(ipcs)

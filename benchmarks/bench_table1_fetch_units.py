@@ -1,0 +1,48 @@
+"""Table 1: fetch-unit size comparison across the suite.
+
+Measures, on identical executed traces, the average size of each
+architecture's fetch unit: dynamic basic blocks (5-6 instructions in
+the paper), FTB fetch blocks, traces (~14), and instruction streams
+(16-20+, the largest high-level-aware unit).
+"""
+
+from conftest import write_result
+from repro.experiments.tables import fetch_unit_sizes, table1_text
+from repro.isa.workloads import SPEC_BENCHMARKS
+
+
+def _measure(sim_budget):
+    return table1_text(
+        SPEC_BENCHMARKS,
+        n_instructions=sim_budget["instructions"],
+        scale=sim_budget["scale"],
+    )
+
+
+def test_table1(benchmark, sim_budget, results_dir):
+    text = benchmark.pedantic(_measure, args=(sim_budget,), rounds=1,
+                              iterations=1)
+    write_result(results_dir, "table1_fetch_units", text)
+
+    # Aggregate shape on the optimized layouts (Table 1's comparison).
+    totals = {"basic_block": 0.0, "fetch_block": 0.0, "stream": 0.0,
+              "trace": 0.0}
+    for bench in SPEC_BENCHMARKS:
+        sizes = fetch_unit_sizes(
+            bench, optimized=True,
+            n_instructions=sim_budget["instructions"] // 2,
+            scale=sim_budget["scale"],
+        )
+        for key in totals:
+            totals[key] += sizes[key]
+    n = len(SPEC_BENCHMARKS)
+    means = {key: value / n for key, value in totals.items()}
+
+    benchmark.extra_info.update({k: round(v, 2) for k, v in means.items()})
+
+    # Paper Table 1: basic block 5-6; streams are the largest
+    # software-visible unit (20+ on layout-optimized codes).
+    assert 3.0 < means["basic_block"] < 9.0
+    assert means["stream"] > means["basic_block"] * 2
+    assert means["stream"] > means["trace"] * 0.9
+    assert means["trace"] <= 16.0  # hard cap by construction

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the rendered rows into ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture.  Simulation sizes are scaled for laptop wall
+clock; pass ``--repro-instructions`` / ``--repro-scale`` to enlarge.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmarks used for the suite-level (harmonic mean) figures; a
+#: representative spread of footprint and branch character.
+FIGURE_SUITE = ("gzip", "gcc", "eon", "vortex", "twolf")
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-instructions", type=int, default=40_000)
+    parser.addoption("--repro-scale", type=float, default=0.5)
+
+
+@pytest.fixture(scope="session")
+def sim_budget(request):
+    n = request.config.getoption("--repro-instructions")
+    return {"instructions": n, "warmup": n // 3,
+            "scale": request.config.getoption("--repro-scale")}
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Fetch-width anatomy: who delivers how many instructions per cycle.
+
+Reproduces the Table 3 discussion on one benchmark: the trace cache
+fetches past taken branches, the stream engine fetches whole sequential
+streams through a wide-line I-cache, the FTB is bounded by fetch-block
+size, and the EV8 by its aligned fetch slot.  Also reports each
+engine's fetch-unit size measured on the same trace (Table 1).
+
+Run:  python examples/fetch_width_study.py [benchmark]
+"""
+
+import sys
+
+from repro.experiments.configs import ARCH_LABELS, simulate
+from repro.experiments.tables import fetch_unit_sizes
+from repro.isa.workloads import SPEC_BENCHMARKS, prepare_program
+
+BENCH = sys.argv[1] if len(sys.argv) > 1 else "crafty"
+N = 70_000
+WARMUP = 25_000
+SCALE = 0.6
+
+
+def main() -> None:
+    if BENCH not in SPEC_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {BENCH!r}: {SPEC_BENCHMARKS}")
+
+    sizes = fetch_unit_sizes(BENCH, optimized=True, scale=SCALE)
+    print(f"Fetch-unit sizes on optimized {BENCH} (Table 1 measurement):")
+    print(f"  dynamic basic block : {sizes['basic_block']:5.1f} instructions")
+    print(f"  FTB fetch block     : {sizes['fetch_block']:5.1f}")
+    print(f"  trace (<=16, <=3 br): {sizes['trace']:5.1f}")
+    print(f"  instruction stream  : {sizes['stream']:5.1f}")
+    print()
+
+    program = prepare_program(BENCH, optimized=True, scale=SCALE)
+    print(f"Effective fetch width, 8-wide machine ({BENCH}, optimized):")
+    for arch in ("ev8", "ftb", "stream", "trace"):
+        result = simulate(
+            arch, BENCH, width=8, optimized=True,
+            instructions=N, warmup=WARMUP, scale=SCALE, program=program,
+        )
+        bar = "#" * round(result.fetch_ipc * 5)
+        print(f"  {ARCH_LABELS[arch]:15s} {result.fetch_ipc:5.2f}  {bar}")
+    print()
+    print("Table 3's shape: the trace cache leads, streams close the")
+    print("gap without any extra instruction storage, and the two")
+    print("basic-block-bounded engines trail.")
+
+
+if __name__ == "__main__":
+    main()

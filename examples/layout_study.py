@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Code layout case study: what `spike`-style optimization does.
+
+For a large-footprint benchmark (gcc-like), compares the baseline and
+profile-optimized layouts on: stream length, taken-branch rate, layout
+quality (fall-through rate of profiled edges), I-cache behaviour, and
+finally the IPC of all four fetch architectures — a miniature of the
+paper's base-vs-optimized axis.
+
+Run:  python examples/layout_study.py
+"""
+
+from repro.experiments.configs import ARCH_LABELS, simulate
+from repro.isa.layout import layout_quality, natural_order, optimized_order
+from repro.isa.streams import stream_statistics
+from repro.isa.trace import TraceWalker, profile_edges
+from repro.isa.workloads import (
+    benchmark_spec,
+    build_benchmark,
+    prepare_program,
+    ref_trace_seed,
+    TRAIN_SALT,
+)
+
+BENCH = "gcc"
+SCALE = 0.5
+N = 60_000
+WARMUP = 20_000
+
+
+def main() -> None:
+    spec = benchmark_spec(BENCH)
+    cfg = build_benchmark(BENCH, scale=SCALE)
+    profile = profile_edges(cfg, seed=spec.seed ^ TRAIN_SALT,
+                            n_blocks=60_000)
+
+    q_base = layout_quality(cfg, natural_order(cfg), profile)
+    q_opt = layout_quality(cfg, optimized_order(cfg, profile), profile)
+    print(f"Layout quality (profiled edges that fall through):")
+    print(f"  baseline : {q_base:.2%}")
+    print(f"  optimized: {q_opt:.2%}\n")
+
+    for optimized in (False, True):
+        layout = "optimized" if optimized else "baseline"
+        program = prepare_program(BENCH, optimized=optimized, scale=SCALE)
+        stats = stream_statistics(
+            TraceWalker(program, ref_trace_seed(BENCH)), 50_000
+        )
+        print(f"{layout} layout ({program.code_bytes // 1024} KiB of code):")
+        print(f"  average stream length : "
+              f"{stats['avg_stream_length']:.1f} instructions")
+        print(f"  conditional taken rate: {stats['taken_fraction']:.2%}")
+
+        for arch in ("ev8", "ftb", "stream", "trace"):
+            result = simulate(
+                arch, BENCH, width=8, optimized=optimized,
+                instructions=N, warmup=WARMUP, scale=SCALE, program=program,
+            )
+            il1 = result.memory_stats["il1_miss_rate"]
+            print(f"    {ARCH_LABELS[arch]:15s} IPC={result.ipc:5.2f}  "
+                  f"fetch={result.fetch_ipc:5.2f}  "
+                  f"L1I miss={100 * il1:5.2f}%")
+        print()
+
+    print("Expected shape (paper §4.2): every engine gains from the")
+    print("optimized layout, and the stream front-end gains the most —")
+    print("longer streams mean fewer, more accurate predictions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Figure 1 of the paper, reconstructed by hand.
+
+Builds the paper's example control-flow graph — a loop containing an
+if-then-else where profile data says A -> B -> D is the frequent path —
+lays it out so the hot path falls through, and enumerates the
+instruction streams that the executed trace actually produces.
+
+Run:  python examples/streams_by_hand.py
+"""
+
+from collections import Counter
+
+from repro.common.types import BranchKind
+from repro.isa.behavior import Bernoulli, LoopTrip
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.layout import natural_order
+from repro.isa.program import link
+from repro.isa.streams import extract_streams
+from repro.isa.trace import TraceWalker
+
+
+def build_figure1_cfg() -> ControlFlowGraph:
+    """The loop/hammock of Fig. 1: A -> (B | C) -> D -> A."""
+    cfg = ControlFlowGraph()
+    main = cfg.new_function("main")
+    a = cfg.new_block(main, 4, BranchKind.COND, behavior=Bernoulli(0.10))
+    b = cfg.new_block(main, 5, BranchKind.NONE)
+    d = cfg.new_block(main, 4, BranchKind.COND,
+                      behavior=LoopTrip(8.0, jitter=0.0))
+    c = cfg.new_block(main, 3, BranchKind.JUMP)
+    # Profile: A -> B -> D is frequent, so B is A's fall-through and C
+    # is "mapped somewhere else, reached through a taken branch".
+    a.succ_true = c.bid       # infrequent side
+    a.succ_false = b.bid      # frequent side (falls through)
+    b.succ_false = d.bid
+    c.succ_true = d.bid       # C jumps back into D
+    d.succ_true = a.bid       # loop back edge
+    restart = cfg.new_block(main, 1, BranchKind.JUMP)
+    restart.succ_true = a.bid
+    d.succ_false = restart.bid
+    cfg.entry_bid = a.bid
+    cfg.validate()
+    return cfg
+
+
+def main() -> None:
+    cfg = build_figure1_cfg()
+    # Natural creation order already matches the Fig. 1 layout: A B D C.
+    program = link(cfg, natural_order(cfg), seed=1)
+
+    names = {}
+    for bid, label in zip((0, 1, 2, 3, 4), "ABDC*"):
+        names[program.addr_of_bid[bid]] = label
+
+    print("Code layout (Fig. 1):")
+    for lb in program.linear_blocks:
+        label = names.get(lb.addr, "stub")
+        print(f"  {lb.addr:#07x}  block {label:4s} size={lb.size} "
+              f"{lb.kind.name}")
+
+    walker = TraceWalker(program, seed=42)
+    dyns = [next(walker) for _ in range(400)]
+    streams = Counter()
+    for stream in extract_streams(iter(dyns)):
+        members = []
+        cursor = stream.start_addr
+        remaining = stream.length
+        while remaining > 0:
+            lb, off = program.block_containing(cursor)
+            members.append(names.get(lb.addr, "?"))
+            take = lb.size - off
+            cursor += take * 4
+            remaining -= take
+        streams["".join(members)] += 1
+
+    print("\nObserved instruction streams (start block sequences):")
+    for shape, count in streams.most_common():
+        print(f"  {shape:10s} x{count}")
+    print("\nThe frequent stream is B..D-like through the fall-through")
+    print("path; C appears only in the infrequent streams — matching")
+    print("the four streams enumerated in Fig. 1 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has setuptools but not the ``wheel`` package, so PEP 660
+editable installs (which must build a wheel) fail.  Keeping a setup.py and
+omitting ``[build-system]`` from pyproject.toml lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Branch target buffer.
+
+Set-associative, LRU, allocated on *taken* branches only — the
+Calder–Grunwald policy the paper adopts ("only taken branches should
+introduce a basic block in the BTB").  Entries store the target and the
+branch kind (needed for RAS management), plus a 2-bit direction counter
+used by the trace cache's secondary path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import BranchKind
+from repro.common.stats import CounterBag
+
+
+class BTBEntry:
+    __slots__ = ("tag", "target", "kind", "counter")
+
+    def __init__(self, tag: int, target: int, kind: BranchKind) -> None:
+        self.tag = tag
+        self.target = target
+        self.kind = kind
+        self.counter = 2  # weakly taken: it was just taken
+
+    def update_direction(self, taken: bool) -> None:
+        if taken:
+            if self.counter < 3:
+                self.counter += 1
+        elif self.counter > 0:
+            self.counter -= 1
+
+    @property
+    def predict_taken(self) -> bool:
+        return self.counter >= 2
+
+
+class BranchTargetBuffer:
+    """entries-total, assoc-way BTB indexed by instruction address."""
+
+    def __init__(self, entries: int, assoc: int, name: str = "BTB") -> None:
+        if entries % assoc:
+            raise ValueError("entries must be divisible by assoc")
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.assoc = assoc
+        self.name = name
+        self.stats = CounterBag()
+        self._sets: List[List[BTBEntry]] = [[] for _ in range(self.num_sets)]
+        self._index_mask = self.num_sets - 1
+
+    def _locate(self, pc: int) -> tuple[List[BTBEntry], int]:
+        word = pc >> 2
+        index = word & self._index_mask
+        tag = word >> self._index_mask.bit_length() if self._index_mask else word
+        return self._sets[index], tag
+
+    def lookup(self, pc: int) -> Optional[BTBEntry]:
+        """Probe; moves a hit to MRU.  Returns the entry or ``None``."""
+        ways, tag = self._locate(pc)
+        self.stats.add("lookups")
+        for i, entry in enumerate(ways):
+            if entry.tag == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return entry
+        self.stats.add("misses")
+        return None
+
+    def update(self, pc: int, target: int, kind: BranchKind, taken: bool) -> None:
+        """Commit-time update: allocate on taken, train direction bits."""
+        ways, tag = self._locate(pc)
+        for i, entry in enumerate(ways):
+            if entry.tag == tag:
+                entry.update_direction(taken)
+                if taken:
+                    entry.target = target
+                    entry.kind = kind
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return
+        if not taken:
+            return  # never allocate on a not-taken branch
+        ways.insert(0, BTBEntry(tag, target, kind))
+        self.stats.add("allocations")
+        if len(ways) > self.assoc:
+            ways.pop()
+            self.stats.add("evictions")

@@ -1,0 +1,75 @@
+"""Speculative / commit history registers with the paper's recovery rule.
+
+The stream predictor (§3.2) "maintains two separate path history
+registers: a lookup register which is updated immediately with
+speculative information, and an update register which is updated at
+commit time [...].  In the case of a misprediction, the contents of the
+non-speculative register is copied to the speculative register".  The
+same discipline is applied to the outcome-history registers of the
+direction predictors, keeping recovery semantics identical across the
+four front-ends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class HistoryRegister:
+    """A bounded global *outcome* shift register (speculative + commit)."""
+
+    __slots__ = ("bits", "spec", "commit", "_mask")
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("history width must be >= 1")
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self.spec = 0
+        self.commit = 0
+
+    def spec_push(self, outcome: bool) -> None:
+        self.spec = ((self.spec << 1) | int(outcome)) & self._mask
+
+    def commit_push(self, outcome: bool) -> None:
+        self.commit = ((self.commit << 1) | int(outcome)) & self._mask
+
+    def recover(self) -> None:
+        """Misprediction recovery: speculative <- committed."""
+        self.spec = self.commit
+
+    def low_bits(self, n: int) -> int:
+        return self.spec & ((1 << n) - 1)
+
+
+class PathHistory:
+    """A bounded *address* history (speculative + commit), oldest first."""
+
+    __slots__ = ("depth", "spec", "commit")
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("path depth must be >= 1")
+        self.depth = depth
+        self.spec: List[int] = []
+        self.commit: List[int] = []
+
+    def spec_push(self, addr: int) -> None:
+        self.spec.append(addr)
+        if len(self.spec) > self.depth:
+            del self.spec[0]
+
+    def commit_push(self, addr: int) -> None:
+        self.commit.append(addr)
+        if len(self.commit) > self.depth:
+            del self.commit[0]
+
+    def recover(self) -> None:
+        """Misprediction recovery: speculative <- committed."""
+        self.spec = list(self.commit)
+
+    def spec_view(self) -> Sequence[int]:
+        return self.spec
+
+    def commit_view(self) -> Sequence[int]:
+        return self.commit

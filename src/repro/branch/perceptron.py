@@ -1,0 +1,109 @@
+"""The perceptron branch predictor (Jimenez & Lin, HPCA 2001).
+
+Table 2 pairs the FTB front-end with a perceptron predictor: 512
+perceptrons, 40 bits of global history, and a 4096-entry x 14-bit local
+history table.  Each perceptron holds one weight per history bit (global
++ local) plus a bias weight; the prediction is the sign of the dot
+product between the weights and the +1/-1 encoded history.
+
+Training (on mispredictions, or whenever the output magnitude is below
+the threshold) adds the correlation of each history bit with the actual
+outcome to the corresponding weight, saturating at 8-bit range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class PerceptronConfig:
+    num_perceptrons: int = 512
+    global_history_bits: int = 40
+    local_table_entries: int = 4096
+    local_history_bits: int = 14
+    weight_min: int = -128
+    weight_max: int = 127
+
+    @property
+    def num_inputs(self) -> int:
+        return self.global_history_bits + self.local_history_bits
+
+    @property
+    def threshold(self) -> int:
+        # Jimenez & Lin's empirically optimal training threshold.
+        return int(1.93 * self.num_inputs + 14)
+
+
+#: (perceptron index, local table index, input bits, output) for update.
+PredictionInfo = Tuple[int, int, int, int]
+
+
+class PerceptronPredictor:
+    """A global+local perceptron direction predictor."""
+
+    def __init__(self, config: PerceptronConfig | None = None) -> None:
+        self.config = config or PerceptronConfig()
+        cfg = self.config
+        if cfg.num_perceptrons & (cfg.num_perceptrons - 1):
+            raise ValueError("num_perceptrons must be a power of two")
+        if cfg.local_table_entries & (cfg.local_table_entries - 1):
+            raise ValueError("local_table_entries must be a power of two")
+        n = cfg.num_inputs
+        self._weights: List[List[int]] = [
+            [0] * (n + 1) for _ in range(cfg.num_perceptrons)
+        ]
+        self._local: List[int] = [0] * cfg.local_table_entries
+        self._local_mask = (1 << cfg.local_history_bits) - 1
+
+    # ------------------------------------------------------------------
+    def _inputs(self, pc: int, global_history: int) -> Tuple[int, int, int]:
+        cfg = self.config
+        pidx = (pc >> 2) & (cfg.num_perceptrons - 1)
+        lidx = (pc >> 2) & (cfg.local_table_entries - 1)
+        ghist = global_history & ((1 << cfg.global_history_bits) - 1)
+        bits = (ghist << cfg.local_history_bits) | self._local[lidx]
+        return pidx, lidx, bits
+
+    def predict(self, pc: int, global_history: int) -> Tuple[bool, PredictionInfo]:
+        pidx, lidx, bits = self._inputs(pc, global_history)
+        weights = self._weights[pidx]
+        y = weights[0]  # bias
+        x = bits
+        i = 1
+        n = self.config.num_inputs
+        while i <= n:
+            if x & 1:
+                y += weights[i]
+            else:
+                y -= weights[i]
+            x >>= 1
+            i += 1
+        return y >= 0, (pidx, lidx, bits, y)
+
+    # ------------------------------------------------------------------
+    def update(self, info: PredictionInfo, taken: bool) -> None:
+        """Train at commit; also shifts the branch's local history."""
+        pidx, lidx, bits, y = info
+        cfg = self.config
+        predicted = y >= 0
+        if predicted != taken or abs(y) <= cfg.threshold:
+            weights = self._weights[pidx]
+            t = 1 if taken else -1
+            weights[0] = _saturate(weights[0] + t, cfg)
+            x = bits
+            for i in range(1, cfg.num_inputs + 1):
+                xi = 1 if x & 1 else -1
+                weights[i] = _saturate(weights[i] + t * xi, cfg)
+                x >>= 1
+        # Local history is maintained non-speculatively (commit order).
+        self._local[lidx] = ((self._local[lidx] << 1) | int(taken)) & self._local_mask
+
+
+def _saturate(value: int, cfg: PerceptronConfig) -> int:
+    if value > cfg.weight_max:
+        return cfg.weight_max
+    if value < cfg.weight_min:
+        return cfg.weight_min
+    return value

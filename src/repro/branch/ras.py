@@ -1,0 +1,63 @@
+"""Return address stack with shadow-copy repair (§3.2 of the paper).
+
+"The RAS is updated speculatively as guided by the branch type field,
+and a shadow copy of the top of the stack is kept with each branch
+instruction.  When a misprediction is detected, the stack index and the
+top of the stack are restored to their correct values."
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: (stack pointer, value at the top slot) — attach one to each in-flight
+#: branch; restoring both undoes any pushes/pops younger than the branch.
+RasCheckpoint = Tuple[int, int]
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return stack."""
+
+    __slots__ = ("depth", "_slots", "_sp", "pushes", "pops", "underflows")
+
+    def __init__(self, depth: int = 8) -> None:
+        if depth < 1:
+            raise ValueError("RAS depth must be >= 1")
+        self.depth = depth
+        self._slots: List[int] = [0] * depth
+        self._sp = 0  # index of the *next free* slot
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_addr: int) -> None:
+        self._slots[self._sp % self.depth] = return_addr
+        self._sp += 1
+        self.pushes += 1
+
+    def pop(self) -> int:
+        self.pops += 1
+        if self._sp == 0:
+            self.underflows += 1
+            return self._slots[0]
+        self._sp -= 1
+        return self._slots[self._sp % self.depth]
+
+    def top(self) -> int:
+        if self._sp == 0:
+            return self._slots[0]
+        return self._slots[(self._sp - 1) % self.depth]
+
+    # ------------------------------------------------------------------
+    # misprediction repair
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> RasCheckpoint:
+        """Capture (sp, top-slot value): cheap per-branch shadow copy."""
+        top_index = (self._sp - 1) % self.depth if self._sp else 0
+        return (self._sp, self._slots[top_index])
+
+    def restore(self, ckpt: RasCheckpoint) -> None:
+        sp, top_value = ckpt
+        self._sp = sp
+        if sp:
+            self._slots[(sp - 1) % self.depth] = top_value

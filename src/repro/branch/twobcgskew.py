@@ -1,0 +1,106 @@
+"""The 2bcgskew hybrid predictor of the Alpha EV8 (Seznec et al., 2002).
+
+Four banks of 2-bit counters (Table 2: 4 x 32K entries, 15-bit history):
+
+* **BIM** — a bimodal bank indexed by PC only;
+* **G0** — e-gskew bank with a short slice of global history;
+* **G1** — e-gskew bank with the full 15-bit global history;
+* **META** — chooses between the bimodal prediction and the e-gskew
+  majority vote of (BIM, G0, G1).
+
+The *partial update* policy follows the EV8 paper: on a correct
+prediction only the agreeing banks are strengthened (and META only when
+the two predictions disagreed); on a misprediction META is steered
+toward whichever side was right, and all three direction banks are
+trained with the actual outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.branch.bimodal import CounterTable
+from repro.common.hashing import fold_xor
+
+
+@dataclass(frozen=True)
+class GskewConfig:
+    """Geometry of the 2bcgskew predictor."""
+
+    bank_entries: int = 32 * 1024
+    history_bits: int = 15
+    short_history_bits: int = 7
+
+
+#: Opaque per-prediction data carried to the commit-time update:
+#: (bim_index, g0_index, g1_index, meta_index, pred_bim, pred_eskew)
+PredictionInfo = Tuple[int, int, int, int, bool, bool]
+
+
+class TwoBcGskew:
+    """EV8's conditional branch direction predictor."""
+
+    def __init__(self, config: GskewConfig | None = None) -> None:
+        self.config = config or GskewConfig()
+        entries = self.config.bank_entries
+        self._bim = CounterTable(entries)
+        self._g0 = CounterTable(entries)
+        self._g1 = CounterTable(entries)
+        self._meta = CounterTable(entries, init=2)  # slight e-gskew bias
+        self._index_bits = entries.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    def _indices(self, pc: int, history: int) -> Tuple[int, int, int, int]:
+        word = pc >> 2
+        cfg = self.config
+        h0 = history & ((1 << cfg.short_history_bits) - 1)
+        h1 = history & ((1 << cfg.history_bits) - 1)
+        bits = self._index_bits
+        bim_i = fold_xor(word, bits)
+        # Distinct skewing functions per bank: rotate the pc contribution
+        # so one aliasing collision does not strike all banks at once.
+        g0_i = fold_xor(word ^ (h0 << 5) ^ (word << 2), bits)
+        g1_i = fold_xor(word ^ (h1 << 3) ^ (word << 7), bits)
+        meta_i = fold_xor(word ^ (h1 << 9) ^ (word << 4), bits)
+        return bim_i, g0_i, g1_i, meta_i
+
+    # ------------------------------------------------------------------
+    def predict(self, pc: int, history: int) -> Tuple[bool, PredictionInfo]:
+        """Predict the direction; returns (taken?, info-for-update)."""
+        bim_i, g0_i, g1_i, meta_i = self._indices(pc, history)
+        p_bim = self._bim.predict(bim_i)
+        p_g0 = self._g0.predict(g0_i)
+        p_g1 = self._g1.predict(g1_i)
+        p_eskew = (p_bim + p_g0 + p_g1) >= 2
+        use_eskew = self._meta.predict(meta_i)
+        prediction = p_eskew if use_eskew else p_bim
+        return prediction, (bim_i, g0_i, g1_i, meta_i, p_bim, p_eskew)
+
+    def update(self, info: PredictionInfo, taken: bool) -> None:
+        """Commit-time update with the EV8 partial-update policy."""
+        bim_i, g0_i, g1_i, meta_i, p_bim, p_eskew = info
+        use_eskew = self._meta.predict(meta_i)
+        prediction = p_eskew if use_eskew else p_bim
+
+        if prediction == taken:
+            if p_bim != p_eskew:
+                # The chooser picked the right side: reinforce it.
+                self._meta.update(meta_i, use_eskew)
+            # Strengthen only the agreeing banks.
+            if p_bim == taken:
+                self._bim.strengthen(bim_i, taken)
+            if use_eskew or p_bim != taken:
+                if self._g0.predict(g0_i) == taken:
+                    self._g0.strengthen(g0_i, taken)
+                if self._g1.predict(g1_i) == taken:
+                    self._g1.strengthen(g1_i, taken)
+            return
+
+        # Misprediction: steer the chooser toward whichever was correct,
+        # then train all direction banks with the actual outcome.
+        if p_bim != p_eskew:
+            self._meta.update(meta_i, p_eskew == taken)
+        self._bim.update(bim_i, taken)
+        self._g0.update(g0_i, taken)
+        self._g1.update(g1_i, taken)

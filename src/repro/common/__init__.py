@@ -1,0 +1,22 @@
+"""Shared infrastructure: types, machine parameters, statistics, hashing."""
+
+from repro.common.types import BranchKind, INSTRUCTION_BYTES
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    MachineParams,
+    default_machine,
+)
+from repro.common.stats import CounterBag
+
+__all__ = [
+    "BranchKind",
+    "INSTRUCTION_BYTES",
+    "CacheParams",
+    "CoreParams",
+    "MemoryParams",
+    "MachineParams",
+    "default_machine",
+    "CounterBag",
+]

@@ -1,0 +1,128 @@
+"""Path hashing for cascaded predictors.
+
+The next stream predictor and the next trace predictor index their
+second-level (path-correlated) tables with a **DOLC** hash of the recent
+fetch-address history, the scheme used by the multiscalar control-flow
+speculation work (Jacobson et al.) that the paper cites.
+
+A DOLC specification ``(depth, older_bits, last_bits, current_bits)``
+means: take the low ``older_bits`` bits of each of the ``depth - 1``
+*older* history entries, the low ``last_bits`` bits of the most recent
+history entry, and the low ``current_bits`` bits of the current address;
+concatenate them and fold the result by XOR into the desired index width.
+
+The paper's configurations (Table 2):
+
+* streams: DOLC 12-2-4-10
+* traces:  DOLC 9-4-7-9
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.types import INSTRUCTION_BYTES
+
+
+def fold_xor(value: int, width_bits: int) -> int:
+    """Fold an arbitrarily wide integer into ``width_bits`` bits by XOR.
+
+    Negative inputs are reinterpreted as 64-bit two's complement — a
+    Python negative never reaches zero under ``>>``, so masking keeps
+    the fold total for any int.
+    """
+    if width_bits <= 0:
+        raise ValueError("width_bits must be positive")
+    value &= (1 << 64) - 1
+    mask = (1 << width_bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= width_bits
+    return folded
+
+
+@dataclass(frozen=True)
+class DolcSpec:
+    """A DOLC hash specification (see module docstring)."""
+
+    depth: int
+    older_bits: int
+    last_bits: int
+    current_bits: int
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("DOLC depth must be >= 1")
+        for name in ("older_bits", "last_bits", "current_bits"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        older = max(self.depth - 1, 0) * self.older_bits
+        return older + self.last_bits + self.current_bits
+
+
+class DolcHasher:
+    """Computes table indices from (history, current-address) pairs.
+
+    Addresses are word-aligned, so the two zero low-order bits are
+    stripped before hashing to avoid wasting index entropy.
+    """
+
+    def __init__(self, spec: DolcSpec, index_bits: int) -> None:
+        if index_bits <= 0:
+            raise ValueError("index_bits must be positive")
+        self.spec = spec
+        self.index_bits = index_bits
+
+    def index(self, history: Sequence[int], current: int) -> int:
+        """Hash the most recent ``depth - 1`` history addresses + current.
+
+        ``history`` is ordered oldest-first; entries beyond the DOLC depth
+        are ignored, and a short history simply contributes fewer bits
+        (cold-start behaviour of the real hardware registers).
+
+        Each address contributes a *fold* of its full word value rather
+        than its raw low-order bits: block addresses are strongly biased
+        towards aligned low bits, and the hardware's DOLC bit selection
+        is tuned to pick informative positions — folding is the
+        software equivalent of that tuning.
+        """
+        spec = self.spec
+        value = fold_xor(current >> _ADDR_SHIFT, spec.current_bits)
+        width = spec.current_bits
+
+        wanted = spec.depth - 1
+        if wanted and history:
+            recent = history[-wanted:]
+            # Most recent history entry contributes `last_bits`.
+            value |= fold_xor(recent[-1] >> _ADDR_SHIFT, spec.last_bits) << width
+            width += spec.last_bits
+            if spec.older_bits:
+                for addr in reversed(recent[:-1]):
+                    value |= (
+                        fold_xor(addr >> _ADDR_SHIFT, spec.older_bits) << width
+                    )
+                    width += spec.older_bits
+        return fold_xor(value, self.index_bits)
+
+    def tag(self, history: Sequence[int], current: int) -> int:
+        """A tag that disambiguates different paths mapping to one index.
+
+        Combines the unfolded upper address bits with a secondary fold of
+        the path so that two different streams rarely alias.
+        """
+        base = current >> (_ADDR_SHIFT + self.index_bits)
+        path = 0
+        wanted = self.spec.depth - 1
+        if wanted and history:
+            for addr in history[-wanted:]:
+                path = ((path << 5) ^ (addr >> _ADDR_SHIFT)) & 0xFFFFFFFF
+        return (base << 16) ^ fold_xor(path, 16)
+
+
+# Word-aligned instruction addresses: strip the constant low bits.
+_ADDR_SHIFT = INSTRUCTION_BYTES.bit_length() - 1

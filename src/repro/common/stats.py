@@ -1,0 +1,84 @@
+"""Lightweight statistics collection.
+
+Simulator components accumulate named integer counters in a
+:class:`CounterBag`; derived rates are computed on demand.  Keeping raw
+counters (rather than running averages) makes results mergeable across
+benchmarks, which is how the harmonic-mean figures of the paper are
+produced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class CounterBag:
+    """A dictionary of named integer counters with safe rate helpers."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+        if initial:
+            self._counts.update(initial)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._counts[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` or 0.0 when the denominator is 0."""
+        denom = self._counts.get(denominator, 0)
+        if denom == 0:
+            return 0.0
+        return self._counts.get(numerator, 0) / denom
+
+    def merge(self, other: "CounterBag") -> None:
+        for key, value in other._counts.items():
+            self._counts[key] += value
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def names(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterBag({body})"
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, the average the paper uses for IPC across SPECint.
+
+    Raises ``ValueError`` on an empty input or non-positive values, which
+    would silently corrupt an IPC average otherwise.
+    """
+    items = list(values)
+    if not items:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("harmonic_mean requires positive values")
+    return len(items) / sum(1.0 / v for v in items)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; used for speedup summaries in the harness."""
+    items = list(values)
+    if not items:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric_mean requires positive values")
+    product = 1.0
+    for v in items:
+        product *= v
+    return product ** (1.0 / len(items))

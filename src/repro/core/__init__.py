@@ -1,0 +1,7 @@
+"""Cycle-level trace-driven processor simulation."""
+
+from repro.core.backend import DataflowBackend
+from repro.core.processor import Processor
+from repro.core.results import SimulationResult
+
+__all__ = ["DataflowBackend", "Processor", "SimulationResult"]

@@ -1,0 +1,290 @@
+"""The trace-driven processor: front-end + back-end co-simulation.
+
+The processor owns the trace oracle (a :class:`TraceWalker`) and drives
+one fetch engine cycle by cycle.  The modelling follows §4.1 of the
+paper: a *static basic block dictionary* (the linked program image) lets
+fetch continue down the predicted path after a misprediction, so wrong
+speculative predictor-history updates and instruction cache pollution /
+prefetching are simulated; recovery happens when the mispredicted branch
+resolves in the back-end.
+
+Per cycle:
+
+1. Commit feedback — blocks whose commit time has arrived are replayed
+   to the engine (predictor table updates happen in commit order).
+2. Redirect — if the oldest unresolved misprediction resolves this
+   cycle, the engine is redirected to the correct path and recovers its
+   speculative state.
+3. Fetch — unless the ROB is full, the engine fetches a bundle.
+   Correct-path instructions are dispatched into the dataflow back-end
+   (which fixes their completion/commit cycles immediately); every
+   branch's predicted successor is verified against the trace, and the
+   first divergence arms a resolution-time redirect.  Instructions
+   fetched beyond the divergence are wrong-path: they cost fetch
+   bandwidth and pollute caches, but never dispatch.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.common.params import MachineParams
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.core.backend import DataflowBackend
+from repro.core.results import SimulationResult
+from repro.fetch.base import FetchEngine
+from repro.isa.trace import DynBlock, TraceWalker
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class _TraceCursor:
+    """Tracks the correct-path position at instruction granularity."""
+
+    __slots__ = ("_walker", "dyn", "offset", "exhausted")
+
+    def __init__(self, walker: TraceWalker) -> None:
+        self._walker = walker
+        self.dyn: Optional[DynBlock] = None
+        self.offset = 0
+        self.exhausted = False
+        self._advance_block()
+
+    def _advance_block(self) -> None:
+        try:
+            self.dyn = next(self._walker)
+            self.offset = 0
+        except StopIteration:  # pragma: no cover - walkers are infinite
+            self.dyn = None
+            self.exhausted = True
+
+    @property
+    def addr(self) -> int:
+        assert self.dyn is not None
+        return self.dyn.addr + self.offset * INSTRUCTION_BYTES
+
+    @property
+    def at_block_end(self) -> bool:
+        assert self.dyn is not None
+        return self.offset == self.dyn.size - 1
+
+    @property
+    def actual_next(self) -> int:
+        """The true successor address of the current instruction."""
+        assert self.dyn is not None
+        if self.at_block_end:
+            return self.dyn.next_addr
+        return self.addr + INSTRUCTION_BYTES
+
+    def advance(self) -> None:
+        if self.at_block_end:
+            self._advance_block()
+        else:
+            self.offset += 1
+
+
+class Processor:
+    """Wires a fetch engine, a back-end model and a trace together."""
+
+    def __init__(
+        self,
+        engine: FetchEngine,
+        walker: TraceWalker,
+        machine: MachineParams,
+        mem: MemoryHierarchy,
+        benchmark: str = "?",
+        optimized: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.mem = mem
+        self.backend = DataflowBackend(machine, mem)
+        self.cursor = _TraceCursor(walker)
+        self.benchmark = benchmark
+        self.optimized = optimized
+
+    # ------------------------------------------------------------------
+    def run(self, max_instructions: int, warmup: int = 0) -> SimulationResult:
+        """Simulate until ``max_instructions`` have been scheduled.
+
+        With ``warmup`` > 0, the first ``warmup`` instructions train the
+        predictors and caches but are excluded from the reported cycle
+        and event counts — the small-trace equivalent of the paper
+        fast-forwarding to a representative segment before measuring.
+        """
+        core = self.machine.core
+        engine = self.engine
+        cursor = self.cursor
+        backend = self.backend
+
+        result = SimulationResult(
+            benchmark=self.benchmark,
+            engine=engine.name,
+            width=core.width,
+            optimized=self.optimized,
+            cycles=0,
+            instructions=0,
+        )
+
+        now = 0
+        scheduled = 0
+        warm_state: Optional[Tuple[int, int, SimulationResult, int, int]] = None
+        diverged = False
+        # (resolve_cycle, correct_addr, ckpt, counts_as_mispredict, dyn)
+        pending: Optional[Tuple[int, int, object, bool, DynBlock]] = None
+        # Commit feedback queue: (commit_cycle, dyn, payload, mispredicted)
+        commit_queue: Deque[Tuple[int, DynBlock, object, bool]] = deque()
+        # ROB occupancy: (commit_cycle, instruction_count) per block
+        inflight: Deque[Tuple[int, int]] = deque()
+        inflight_count = 0
+        dispatch_depth = core.dispatch_depth
+
+        # Hard safety net: a front-end deadlock (an engine stalling with
+        # no pending redirect) must fail loudly, not spin forever.
+        cycle_limit = 400 * max_instructions + 1_000_000
+
+        while scheduled < max_instructions and not cursor.exhausted:
+            now += 1
+            if now > cycle_limit:
+                raise RuntimeError(
+                    f"simulation wedged: {scheduled} instructions in {now} "
+                    f"cycles (engine={engine.name}, pending={pending}, "
+                    f"diverged={diverged}, idle={result.idle_cycles})"
+                )
+
+            while commit_queue and commit_queue[0][0] <= now:
+                _, dyn, payload, misp = commit_queue.popleft()
+                engine.note_commit(dyn, payload, misp)
+            while inflight and inflight[0][0] <= now:
+                inflight_count -= inflight.popleft()[1]
+
+            if pending is not None and now >= pending[0]:
+                _, correct_addr, ckpt, _, resolved = pending
+                engine.redirect(now, correct_addr, ckpt, resolved)
+                pending = None
+                diverged = False
+                continue
+
+            if not diverged and inflight_count >= core.rob_size:
+                result.rob_stall_cycles += 1
+                continue
+
+            bundle = engine.cycle(now)
+            if not bundle:
+                result.idle_cycles += 1
+                continue
+
+            block_instrs = 0
+            block_commit = 0
+            correct_in_bundle = 0
+            for addr, pred_next, ckpt, payload in bundle:
+                if diverged:
+                    result.wrong_path_instructions += 1
+                    continue
+                correct_in_bundle += 1
+                assert addr == cursor.addr, (
+                    f"engine fetched {addr:#x}, trace expects "
+                    f"{cursor.addr:#x} at cycle {now}"
+                )
+                dyn = cursor.dyn
+                lb = dyn.lb
+                meta = engine.program.instr_meta(lb)[cursor.offset]
+                slot_key = (lb.addr, cursor.offset)
+                complete, commit = backend.dispatch(
+                    meta, slot_key, now + dispatch_depth
+                )
+                scheduled += 1
+                block_instrs += 1
+                block_commit = commit
+
+                at_end = cursor.at_block_end
+                actual_next = cursor.actual_next
+                if at_end:
+                    self._account_block(result, dyn)
+                    mispredicted = False
+                    if pred_next is None:
+                        # The engine has no target (indirect without a
+                        # BTB entry): it stalls until resolution.
+                        result.indirect_resolutions += 1
+                        pending = (complete + 1, actual_next, ckpt, False, dyn)
+                        diverged = True
+                    elif pred_next != actual_next:
+                        mispredicted = True
+                        self._account_mispredict(result, dyn)
+                        pending = (complete + 1, actual_next, ckpt, True, dyn)
+                        diverged = True
+                    commit_queue.append((commit, dyn, payload, mispredicted))
+                    inflight.append((commit, block_instrs))
+                    inflight_count += block_instrs
+                    block_instrs = 0
+                elif pred_next is not None and pred_next != actual_next:
+                    # Defensive: a mid-block divergence means the engine
+                    # predicted a jump out of a straight-line run.
+                    pending = (complete + 1, actual_next, ckpt, True, dyn)
+                    result.mispredictions += 1
+                    diverged = True
+                cursor.advance()
+
+            if block_instrs:
+                # Partial block at the bundle boundary still occupies
+                # the window until its (future) block commit completes.
+                inflight.append((block_commit, block_instrs))
+                inflight_count += block_instrs
+
+            if correct_in_bundle:
+                result.fetch_cycles += 1
+                result.fetched_instructions += correct_in_bundle
+
+            if warmup and warm_state is None and scheduled >= warmup:
+                warm_state = (
+                    now,
+                    scheduled,
+                    copy.copy(result),
+                    result.fetch_cycles,
+                    result.fetched_instructions,
+                )
+
+            if scheduled >= max_instructions:
+                break
+
+        result.instructions = scheduled
+        result.cycles = max(now, backend.last_commit_cycle)
+        if warm_state is not None:
+            warm_now, warm_sched, warm_result, warm_fc, warm_fi = warm_state
+            result.instructions = scheduled - warm_sched
+            result.cycles = max(now, backend.last_commit_cycle) - warm_now
+            result.fetch_cycles -= warm_fc
+            result.fetched_instructions -= warm_fi
+            for name in (
+                "branches", "cond_branches", "taken_branches",
+                "mispredictions", "cond_mispredictions",
+                "return_mispredictions", "indirect_resolutions",
+                "wrong_path_instructions", "rob_stall_cycles", "idle_cycles",
+            ):
+                setattr(result, name,
+                        getattr(result, name) - getattr(warm_result, name))
+        result.engine_stats = engine.stats_dict()
+        result.memory_stats = self.mem.stats_summary()
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _account_block(result: SimulationResult, dyn: DynBlock) -> None:
+        kind = dyn.kind
+        if not kind.is_control:
+            return
+        result.branches += 1
+        if kind is BranchKind.COND:
+            result.cond_branches += 1
+        if dyn.taken:
+            result.taken_branches += 1
+
+    @staticmethod
+    def _account_mispredict(result: SimulationResult, dyn: DynBlock) -> None:
+        result.mispredictions += 1
+        kind = dyn.kind
+        if kind is BranchKind.COND:
+            result.cond_mispredictions += 1
+        elif kind is BranchKind.RET:
+            result.return_mispredictions += 1

@@ -1,0 +1,18 @@
+"""Experiment harness: Table 2 configurations and figure/table runners."""
+
+from repro.experiments.configs import (
+    ARCHITECTURES,
+    build_engine,
+    build_processor,
+    simulate,
+)
+from repro.experiments.runner import run_matrix, RunSpec
+
+__all__ = [
+    "ARCHITECTURES",
+    "build_engine",
+    "build_processor",
+    "simulate",
+    "run_matrix",
+    "RunSpec",
+]

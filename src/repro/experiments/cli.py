@@ -1,0 +1,108 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Examples::
+
+    repro-experiments fig8 --widths 2 4 8 --instructions 100000
+    repro-experiments fig9
+    repro-experiments table1
+    repro-experiments table3
+    repro-experiments ablations --benchmark gzip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments import ablations
+from repro.experiments.figures import figure8_text, figure9_text
+from repro.experiments.runner import run_matrix
+from repro.experiments.tables import table1_text, table3_text
+from repro.isa.workloads import SPEC_BENCHMARKS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=list(SPEC_BENCHMARKS),
+        help="benchmark subset (default: all eleven)",
+    )
+    parser.add_argument("--instructions", type=int, default=90_000)
+    parser.add_argument("--scale", type=float, default=0.6,
+                        help="code footprint scale factor")
+    parser.add_argument("--quiet", action="store_true")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures/tables of 'Fetching Instruction "
+                    "Streams' (MICRO-35, 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig8 = sub.add_parser("fig8", help="Figure 8: IPC vs pipe width")
+    p_fig8.add_argument("--widths", nargs="*", type=int, default=[2, 4, 8])
+    _add_common(p_fig8)
+
+    p_fig9 = sub.add_parser("fig9", help="Figure 9: per-benchmark IPC")
+    _add_common(p_fig9)
+
+    p_t1 = sub.add_parser("table1", help="Table 1: fetch unit sizes")
+    _add_common(p_t1)
+
+    p_t3 = sub.add_parser("table3", help="Table 3: mispred + fetch IPC")
+    _add_common(p_t3)
+
+    p_abl = sub.add_parser("ablations", help="design-choice ablations")
+    p_abl.add_argument("--benchmark", default="gzip")
+    _add_common(p_abl)
+
+    args = parser.parse_args(argv)
+    t0 = time.time()
+
+    def progress(result) -> None:
+        if not args.quiet:
+            print(f"[{time.time() - t0:6.0f}s] {result.summary()}",
+                  file=sys.stderr, flush=True)
+
+    if args.command == "fig8":
+        matrix = run_matrix(args.benchmarks, widths=tuple(args.widths),
+                            instructions=args.instructions,
+                            scale=args.scale, progress=progress)
+        print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
+    elif args.command == "fig9":
+        matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
+                            instructions=args.instructions,
+                            scale=args.scale, progress=progress)
+        print(figure9_text(matrix, args.benchmarks))
+    elif args.command == "table1":
+        print(table1_text(args.benchmarks, args.instructions, args.scale))
+    elif args.command == "table3":
+        matrix = run_matrix(args.benchmarks, widths=(8,),
+                            instructions=args.instructions,
+                            scale=args.scale, progress=progress)
+        print(table3_text(matrix, args.benchmarks))
+    elif args.command == "ablations":
+        print(ablations.line_width_sweep(
+            args.benchmark, instructions=args.instructions,
+            scale=args.scale))
+        print()
+        print(ablations.ftq_depth_sweep(
+            args.benchmark, instructions=args.instructions,
+            scale=args.scale))
+        print()
+        print(ablations.trace_storage_ablation(
+            args.benchmark, instructions=args.instructions,
+            scale=args.scale))
+        print()
+        print(ablations.cascade_ablation(
+            args.benchmark, instructions=args.instructions,
+            scale=args.scale))
+    print(f"(elapsed {time.time() - t0:.0f}s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

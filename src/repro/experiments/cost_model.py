@@ -1,0 +1,196 @@
+"""Storage and complexity accounting for the four fetch architectures.
+
+The paper's central argument is not raw performance but *performance per
+cost*: "a fetch engine will be better if it provides better performance,
+but also if it takes fewer resources, requires less chip area, or
+consumes less power" (§1), and Table 1 grades the engines low/high on
+cost and complexity.  This module makes that grading quantitative: it
+counts the bits of predictor/cache state each Table 2 configuration
+requires and the number of distinct hardware mechanisms (instruction
+paths, predictors, special-purpose stores) each engine coordinates.
+
+The structural findings of §3.1 fall out directly:
+
+* the trace cache needs **two instruction paths** (trace cache + I-cache)
+  and **two predictors** (trace predictor + back-up BTB);
+* the stream engine needs **one of each**, like a basic-block front-end,
+  while its predictor state is comparable to the others' (~45KB budget).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.branch.perceptron import PerceptronConfig
+from repro.branch.twobcgskew import GskewConfig
+from repro.fetch.stream_predictor import (
+    MAX_STREAM_LENGTH,
+    StreamPredictorConfig,
+)
+from repro.fetch.trace_predictor import (
+    MAX_TRACE_BRANCHES,
+    MAX_TRACE_LENGTH,
+    TracePredictorConfig,
+)
+
+#: Physical address width assumed for tag/target sizing (bits).
+ADDRESS_BITS = 32
+#: Branch-type field: NONE/COND/JUMP/CALL/RET/IND.
+TYPE_BITS = 3
+
+
+@dataclass
+class CostReport:
+    """Bit counts and mechanism counts for one fetch architecture."""
+
+    name: str
+    components: Dict[str, int] = field(default_factory=dict)  # bits
+    instruction_paths: int = 1
+    predictors: int = 1
+    special_stores: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.components.values())
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def add(self, component: str, bits: int) -> None:
+        self.components[component] = self.components.get(component, 0) + bits
+
+
+def _entry_bits(tag_bits: int, payload_bits: int) -> int:
+    return tag_bits + payload_bits
+
+
+def _set_assoc_tag_bits(entries: int, assoc: int) -> int:
+    sets = entries // assoc
+    index_bits = int(math.log2(sets)) if sets > 1 else 0
+    return ADDRESS_BITS - 2 - index_bits  # word-aligned addresses
+
+
+def _btb_bits(entries: int, assoc: int) -> int:
+    tag = _set_assoc_tag_bits(entries, assoc)
+    payload = ADDRESS_BITS + TYPE_BITS + 2  # target + kind + 2-bit ctr
+    return entries * _entry_bits(tag, payload)
+
+
+def ev8_cost(config: GskewConfig | None = None,
+             btb_entries: int = 2048, btb_assoc: int = 4) -> CostReport:
+    """EV8: 4 banks of 2-bit counters + BTB + RAS."""
+    config = config or GskewConfig()
+    report = CostReport("ev8")
+    report.add("2bcgskew banks", 4 * config.bank_entries * 2)
+    report.add("BTB", _btb_bits(btb_entries, btb_assoc))
+    report.add("RAS", 8 * ADDRESS_BITS)
+    report.add("history registers", 2 * config.history_bits)
+    report.instruction_paths = 1
+    report.predictors = 1
+    report.special_stores = 0
+    return report
+
+
+def ftb_cost(perceptron: PerceptronConfig | None = None,
+             ftb_entries: int = 2048, ftb_assoc: int = 4) -> CostReport:
+    """FTB: fetch target buffer + perceptron weights + local histories."""
+    perceptron = perceptron or PerceptronConfig()
+    report = CostReport("ftb")
+    length_bits = 5  # up to 16-instruction fetch blocks
+    tag = _set_assoc_tag_bits(ftb_entries, ftb_assoc)
+    report.add("FTB",
+               ftb_entries * _entry_bits(
+                   tag, ADDRESS_BITS + length_bits + TYPE_BITS))
+    weight_bits = 8
+    report.add("perceptron weights",
+               perceptron.num_perceptrons
+               * (perceptron.num_inputs + 1) * weight_bits)
+    report.add("local history table",
+               perceptron.local_table_entries
+               * perceptron.local_history_bits)
+    report.add("RAS", 8 * ADDRESS_BITS)
+    report.add("history registers", 2 * perceptron.global_history_bits)
+    report.instruction_paths = 1
+    report.predictors = 1
+    report.special_stores = 0
+    return report
+
+
+def stream_cost(config: StreamPredictorConfig | None = None) -> CostReport:
+    """Streams: two stream tables + RAS; nothing else."""
+    config = config or StreamPredictorConfig()
+    report = CostReport("stream")
+    length_bits = int(math.ceil(math.log2(MAX_STREAM_LENGTH + 1)))
+    payload = ADDRESS_BITS + length_bits + TYPE_BITS + 2  # next+len+type+ctr
+    t1_tag = _set_assoc_tag_bits(config.first_entries, config.first_assoc)
+    report.add("first-level table",
+               config.first_entries * _entry_bits(t1_tag, payload))
+    # Path-indexed table: hashed tag (16 bits is ample for aliasing).
+    report.add("second-level table",
+               config.second_entries * _entry_bits(16, payload))
+    report.add("RAS", 8 * ADDRESS_BITS)
+    depth = config.dolc.depth
+    report.add("path registers", 2 * depth * ADDRESS_BITS)
+    report.instruction_paths = 1
+    report.predictors = 1
+    report.special_stores = 0
+    return report
+
+
+def trace_cost(config: TracePredictorConfig | None = None,
+               tc_entries: int = 512,
+               btb_entries: int = 1024, btb_assoc: int = 4) -> CostReport:
+    """Trace cache: predictor tables + trace storage + back-up BTB."""
+    config = config or TracePredictorConfig()
+    report = CostReport("trace")
+    # Descriptor: start + outcome bits/count + length + type + next.
+    length_bits = int(math.ceil(math.log2(MAX_TRACE_LENGTH + 1)))
+    descr = (ADDRESS_BITS + MAX_TRACE_BRANCHES + 2 + length_bits
+             + TYPE_BITS + ADDRESS_BITS)
+    t1_tag = _set_assoc_tag_bits(config.first_entries, config.first_assoc)
+    report.add("first-level table",
+               config.first_entries * _entry_bits(t1_tag, descr))
+    report.add("second-level table",
+               config.second_entries * _entry_bits(16, descr))
+    # Trace cache data: 16 instructions x 4 bytes per entry (the paper
+    # counts "instruction storage only" = 32KB), plus identity tags.
+    report.add("trace cache data",
+               tc_entries * MAX_TRACE_LENGTH * 32)
+    report.add("trace cache tags",
+               tc_entries * (ADDRESS_BITS + MAX_TRACE_BRANCHES + 2))
+    report.add("backup BTB", _btb_bits(btb_entries, btb_assoc))
+    report.add("RAS", 8 * ADDRESS_BITS)
+    report.add("path registers", 2 * config.dolc.depth * ADDRESS_BITS)
+    report.instruction_paths = 2   # trace cache + instruction cache
+    report.predictors = 2          # trace predictor + back-up BTB
+    report.special_stores = 1      # the trace cache itself
+    return report
+
+
+def cost_comparison() -> List[CostReport]:
+    """All four Table 2 configurations, in the paper's order."""
+    return [ev8_cost(), ftb_cost(), stream_cost(), trace_cost()]
+
+
+def cost_table_text() -> str:
+    """Render the quantitative version of Table 1's cost column."""
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    for report in cost_comparison():
+        rows.append([
+            report.name,
+            round(report.total_kib, 1),
+            report.instruction_paths,
+            report.predictors,
+            report.special_stores,
+        ])
+    return format_table(
+        ["engine", "state (KiB)", "instr paths", "predictors",
+         "special stores"],
+        rows,
+        title="Quantified cost/complexity (Table 1's cost column)",
+    )

@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results (tables and bar rows).
+
+The paper's figures are bar charts; with no plotting stack available
+offline, the harness renders aligned text tables plus simple ASCII bars
+so shapes (who wins, by how much, where the crossovers are) are visible
+directly in terminal output and in the committed experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    materialized: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ascii_bars(
+    values: Dict[str, float], width: int = 40, unit: str = ""
+) -> str:
+    """Render a labelled horizontal bar chart."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        n = 0 if peak <= 0 else round(width * value / peak)
+        lines.append(
+            f"{name.ljust(label_w)}  {'#' * n}{' ' * (width - n)} "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def relative_speedups(values: Dict[str, float], base: str) -> Dict[str, float]:
+    """Speedup of every entry relative to ``base`` (1.0 = equal)."""
+    if base not in values:
+        raise KeyError(f"base {base!r} not among {sorted(values)}")
+    denom = values[base]
+    if denom <= 0:
+        raise ValueError("base value must be positive")
+    return {name: value / denom for name, value in values.items()}

@@ -1,0 +1,113 @@
+"""Run matrices of simulations and collect results.
+
+The harness amortizes program generation: each (benchmark, layout) image
+is linked once and shared across architectures and widths, exactly like
+the paper simulating the same binaries on every fetch engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.results import SimulationResult
+from repro.experiments.configs import ARCHITECTURES, build_processor
+from repro.isa.program import Program
+from repro.isa.workloads import prepare_program, ref_trace_seed
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment matrix."""
+
+    arch: str
+    benchmark: str
+    width: int
+    optimized: bool
+
+
+@dataclass
+class RunMatrixResult:
+    """All results of a matrix run, with lookup helpers."""
+
+    instructions: int
+    scale: float
+    results: Dict[RunSpec, SimulationResult] = field(default_factory=dict)
+
+    def get(
+        self, arch: str, benchmark: str, width: int, optimized: bool
+    ) -> SimulationResult:
+        return self.results[RunSpec(arch, benchmark, width, optimized)]
+
+    def select(
+        self,
+        arch: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        width: Optional[int] = None,
+        optimized: Optional[bool] = None,
+    ) -> List[SimulationResult]:
+        out = []
+        for spec, result in self.results.items():
+            if arch is not None and spec.arch != arch:
+                continue
+            if benchmark is not None and spec.benchmark != benchmark:
+                continue
+            if width is not None and spec.width != width:
+                continue
+            if optimized is not None and spec.optimized != optimized:
+                continue
+            out.append(result)
+        return out
+
+
+class ProgramCache:
+    """Links each (benchmark, layout, scale) image at most once."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, bool, float], Program] = {}
+
+    def get(self, benchmark: str, optimized: bool, scale: float) -> Program:
+        key = (benchmark, optimized, scale)
+        program = self._cache.get(key)
+        if program is None:
+            program = prepare_program(benchmark, optimized=optimized, scale=scale)
+            self._cache[key] = program
+        return program
+
+
+def run_matrix(
+    benchmarks: Sequence[str],
+    widths: Sequence[int] = (8,),
+    archs: Sequence[str] = ARCHITECTURES,
+    layouts: Sequence[bool] = (False, True),
+    instructions: int = 100_000,
+    warmup: Optional[int] = None,
+    scale: float = 1.0,
+    program_cache: Optional[ProgramCache] = None,
+    progress: Optional[callable] = None,
+) -> RunMatrixResult:
+    """Simulate the full cross product and return all results.
+
+    ``warmup`` defaults to a third of the instruction budget — the
+    predictors and caches train during it, and it is excluded from the
+    reported metrics (the paper's fast-forward equivalent).
+    """
+    if warmup is None:
+        warmup = instructions // 3
+    cache = program_cache or ProgramCache()
+    out = RunMatrixResult(instructions=instructions, scale=scale)
+    for benchmark in benchmarks:
+        for optimized in layouts:
+            program = cache.get(benchmark, optimized, scale)
+            for width in widths:
+                for arch in archs:
+                    processor = build_processor(
+                        arch, program, width,
+                        benchmark=benchmark, optimized=optimized,
+                        trace_seed=ref_trace_seed(benchmark),
+                    )
+                    result = processor.run(instructions, warmup=warmup)
+                    out.results[RunSpec(arch, benchmark, width, optimized)] = result
+                    if progress is not None:
+                        progress(result)
+    return out

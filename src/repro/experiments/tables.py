@@ -1,0 +1,172 @@
+"""Regeneration of the paper's tables from simulations and trace analysis.
+
+* **Table 1**: fetch-unit size comparison — dynamic basic blocks (the
+  BTB/EV8 unit), FTB fetch blocks, instruction streams and trace-cache
+  traces, measured on the same executed traces.
+* **Table 3**: branch misprediction rate and fetch IPC for the 8-wide
+  processor, baseline and optimized layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.types import BranchKind
+from repro.experiments.configs import ARCH_LABELS, ARCHITECTURES
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunMatrixResult
+from repro.fetch.ftb import FTB_MAX_LENGTH
+from repro.fetch.stream_predictor import MAX_STREAM_LENGTH
+from repro.fetch.trace_predictor import MAX_TRACE_BRANCHES, MAX_TRACE_LENGTH
+from repro.isa.trace import TraceWalker
+from repro.isa.workloads import prepare_program, ref_trace_seed
+
+
+def fetch_unit_sizes(
+    benchmark: str,
+    optimized: bool,
+    n_instructions: int = 60_000,
+    scale: float = 1.0,
+) -> Dict[str, float]:
+    """Average size (instructions) of each architecture's fetch unit.
+
+    One pass over the dynamic trace measures all four unit definitions:
+
+    * *basic block* — the BTB-architecture unit (also EV8's upper bound
+      per prediction);
+    * *fetch block* — run ending at an ever-taken branch or the FTB
+      length cap (never-taken branches are invisible);
+    * *stream* — run ending at a taken branch (not-taken branches are
+      invisible in all their instances), capped by the length field;
+    * *trace* — up to 16 instructions / 3 conditionals, crossing taken
+      branches.
+    """
+    program = prepare_program(benchmark, optimized=optimized, scale=scale)
+    walker = TraceWalker(program, ref_trace_seed(benchmark))
+
+    instr = 0
+    blocks = 0
+    ever_taken: set = set()
+
+    fetch_blocks = 0
+    fetch_len = 0
+    streams = 0
+    stream_len = 0
+    traces = 0
+    trace_len = 0
+    trace_branches = 0
+
+    for dyn in walker:
+        instr += dyn.size
+        blocks += 1
+
+        # --- FTB fetch blocks (ever-taken boundaries + length cap) ---
+        fetch_len += dyn.size
+        baddr = dyn.lb.branch_addr
+        if dyn.taken and baddr is not None:
+            ever_taken.add(baddr)
+        while fetch_len > FTB_MAX_LENGTH:
+            fetch_blocks += 1
+            fetch_len -= FTB_MAX_LENGTH
+        if dyn.kind.is_control and (
+            dyn.kind is not BranchKind.COND or baddr in ever_taken
+        ):
+            if fetch_len:
+                fetch_blocks += 1
+                fetch_len = 0
+
+        # --- streams (taken boundaries + length cap) ---
+        stream_len += dyn.size
+        while stream_len > MAX_STREAM_LENGTH:
+            streams += 1
+            stream_len -= MAX_STREAM_LENGTH
+        if dyn.taken and stream_len:
+            streams += 1
+            stream_len = 0
+
+        # --- traces (16 instructions / 3 conditionals / ret-ind) ---
+        trace_len += dyn.size
+        if dyn.kind is BranchKind.COND:
+            trace_branches += 1
+        while trace_len > MAX_TRACE_LENGTH:
+            traces += 1
+            trace_len -= MAX_TRACE_LENGTH
+            trace_branches = 0
+        if trace_len and (
+            trace_branches >= MAX_TRACE_BRANCHES
+            or dyn.kind in (BranchKind.RET, BranchKind.IND)
+        ):
+            traces += 1
+            trace_len = 0
+            trace_branches = 0
+
+        if instr >= n_instructions:
+            break
+
+    return {
+        "basic_block": instr / max(blocks, 1),
+        "fetch_block": instr / max(fetch_blocks, 1),
+        "stream": instr / max(streams, 1),
+        "trace": instr / max(traces, 1),
+    }
+
+
+def table1_text(
+    benchmarks: Sequence[str],
+    n_instructions: int = 60_000,
+    scale: float = 1.0,
+) -> str:
+    """Table 1: average fetch-unit sizes across the suite."""
+    sections = []
+    for optimized in (False, True):
+        sums = {"basic_block": 0.0, "fetch_block": 0.0,
+                "stream": 0.0, "trace": 0.0}
+        rows: List[List[object]] = []
+        for benchmark in benchmarks:
+            sizes = fetch_unit_sizes(benchmark, optimized,
+                                     n_instructions, scale)
+            rows.append([benchmark, sizes["basic_block"],
+                         sizes["fetch_block"], sizes["trace"],
+                         sizes["stream"]])
+            for key in sums:
+                sums[key] += sizes[key]
+        n = len(benchmarks)
+        rows.append(["mean", sums["basic_block"] / n,
+                     sums["fetch_block"] / n, sums["trace"] / n,
+                     sums["stream"] / n])
+        layout = "optimized" if optimized else "base"
+        sections.append(format_table(
+            ["benchmark", "basic block", "FTB fetch block",
+             "trace", "stream"],
+            rows,
+            title=f"Table 1: average fetch unit size (instructions), "
+                  f"{layout} layout",
+        ))
+    return "\n\n".join(sections)
+
+
+def table3_text(
+    matrix: RunMatrixResult, benchmarks: Sequence[str], width: int = 8
+) -> str:
+    """Table 3: misprediction rate + fetch IPC, 8-wide, base/optimized."""
+    rows = []
+    for arch in ARCHITECTURES:
+        row: List[object] = [ARCH_LABELS[arch]]
+        for optimized in (False, True):
+            results = [
+                matrix.get(arch, b, width, optimized) for b in benchmarks
+            ]
+            branches = sum(r.branches for r in results)
+            mispredicts = sum(r.mispredictions for r in results)
+            fetched = sum(r.fetched_instructions for r in results)
+            fetch_cycles = sum(r.fetch_cycles for r in results)
+            row.append(100.0 * mispredicts / max(branches, 1))
+            row.append(fetched / max(fetch_cycles, 1))
+        rows.append(row)
+    return format_table(
+        ["fetch engine", "mispred% (base)", "fetch IPC (base)",
+         "mispred% (opt)", "fetch IPC (opt)"],
+        rows,
+        title=f"Table 3: branch misprediction rate and fetch IPC, "
+              f"{width}-wide processor",
+    )

@@ -1,0 +1,35 @@
+"""The four fetch architectures compared in the paper.
+
+* :class:`~repro.fetch.ev8.EV8FetchEngine` — sequential fetch to the
+  first predicted-taken branch, 2bcgskew + interleaved BTB.
+* :class:`~repro.fetch.ftb.FTBFetchEngine` — decoupled variable-length
+  fetch blocks (Reinman/Austin/Calder) + perceptron.
+* :class:`~repro.fetch.stream.StreamFetchEngine` — the paper's
+  contribution: cascaded next stream predictor + FTQ + wide-line I-cache.
+* :class:`~repro.fetch.trace_cache.TraceCacheFetchEngine` — trace cache
+  with a cascaded next trace predictor and selective trace storage.
+"""
+
+from repro.fetch.base import FetchEngine, FetchedInstr
+from repro.fetch.ftq import FetchTargetQueue, FetchRequest
+from repro.fetch.ev8 import EV8FetchEngine
+from repro.fetch.ftb import FTBFetchEngine
+from repro.fetch.stream import StreamFetchEngine
+from repro.fetch.stream_predictor import NextStreamPredictor, StreamPredictorConfig
+from repro.fetch.trace_cache import TraceCacheFetchEngine
+from repro.fetch.trace_predictor import NextTracePredictor, TracePredictorConfig
+
+__all__ = [
+    "FetchEngine",
+    "FetchedInstr",
+    "FetchTargetQueue",
+    "FetchRequest",
+    "EV8FetchEngine",
+    "FTBFetchEngine",
+    "StreamFetchEngine",
+    "NextStreamPredictor",
+    "StreamPredictorConfig",
+    "TraceCacheFetchEngine",
+    "NextTracePredictor",
+    "TracePredictorConfig",
+]

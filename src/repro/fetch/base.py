@@ -1,0 +1,178 @@
+"""Fetch engine scaffolding shared by all four front-ends.
+
+Engine / processor contract
+---------------------------
+
+Each cycle the processor calls :meth:`FetchEngine.cycle`, which returns
+either ``None`` (front-end stalled: I-cache miss in progress, decode
+bubble, empty FTQ, or waiting for a branch to resolve) or a *bundle* —
+a list of at most ``width`` :class:`FetchedInstr` tuples
+``(addr, pred_next, ckpt, payload)``:
+
+* ``addr`` — instruction address;
+* ``pred_next`` — the engine's prediction of the next instruction
+  address in program order after this one (``addr + 4`` in the common
+  case; the predicted target at branches; ``None`` means the engine has
+  no target and stalls until the processor redirects it);
+* ``ckpt`` — recovery checkpoint (RAS shadow state) attached to control
+  instructions, handed back via :meth:`FetchEngine.redirect`;
+* ``payload`` — opaque prediction bookkeeping returned to the engine at
+  commit (e.g. 2bcgskew bank indices) so tables can be trained with the
+  exact state used at prediction time.
+
+The processor verifies ``pred_next`` against its trace oracle.  On a
+divergence it keeps calling ``cycle`` so the engine fetches down its own
+(wrong) speculative path — polluting caches and speculative history —
+until the branch resolves, then calls :meth:`FetchEngine.redirect`.
+
+Commit feedback: the processor calls :meth:`FetchEngine.note_commit`
+once per *correct-path* dynamic block, in commit order, with the payload
+of its terminal branch and a mispredicted flag.  All predictor table
+updates and commit-side history pushes happen there, as in the paper.
+
+Decode-stage fixups (misfetches) are internal to engines: when fetch
+runs over an unpredicted unconditional control instruction, the engine
+truncates the bundle, charges itself a decode bubble and resteers —
+never surfacing a resolution-time misprediction for something decode
+can fix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.common.params import MachineParams
+from repro.common.stats import CounterBag
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.isa.program import LinearBlock, Program
+from repro.isa.trace import DynBlock
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: (addr, pred_next, ckpt, payload)
+FetchedInstr = Tuple[int, Optional[int], object, object]
+
+
+class FetchEngine(ABC):
+    """Base class wiring program, memory and bookkeeping together."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineParams,
+        mem: MemoryHierarchy,
+    ) -> None:
+        self.program = program
+        self.machine = machine
+        self.mem = mem
+        self.width = machine.core.width
+        self.line_bytes = machine.memory.il1.line_bytes
+        self.decode_bubble = machine.core.decode_depth
+        self.stats = CounterBag()
+        #: The front-end is busy (miss/bubble) until this cycle.
+        self._busy_until = 0
+        #: Set when the engine has no predicted target and must wait.
+        self._waiting_resolve = False
+
+    # ------------------------------------------------------------------
+    # the processor-facing API
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+        """Advance one cycle; return a fetched bundle or ``None``."""
+
+    @abstractmethod
+    def redirect(
+        self,
+        now: int,
+        correct_addr: int,
+        ckpt: object,
+        resolved: "DynBlock | None" = None,
+    ) -> None:
+        """Resolution-time redirect to the correct path.
+
+        ``resolved`` is the dynamic block whose terminal branch caused
+        the redirect; engines use its actual outcome to repair their
+        speculative history registers precisely (per-branch shadow
+        checkpoints, as in the EV8 and the paper's §3.2 RAS repair).
+        """
+
+    @abstractmethod
+    def note_commit(
+        self, dyn: DynBlock, payload: object, mispredicted: bool
+    ) -> None:
+        """Commit-order feedback for one correct-path dynamic block."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _stall(self, now: int, cycles: int) -> None:
+        """Charge a front-end bubble (decode redirect, miss latency)."""
+        until = now + cycles
+        if until > self._busy_until:
+            self._busy_until = until
+
+    def _is_busy(self, now: int) -> bool:
+        return now < self._busy_until or self._waiting_resolve
+
+    def _instrs_to_line_end(self, addr: int) -> int:
+        offset = addr & (self.line_bytes - 1)
+        return (self.line_bytes - offset) // INSTRUCTION_BYTES
+
+    def _fetch_line(self, now: int, addr: int) -> bool:
+        """Access the I-cache; on a miss, stall and return False."""
+        latency = self.mem.fetch_line(addr)
+        extra = latency - self.machine.memory.il1.hit_latency
+        if extra > 0:
+            self.stats.add("icache_miss_stalls")
+            self._stall(now, extra)
+            return False
+        return True
+
+    def _lookup_block(self, addr: int) -> Optional[Tuple[LinearBlock, int]]:
+        """Static-dictionary lookup; ``None`` when off the program image.
+
+        Wrong-path fetch can run off the end of the code; engines then
+        idle until the mispredicted branch resolves.
+        """
+        try:
+            return self.program.block_containing(addr)
+        except ValueError:
+            return None
+
+    def stats_dict(self) -> dict:
+        return self.stats.as_dict()
+
+
+def scan_run(
+    program: Program, addr: int, max_instrs: int
+) -> Tuple[List[Tuple[int, LinearBlock]], int]:
+    """Scan a straight-line run of up to ``max_instrs`` from ``addr``.
+
+    Returns ``(controls, n)`` where ``controls`` lists the addresses of
+    control instructions (with their blocks) inside the run, in order,
+    and ``n`` is the number of instructions actually available before
+    the program image ends (== ``max_instrs`` in the normal case).
+
+    This models the pre-decode information fetch engines read alongside
+    the instruction bytes.
+    """
+    controls: List[Tuple[int, LinearBlock]] = []
+    scanned = 0
+    cursor = addr
+    while scanned < max_instrs:
+        try:
+            lb, offset = program.block_containing(cursor)
+        except ValueError:
+            break
+        take = min(lb.size - offset, max_instrs - scanned)
+        branch_addr = lb.branch_addr
+        if branch_addr is not None:
+            pos = (branch_addr - cursor) // INSTRUCTION_BYTES
+            if 0 <= pos < take:
+                controls.append((branch_addr, lb))
+        scanned += take
+        cursor += take * INSTRUCTION_BYTES
+    return controls, scanned

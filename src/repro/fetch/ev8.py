@@ -1,0 +1,198 @@
+"""The Alpha EV8 fetch architecture (§2.3): 2bcgskew + interleaved BTB.
+
+Fetches sequential instructions up to the first predicted-taken branch,
+crossing any number of predicted-not-taken branches inside one aligned
+line window — the SEQ.3-style engine the paper uses as its wide
+sequential baseline.  All conditional branches in the window are
+predicted by the 2bcgskew predictor in parallel (the interleaved BTB /
+multiple-predictor arrangement of the real EV8).
+
+Misfetch handling: pre-decode identifies control instructions in the
+fetched line; a predicted-taken branch whose target misses in the BTB is
+resteered at decode (static target) for a decode-depth bubble.  Indirect
+jumps with no BTB target stall until resolution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.history import HistoryRegister
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.twobcgskew import GskewConfig, TwoBcGskew
+from repro.common.params import MachineParams
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.isa.program import Program
+from repro.isa.trace import DynBlock
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class EV8FetchEngine(FetchEngine):
+    """Sequential fetch to the first predicted-taken branch."""
+
+    name = "ev8"
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineParams,
+        mem: MemoryHierarchy,
+        gskew_config: GskewConfig | None = None,
+        btb_entries: int = 2048,
+        btb_assoc: int = 4,
+        ras_depth: int = 8,
+    ) -> None:
+        super().__init__(program, machine, mem)
+        self.predictor = TwoBcGskew(gskew_config)
+        self.btb = BranchTargetBuffer(btb_entries, btb_assoc)
+        self.ras = ReturnAddressStack(ras_depth)
+        self.history = HistoryRegister(
+            (gskew_config or GskewConfig()).history_bits
+        )
+        self.fetch_addr = program.entry_address
+
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+        if self._is_busy(now):
+            return None
+        addr = self.fetch_addr
+        # EV8 fetches one *aligned* fetch slot per cycle: a sequential
+        # run cannot cross the width-instruction alignment boundary the
+        # way the FTQ-driven engines' rotate-and-select path can.
+        slot_bytes = self.width * INSTRUCTION_BYTES
+        to_slot_end = (slot_bytes - (addr & (slot_bytes - 1))) // INSTRUCTION_BYTES
+        window = min(self.width, to_slot_end, self._instrs_to_line_end(addr))
+        if self._lookup_block(addr) is None:
+            # Wrong-path fetch ran off the image; idle until redirect.
+            self._waiting_resolve = True
+            return None
+        if not self._fetch_line(now, addr):
+            return None
+
+        controls, avail = scan_run(self.program, addr, window)
+        if avail == 0:
+            self._waiting_resolve = True
+            return None
+        window = avail
+
+        bundle: List[FetchedInstr] = []
+        cursor = addr
+        next_fetch: Optional[int] = addr + window * INSTRUCTION_BYTES
+        stalled = False
+
+        for baddr, lb in controls:
+            while cursor < baddr:
+                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
+                cursor += INSTRUCTION_BYTES
+            kind = lb.kind
+            if kind is BranchKind.COND:
+                hist_snap = self.history.spec
+                pred, info = self.predictor.predict(baddr, hist_snap)
+                self.history.spec_push(pred)
+                ckpt = (self.ras.checkpoint(), hist_snap)
+                self.stats.add("cond_predictions")
+                if pred:
+                    target = self._taken_target(now, baddr, lb.target_addr)
+                    bundle.append((baddr, target, ckpt, ("cond", info)))
+                    next_fetch = target
+                    cursor = None
+                    break
+                bundle.append(
+                    (baddr, baddr + INSTRUCTION_BYTES, ckpt, ("cond", info))
+                )
+                cursor = baddr + INSTRUCTION_BYTES
+                continue
+            if kind in (BranchKind.JUMP, BranchKind.CALL):
+                target = self._taken_target(now, baddr, lb.target_addr)
+                if kind is BranchKind.CALL:
+                    self.ras.push(baddr + INSTRUCTION_BYTES)
+                ckpt = (self.ras.checkpoint(), self.history.spec)
+                bundle.append((baddr, target, ckpt, None))
+                next_fetch = target
+                cursor = None
+                break
+            if kind is BranchKind.RET:
+                if self.btb.lookup(baddr) is None:
+                    self._stall(now, self.decode_bubble)
+                    self.stats.add("decode_redirects")
+                target = self.ras.pop()
+                ckpt = (self.ras.checkpoint(), self.history.spec)
+                bundle.append((baddr, target, ckpt, None))
+                next_fetch = target
+                cursor = None
+                break
+            # Indirect jump: only the BTB can supply a target at fetch.
+            entry = self.btb.lookup(baddr)
+            ckpt = (self.ras.checkpoint(), self.history.spec)
+            if entry is not None:
+                bundle.append((baddr, entry.target, ckpt, None))
+                next_fetch = entry.target
+            else:
+                bundle.append((baddr, None, ckpt, None))
+                self.stats.add("indirect_stalls")
+                self._waiting_resolve = True
+                stalled = True
+            cursor = None
+            break
+
+        if cursor is not None:
+            end = addr + window * INSTRUCTION_BYTES
+            while cursor < end:
+                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
+                cursor += INSTRUCTION_BYTES
+
+        if not stalled:
+            assert next_fetch is not None
+            self.fetch_addr = next_fetch
+        self.stats.add("fetch_cycles")
+        self.stats.add("fetched_instructions", len(bundle))
+        return bundle
+
+    def _taken_target(self, now: int, baddr: int, static_target: int) -> int:
+        """Target of a predicted-taken direct branch: BTB or decode assist."""
+        entry = self.btb.lookup(baddr)
+        if entry is not None:
+            return entry.target
+        self._stall(now, self.decode_bubble)
+        self.stats.add("decode_redirects")
+        return static_target
+
+    # ------------------------------------------------------------------
+    def redirect(self, now, correct_addr, ckpt, resolved=None) -> None:
+        self.fetch_addr = correct_addr
+        if isinstance(ckpt, tuple):
+            ras_ckpt, hist_snap = ckpt
+            self.ras.restore(ras_ckpt)
+            # Per-branch history shadow: restore the register to its
+            # value at the branch, then insert the actual outcome.
+            self.history.spec = hist_snap
+            if resolved is not None and resolved.kind is BranchKind.COND:
+                self.history.spec_push(resolved.taken)
+        else:
+            self.history.recover()
+        self._waiting_resolve = False
+        self._busy_until = now + 1
+        self.stats.add("redirects")
+
+    # ------------------------------------------------------------------
+    def note_commit(
+        self, dyn: DynBlock, payload: object, mispredicted: bool
+    ) -> None:
+        kind = dyn.kind
+        if not kind.is_control:
+            return
+        baddr = dyn.lb.branch_addr
+        if kind is BranchKind.COND:
+            if isinstance(payload, tuple) and payload[0] == "cond":
+                self.predictor.update(payload[1], dyn.taken)
+            else:
+                # The branch was fetched without an in-flight prediction
+                # (e.g. right after a redirect squashed it); train with
+                # commit-time state so the tables still learn.
+                _, info = self.predictor.predict(baddr, self.history.commit)
+                self.predictor.update(info, dyn.taken)
+            self.history.commit_push(dyn.taken)
+        target = dyn.next_addr if dyn.taken else 0
+        self.btb.update(baddr, target, kind, dyn.taken)

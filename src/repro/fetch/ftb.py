@@ -1,0 +1,372 @@
+"""The FTB front-end (Reinman, Austin & Calder) with a perceptron.
+
+A fully decoupled prediction engine: every cycle the Fetch Target Buffer
+produces one *fetch block* — a variable-length run of instructions
+ending at a branch that has been taken at least once — which is pushed
+into the FTQ; the instruction cache is driven by FTQ requests with the
+Fig. 6 request-update mechanism.  Never-taken branches are invisible
+(they never terminate a fetch block), which is the property the stream
+architecture later generalizes to *all not-taken branch instances*.
+
+On an FTB miss the engine falls back to a maximum-length sequential
+fetch block; embedded unconditional controls are fixed at decode
+(bubble + FTQ flush), and newly-taken branches allocate FTB entries at
+commit, splitting any longer block they were embedded in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.branch.history import HistoryRegister
+from repro.branch.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.common.params import MachineParams
+from repro.common.stats import CounterBag
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.ftq import FetchRequest, FetchTargetQueue
+from repro.isa.program import Program
+from repro.isa.trace import DynBlock
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: Maximum fetch-block length in instructions (FTB length field width).
+FTB_MAX_LENGTH = 16
+
+
+class FTBEntry:
+    __slots__ = ("tag", "length", "target", "kind")
+
+    def __init__(self, tag: int, length: int, target: int, kind: BranchKind):
+        self.tag = tag
+        self.length = length
+        self.target = target
+        self.kind = kind
+
+
+class FetchTargetBuffer:
+    """Set-associative FTB: fetch-block start -> (length, target, kind)."""
+
+    def __init__(self, entries: int = 2048, assoc: int = 4) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be divisible by assoc")
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.assoc = assoc
+        self.stats = CounterBag()
+        self._sets: List[List[FTBEntry]] = [[] for _ in range(self.num_sets)]
+        self._mask = self.num_sets - 1
+
+    def _locate(self, addr: int) -> Tuple[List[FTBEntry], int]:
+        word = addr >> 2
+        index = word & self._mask
+        tag = word >> self._mask.bit_length() if self._mask else word
+        return self._sets[index], tag
+
+    def lookup(self, addr: int) -> Optional[FTBEntry]:
+        ways, tag = self._locate(addr)
+        self.stats.add("lookups")
+        for i, entry in enumerate(ways):
+            if entry.tag == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return entry
+        self.stats.add("misses")
+        return None
+
+    def probe(self, addr: int) -> Optional[FTBEntry]:
+        ways, tag = self._locate(addr)
+        for entry in ways:
+            if entry.tag == tag:
+                return entry
+        return None
+
+    def update(self, addr: int, length: int, target: int, kind: BranchKind) -> None:
+        """Allocate/refresh; a shorter block wins (newly-taken split)."""
+        ways, tag = self._locate(addr)
+        for i, entry in enumerate(ways):
+            if entry.tag == tag:
+                if length <= entry.length:
+                    entry.length = length
+                    entry.target = target
+                    entry.kind = kind
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return
+        ways.insert(0, FTBEntry(tag, length, target, kind))
+        self.stats.add("allocations")
+        if len(ways) > self.assoc:
+            ways.pop()
+            self.stats.add("evictions")
+
+
+class FTBFetchEngine(FetchEngine):
+    """Decoupled FTB front-end + perceptron direction predictor."""
+
+    name = "ftb"
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineParams,
+        mem: MemoryHierarchy,
+        perceptron_config: PerceptronConfig | None = None,
+        ftb_entries: int = 2048,
+        ftb_assoc: int = 4,
+        ras_depth: int = 8,
+    ) -> None:
+        super().__init__(program, machine, mem)
+        self.ftb = FetchTargetBuffer(ftb_entries, ftb_assoc)
+        self.predictor = PerceptronPredictor(perceptron_config)
+        self.ras = ReturnAddressStack(ras_depth)
+        self.history = HistoryRegister(
+            (perceptron_config or PerceptronConfig()).global_history_bits
+        )
+        self.ftq = FetchTargetQueue(machine.core.ftq_entries)
+        self.predict_addr = program.entry_address
+        # Commit-side fetch-block reconstruction.
+        self._c_start = program.entry_address
+        self._c_len = 0
+
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+        if self._waiting_resolve:
+            return None
+        # Snapshot the request visible to the cache stage *before* the
+        # prediction stage runs: a request becomes fetchable one cycle
+        # after it was predicted (the decoupling pipeline boundary).
+        request = self.ftq.head()
+        self._predict_stage(now)
+        if now < self._busy_until or request is None:
+            return None
+        return self._fetch_stage(now, request)
+
+    # -- prediction stage ------------------------------------------------
+    def _predict_stage(self, now: int) -> None:
+        if self.ftq.full:
+            return
+        pc = self.predict_addr
+        ckpt_pre = (self.ras.checkpoint(), self.history.spec)
+        entry = self.ftb.lookup(pc)
+        if entry is None:
+            self.stats.add("ftb_misses")
+            length = FTB_MAX_LENGTH
+            nxt = pc + length * INSTRUCTION_BYTES
+            self.ftq.push(FetchRequest(pc, length, None, nxt,
+                                       ckpt_pre=ckpt_pre, is_fallback=True))
+            self.predict_addr = nxt
+            return
+        self.stats.add("ftb_hits")
+        term_pc = pc + (entry.length - 1) * INSTRUCTION_BYTES
+        payload = None
+        kind = entry.kind
+        if kind is BranchKind.NONE:
+            # A maximum-length sequential block: continues at fall-through.
+            nxt = pc + entry.length * INSTRUCTION_BYTES
+            self.ftq.push(FetchRequest(pc, entry.length, None, nxt,
+                                       ckpt_pre=ckpt_pre))
+            self.predict_addr = nxt
+            return
+        if kind is BranchKind.COND:
+            pred, info = self.predictor.predict(term_pc, self.history.spec)
+            self.history.spec_push(pred)
+            payload = ("term", info)
+            nxt = entry.target if pred else term_pc + INSTRUCTION_BYTES
+        elif kind is BranchKind.CALL:
+            self.ras.push(term_pc + INSTRUCTION_BYTES)
+            nxt = entry.target
+        elif kind is BranchKind.RET:
+            nxt = self.ras.pop()
+        else:  # JUMP or IND: stored target
+            nxt = entry.target
+        # Terminal shadow: RAS after its own operation, history before
+        # its own (speculative) outcome push.
+        ckpt = (self.ras.checkpoint(), ckpt_pre[1])
+        self.ftq.push(
+            FetchRequest(pc, entry.length, kind, nxt, payload, ckpt,
+                         ckpt_pre=ckpt_pre)
+        )
+        self.predict_addr = nxt
+
+    # -- instruction cache stage ------------------------------------------
+    def _fetch_stage(
+        self, now: int, request: FetchRequest
+    ) -> Optional[List[FetchedInstr]]:
+        addr = request.start
+        if self._lookup_block(addr) is None:
+            self._waiting_resolve = True
+            return None
+        if not self._fetch_line(now, addr):
+            return None
+        n = min(self.width, self._instrs_to_line_end(addr), request.remaining)
+        controls, avail = scan_run(self.program, addr, n)
+        if avail == 0:
+            self._waiting_resolve = True
+            return None
+        n = min(n, avail)
+        terminal_addr = request.terminal_addr if not request.is_fallback else None
+
+        bundle: List[FetchedInstr] = []
+        cursor = addr
+        end = addr + n * INSTRUCTION_BYTES
+        consumed = 0
+        done_early = False
+
+        ctl_map = {baddr: lb for baddr, lb in controls}
+        while cursor < end:
+            lb = ctl_map.get(cursor)
+            if lb is None:
+                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
+                cursor += INSTRUCTION_BYTES
+                consumed += 1
+                continue
+            kind = lb.kind
+            if cursor == terminal_addr:
+                # The predicted terminal branch of this fetch block.
+                # A stale kind field does not invalidate the target
+                # prediction; follow it and let resolution verify.
+                bundle.append(
+                    (cursor, request.pred_next, request.ckpt, request.payload)
+                )
+                consumed += 1
+                done_early = True
+                break
+            if kind is BranchKind.COND:
+                # Embedded conditional the FTB does not know: implicitly
+                # not taken (it has never been taken).
+                bundle.append(
+                    (cursor, cursor + INSTRUCTION_BYTES,
+                     request.ckpt_pre, None)
+                )
+                cursor += INSTRUCTION_BYTES
+                consumed += 1
+                continue
+            # Unpredicted unconditional control: decode fixup.
+            consumed += 1
+            self._decode_fixup(now, bundle, cursor, lb)
+            done_early = True
+            break
+
+        if done_early:
+            # A decode fixup may already have flushed the queue.
+            if self.ftq.head() is request:
+                self.ftq.pop()
+        elif request.consume(consumed):
+            self.ftq.pop()
+
+        self.stats.add("fetch_cycles")
+        self.stats.add("fetched_instructions", len(bundle))
+        return bundle
+
+    def _decode_fixup(
+        self, now: int, bundle: List[FetchedInstr], cursor: int, lb
+    ) -> None:
+        """Fix an unpredicted JUMP/CALL/RET/IND at decode (bubble + flush)."""
+        kind = lb.kind
+        self.stats.add("decode_redirects")
+        if kind is BranchKind.CALL:
+            self.ras.push(cursor + INSTRUCTION_BYTES)
+            target = lb.target_addr
+        elif kind is BranchKind.JUMP:
+            target = lb.target_addr
+        elif kind is BranchKind.RET:
+            target = self.ras.pop()
+        else:  # IND with no prediction: stall until resolution
+            bundle.append(
+                (cursor, None,
+                 (self.ras.checkpoint(), self.history.spec), None)
+            )
+            self.stats.add("indirect_stalls")
+            self._waiting_resolve = True
+            self.ftq.flush()
+            return
+        ckpt = (self.ras.checkpoint(), self.history.spec)
+        bundle.append((cursor, target, ckpt, None))
+        self.ftq.flush()
+        self.predict_addr = target
+        self._stall(now, self.decode_bubble)
+
+    # ------------------------------------------------------------------
+    def redirect(self, now, correct_addr, ckpt, resolved=None) -> None:
+        self.ftq.flush()
+        self.predict_addr = correct_addr
+        if isinstance(ckpt, tuple):
+            ras_ckpt, hist_snap = ckpt
+            self.ras.restore(ras_ckpt)
+            self.history.spec = hist_snap
+            if resolved is not None and resolved.kind is BranchKind.COND:
+                # Only FTB-visible (fetch-block terminating) branches
+                # belong in the history; a mispredicted conditional is
+                # terminal by definition (it has now been taken, or it
+                # was a predicted terminal that fell through).
+                self.history.spec_push(resolved.taken)
+        else:
+            self.history.recover()
+        self._waiting_resolve = False
+        self._busy_until = now + 1
+        self.stats.add("redirects")
+
+    # ------------------------------------------------------------------
+    def note_commit(
+        self, dyn: DynBlock, payload: object, mispredicted: bool
+    ) -> None:
+        self._c_len += dyn.size
+        if not dyn.kind.is_control:
+            self._spill_sequential_chunks()
+            return
+
+        # The terminal branch must live in the last (<= max-length)
+        # chunk; spill any full sequential chunks before it.
+        while self._c_len > FTB_MAX_LENGTH:
+            self._allocate_sequential_chunk()
+        term_pc = dyn.lb.branch_addr
+        kind = dyn.kind
+        if kind is BranchKind.COND:
+            if dyn.taken:
+                self.ftb.update(self._c_start, self._c_len,
+                                dyn.next_addr, kind)
+                self._train_perceptron(payload, term_pc, True)
+                self.history.commit_push(True)
+                self._c_start = dyn.next_addr
+                self._c_len = 0
+            else:
+                entry = self.ftb.probe(self._c_start)
+                terminal_here = (
+                    entry is not None
+                    and self._c_start
+                    + (entry.length - 1) * INSTRUCTION_BYTES
+                    == term_pc
+                )
+                if terminal_here:
+                    # An ever-taken branch always ends the fetch block,
+                    # even on its not-taken instances.
+                    self._train_perceptron(payload, term_pc, False)
+                    self.history.commit_push(False)
+                    self._c_start = term_pc + INSTRUCTION_BYTES
+                    self._c_len = 0
+                # Otherwise the branch is invisible to the FTB.
+            return
+        # Unconditional controls always terminate the block.
+        self.ftb.update(self._c_start, self._c_len, dyn.next_addr, kind)
+        self._c_start = dyn.next_addr
+        self._c_len = 0
+
+    def _spill_sequential_chunks(self) -> None:
+        """Allocate max-length sequential-continuation entries for runs
+        longer than one fetch block, mirroring fetch-side stepping."""
+        while self._c_len > FTB_MAX_LENGTH:
+            self._allocate_sequential_chunk()
+
+    def _allocate_sequential_chunk(self) -> None:
+        nxt = self._c_start + FTB_MAX_LENGTH * INSTRUCTION_BYTES
+        self.ftb.update(self._c_start, FTB_MAX_LENGTH, nxt, BranchKind.NONE)
+        self._c_start = nxt
+        self._c_len -= FTB_MAX_LENGTH
+
+    def _train_perceptron(self, payload: object, term_pc: int, taken: bool) -> None:
+        if isinstance(payload, tuple) and payload[0] == "term":
+            self.predictor.update(payload[1], taken)
+        else:
+            _, info = self.predictor.predict(term_pc, self.history.commit)
+            self.predictor.update(info, taken)

@@ -1,0 +1,129 @@
+"""The fetch target queue (FTQ) with the Fig. 6 request-update mechanism.
+
+The FTQ decouples the branch/stream/trace predictor from the instruction
+cache (Reinman, Austin & Calder).  Each entry is a fetch request for a
+whole prediction unit — a fetch block for the FTB, a full instruction
+stream for the stream front-end.  Requests larger than one fetch cycle
+are *updated in place*: the start address advances and the remaining
+length shrinks by the number of instructions the cache delivered; the
+queue advances only when the request is exhausted (Fig. 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+
+
+class FetchRequest:
+    """One prediction unit queued for instruction cache access."""
+
+    __slots__ = (
+        "start",
+        "remaining",
+        "terminal_kind",
+        "pred_next",
+        "payload",
+        "ckpt",
+        "ckpt_pre",
+        "is_fallback",
+        "descriptor",
+    )
+
+    def __init__(
+        self,
+        start: int,
+        length: int,
+        terminal_kind: Optional[BranchKind],
+        pred_next: Optional[int],
+        payload: object = None,
+        ckpt: object = None,
+        ckpt_pre: object = None,
+        is_fallback: bool = False,
+        descriptor: object = None,
+    ) -> None:
+        if length < 1:
+            raise ValueError("fetch request must cover at least 1 instruction")
+        self.start = start
+        self.remaining = length
+        self.terminal_kind = terminal_kind
+        self.pred_next = pred_next
+        self.payload = payload
+        #: Recovery checkpoint for the terminal branch (after its own
+        #: RAS operation — shadow-copy semantics).
+        self.ckpt = ckpt
+        #: Recovery checkpoint for *intermediate* branches inside the
+        #: request (before the terminal's speculative operations).
+        self.ckpt_pre = ckpt_pre
+        #: True for sequential-fallback requests (predictor missed).
+        self.is_fallback = is_fallback
+        #: Trace descriptor for trace-cache requests.
+        self.descriptor = descriptor
+
+    @property
+    def terminal_addr(self) -> int:
+        """Address of the request's last instruction."""
+        return self.start + (self.remaining - 1) * INSTRUCTION_BYTES
+
+    def consume(self, n_instructions: int) -> bool:
+        """Fig. 6 update: advance start, shrink length.  True when done."""
+        if n_instructions < 0 or n_instructions > self.remaining:
+            raise ValueError(
+                f"cannot consume {n_instructions} of {self.remaining}"
+            )
+        self.start += n_instructions * INSTRUCTION_BYTES
+        self.remaining -= n_instructions
+        return self.remaining == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = self.terminal_kind.name if self.terminal_kind else "SEQ"
+        return (
+            f"FetchRequest(@{self.start:#x} +{self.remaining} {kind} "
+            f"-> {self.pred_next if self.pred_next is None else hex(self.pred_next)})"
+        )
+
+
+class FetchTargetQueue:
+    """A bounded queue of :class:`FetchRequest` (Table 2: 4 entries)."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("FTQ capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: Deque[FetchRequest] = deque()
+        self.pushes = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def push(self, request: FetchRequest) -> None:
+        if self.full:
+            raise RuntimeError("push into a full FTQ")
+        self._queue.append(request)
+        self.pushes += 1
+
+    def head(self) -> Optional[FetchRequest]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> FetchRequest:
+        return self._queue.popleft()
+
+    def flush(self) -> None:
+        """Squash all queued requests (redirect or decode fixup)."""
+        if self._queue:
+            self.flushes += 1
+            self._queue.clear()
+
+    def occupancy(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,405 @@
+"""The stream fetch engine — the paper's contribution (§3, Fig. 4).
+
+Structure per cycle:
+
+* the **next stream predictor** produces one fetch request per cycle —
+  a whole instruction stream (start address + length + terminating
+  branch type + next stream address) — into the FTQ;
+* the **instruction cache** is driven by FTQ requests, one (very wide)
+  line per cycle, delivering up to ``width`` instructions; requests
+  larger than one access are updated in place (Fig. 6);
+* there is a **single instruction path** and a **single predictor**: on
+  a stream predictor miss the engine falls back to *sequential
+  fetching* — no back-up predictor, no second instruction store.
+
+All branches inside a stream are implicitly predicted not-taken; the
+terminating branch is implicitly taken.  A misprediction does *not*
+roll back the stream: the processor redirects fetch to the correct
+address and the run from there to the next taken branch forms a
+*partial stream* with its own predictor entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.branch.history import PathHistory
+from repro.branch.ras import ReturnAddressStack
+from repro.common.params import MachineParams
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.ftq import FetchRequest, FetchTargetQueue
+from repro.fetch.stream_predictor import (
+    MAX_STREAM_LENGTH,
+    NextStreamPredictor,
+    StreamPredictorConfig,
+    StreamRecord,
+)
+from repro.isa.program import Program
+from repro.isa.trace import DynBlock
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: Instructions per sequential-fallback fetch request.
+SEQUENTIAL_CHUNK = 16
+
+
+def stream_path_key(start: int, length: int, use_length: bool = True) -> int:
+    """Path-history key for one stream.
+
+    A stream "is fully identified by the starting instruction address
+    and the stream length" (§1), so the path register can hash both —
+    this lets the path table count iterations of loops whose body and
+    exit streams share a starting address.
+    """
+    if not use_length:
+        return start
+    return start ^ (length << 20)
+
+
+class StreamFetchEngine(FetchEngine):
+    """Next stream predictor + FTQ + wide-line instruction cache."""
+
+    name = "stream"
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineParams,
+        mem: MemoryHierarchy,
+        predictor_config: StreamPredictorConfig | None = None,
+        ras_depth: int = 8,
+    ) -> None:
+        super().__init__(program, machine, mem)
+        self.predictor = NextStreamPredictor(predictor_config)
+        self.ras = ReturnAddressStack(ras_depth)
+        self._length_keys = self.predictor.config.path_key_includes_length
+        self.path = PathHistory(self.predictor.config.dolc.depth)
+        self.ftq = FetchTargetQueue(machine.core.ftq_entries)
+        self.predict_addr = program.entry_address
+        # Commit-side stream reconstruction.
+        self._s_start = program.entry_address
+        self._s_len = 0
+        self._s_mispredicted = False
+        # Partial streams pending inside the current stream:
+        # (start address, instructions consumed before it).
+        self._s_partials: list = []
+        # After a redirect from a fell-through stream terminal, the next
+        # prediction is a partial stream; its start is not pushed to the
+        # path history (the commit side does not push partials either).
+        self._skip_next_path_push = False
+        # Placeholder value awaiting repair in the speculative path: a
+        # fell-through terminal means the current stream's true length
+        # is unknown until it commits; the placeholder is patched then.
+        self._pending_repair: int | None = None
+        self._repair_counter = 0
+
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+        if self._waiting_resolve:
+            return None
+        request = self.ftq.head()
+        self._predict_stage(now)
+        if now < self._busy_until or request is None:
+            return None
+        return self._fetch_stage(now, request)
+
+    # -- next stream predictor stage ---------------------------------------
+    def _predict_stage(self, now: int) -> None:
+        if self.ftq.full:
+            return
+        pc = self.predict_addr
+        prediction = self.predictor.predict(self.path.spec_view(), pc)
+        if prediction is None:
+            # No stream known here: fall back to sequential fetching
+            # (no back-up predictor in this architecture).  A pending
+            # partial-stream push skip is consumed here too: the partial
+            # is being fetched via fallback and is never pushed.
+            self._skip_next_path_push = False
+            self.stats.add("stream_pred_misses")
+            ckpt_pre = (self.ras.checkpoint(), tuple(self.path.spec), None)
+            nxt = pc + SEQUENTIAL_CHUNK * INSTRUCTION_BYTES
+            self.ftq.push(
+                FetchRequest(pc, SEQUENTIAL_CHUNK, None, nxt,
+                             ckpt_pre=ckpt_pre, is_fallback=True)
+            )
+            self.predict_addr = nxt
+            return
+        self.stats.add("stream_pred_hits")
+        if self._skip_next_path_push:
+            self._skip_next_path_push = False
+        else:
+            self.path.spec_push(stream_path_key(
+                pc, prediction.length, self._length_keys
+            ))
+        kind = prediction.kind
+        ras_pre = self.ras.checkpoint()
+        if kind is BranchKind.RET:
+            nxt = self.ras.pop()
+        elif kind is BranchKind.CALL:
+            self.ras.push(pc + prediction.length * INSTRUCTION_BYTES)
+            nxt = prediction.next_addr
+        else:
+            nxt = prediction.next_addr
+        path_snap = tuple(self.path.spec)
+        # Intermediate branches restore to before the terminal's RAS
+        # operation; the terminal restores to just after its own.  The
+        # stream start rides along so redirects can repair the length
+        # component of the just-pushed path key.
+        ckpt_pre = (ras_pre, path_snap, pc)
+        ckpt = (self.ras.checkpoint(), path_snap, pc)
+        terminal = kind if kind is not BranchKind.NONE else None
+        self.ftq.push(
+            FetchRequest(pc, prediction.length, terminal, nxt, None, ckpt,
+                         ckpt_pre=ckpt_pre)
+        )
+        self.predict_addr = nxt
+
+    # -- instruction cache stage --------------------------------------------
+    def _fetch_stage(
+        self, now: int, request: FetchRequest
+    ) -> Optional[List[FetchedInstr]]:
+        addr = request.start
+        if self._lookup_block(addr) is None:
+            self._waiting_resolve = True
+            return None
+        if not self._fetch_line(now, addr):
+            return None
+        n = min(self.width, self._instrs_to_line_end(addr), request.remaining)
+        controls, avail = scan_run(self.program, addr, n)
+        if avail == 0:
+            self._waiting_resolve = True
+            return None
+        n = min(n, avail)
+        terminal_addr = (
+            request.terminal_addr if request.terminal_kind is not None else None
+        )
+
+        bundle: List[FetchedInstr] = []
+        cursor = addr
+        end = addr + n * INSTRUCTION_BYTES
+        consumed = 0
+        done_early = False
+        ctl_map = {baddr: lb for baddr, lb in controls}
+
+        while cursor < end:
+            lb = ctl_map.get(cursor)
+            at_terminal = cursor == terminal_addr
+            if lb is None:
+                if at_terminal:
+                    # Predicted stream length is stale: there is no
+                    # branch here.  Decode fixes this up — continue
+                    # sequentially and resync the prediction pipeline.
+                    self.stats.add("length_misfetches")
+                    bundle.append(
+                        (cursor, cursor + INSTRUCTION_BYTES, None, None)
+                    )
+                    consumed += 1
+                    self._resync(now, cursor + INSTRUCTION_BYTES)
+                    done_early = True
+                    break
+                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
+                cursor += INSTRUCTION_BYTES
+                consumed += 1
+                continue
+            kind = lb.kind
+            if at_terminal:
+                # The predicted stream terminal.  The stored branch-type
+                # field only drives RAS management; even if it is stale
+                # (kind mismatch), the engine follows its own next-stream
+                # prediction — a wrong target resolves as an ordinary
+                # misprediction.
+                bundle.append(
+                    (cursor, request.pred_next, request.ckpt, request.payload)
+                )
+                consumed += 1
+                done_early = True
+                break
+            if kind is BranchKind.COND:
+                # Intermediate branch: implicitly not taken.
+                bundle.append(
+                    (cursor, cursor + INSTRUCTION_BYTES,
+                     request.ckpt_pre, None)
+                )
+                cursor += INSTRUCTION_BYTES
+                consumed += 1
+                continue
+            # Unconditional control inside the (predicted or fallback)
+            # stream: decode fixup.
+            consumed += 1
+            self._decode_fixup(now, bundle, cursor, lb)
+            done_early = True
+            break
+
+        if done_early:
+            # A decode fixup may already have flushed the queue.
+            if self.ftq.head() is request:
+                self.ftq.pop()
+        elif request.consume(consumed):
+            self.ftq.pop()
+
+        self.stats.add("fetch_cycles")
+        self.stats.add("fetched_instructions", len(bundle))
+        return bundle
+
+    def _decode_fixup(
+        self, now: int, bundle: List[FetchedInstr], cursor: int, lb
+    ) -> None:
+        kind = lb.kind
+        self.stats.add("decode_redirects")
+        if kind is BranchKind.CALL:
+            self.ras.push(cursor + INSTRUCTION_BYTES)
+            target = lb.target_addr
+        elif kind is BranchKind.JUMP:
+            target = lb.target_addr
+        elif kind is BranchKind.RET:
+            target = self.ras.pop()
+        else:  # IND: sequential fetching cannot guess the target
+            bundle.append(
+                (cursor, None,
+                 (self.ras.checkpoint(), tuple(self.path.spec), None), None)
+            )
+            self.stats.add("indirect_stalls")
+            self._waiting_resolve = True
+            self.ftq.flush()
+            return
+        ckpt = (self.ras.checkpoint(), tuple(self.path.spec), None)
+        bundle.append((cursor, target, ckpt, None))
+        self._resync(now, target)
+        self._stall(now, self.decode_bubble)
+
+    def _resync(self, now: int, addr: int) -> None:
+        """Restart the prediction pipeline at ``addr`` (decode fixup).
+
+        The path register keeps its current value: fixups happen during
+        sequential fallback, whose requests never pushed path entries.
+        """
+        self.ftq.flush()
+        self.predict_addr = addr
+
+    # ------------------------------------------------------------------
+    def redirect(self, now, correct_addr, ckpt, resolved=None) -> None:
+        self.ftq.flush()
+        self.predict_addr = correct_addr
+        stream_start = None
+        if isinstance(ckpt, tuple):
+            ras_ckpt, path_snap, stream_start = ckpt
+            self.ras.restore(ras_ckpt)
+            self.path.spec = list(path_snap)
+        else:
+            self.path.recover()
+        # A fell-through predicted terminal starts a *partial* stream at
+        # the redirect address; partial starts are not part of the path
+        # history on either the fetch or the commit side.
+        nt_terminal = (
+            resolved is not None
+            and resolved.kind is BranchKind.COND
+            and not resolved.taken
+        )
+        self._skip_next_path_push = nt_terminal
+        # Repair the current stream's path key: the prediction pushed a
+        # key with the *predicted* length.
+        if (self._length_keys and stream_start is not None
+                and resolved is not None and self.path.spec):
+            if resolved.taken:
+                # The actual stream ended at the resolved branch.
+                actual_len = (
+                    (resolved.lb.branch_addr - stream_start)
+                    // INSTRUCTION_BYTES + 1
+                )
+                if 0 < actual_len <= MAX_STREAM_LENGTH:
+                    self.path.spec[-1] = stream_path_key(
+                        stream_start, actual_len, True
+                    )
+            else:
+                # Length unknown until the stream commits: leave a
+                # placeholder the commit side will patch.  Placeholders
+                # live far outside the code address space so they hash
+                # like ordinary (if meaningless) keys until patched.
+                self._repair_counter += 1
+                placeholder = (0x7F00_0000_0000
+                               | (self._repair_counter & 0xFFFFFF))
+                self.path.spec[-1] = placeholder
+                self._pending_repair = (placeholder, stream_start)
+        self._waiting_resolve = False
+        self._busy_until = now + 1
+        self.stats.add("redirects")
+
+    # ------------------------------------------------------------------
+    def note_commit(
+        self, dyn: DynBlock, payload: object, mispredicted: bool
+    ) -> None:
+        """Reconstruct streams in commit order and train the predictor.
+
+        Not-taken branches are invisible here — the property that gives
+        the stream predictor its low table pressure — with one twist: a
+        *mispredicted* not-taken branch (a predicted stream terminal
+        that fell through) marks the start of a **partial stream** (§1
+        of the paper).  The enclosing long stream is still recorded
+        under its own start address — with the misprediction flag, so
+        the path table learns the exit-path variant — and the partial
+        stream is recorded under the redirect address so recovery
+        fetches hit the predictor immediately.
+        """
+        if not dyn.taken:
+            if mispredicted:
+                self._s_partials.append((dyn.next_addr, self._s_len + dyn.size))
+                self._s_mispredicted = True
+            self._s_len += dyn.size
+            return
+        self._s_len += dyn.size
+        self._s_mispredicted = self._s_mispredicted or mispredicted
+
+        self._record_run(self._s_start, self._s_len, dyn,
+                         self._s_mispredicted, push_history=True)
+        for partial_start, offset in self._s_partials:
+            self._record_run(partial_start, self._s_len - offset, dyn,
+                             mispredicted=False, push_history=False)
+            self.stats.add("partial_streams_committed")
+        self.stats.add("streams_committed")
+        self.stats.add("stream_instructions", self._s_len)
+        self._s_start = dyn.next_addr
+        self._s_len = 0
+        self._s_mispredicted = False
+        self._s_partials.clear()
+
+    def _record_run(
+        self,
+        start: int,
+        length: int,
+        dyn: DynBlock,
+        mispredicted: bool,
+        push_history: bool,
+    ) -> None:
+        """Record one (possibly capped) stream ending at ``dyn``."""
+        if length <= 0:
+            return
+        while length > MAX_STREAM_LENGTH:
+            # Too long for one predictor entry: record a capped,
+            # sequentially-continuing pseudo-stream.
+            record = StreamRecord(
+                start, MAX_STREAM_LENGTH, BranchKind.NONE,
+                start + MAX_STREAM_LENGTH * INSTRUCTION_BYTES,
+            )
+            self.predictor.update(self.path.commit_view(), record, False)
+            if push_history:
+                self.path.commit_push(stream_path_key(
+                    start, MAX_STREAM_LENGTH, self._length_keys
+                ))
+            start += MAX_STREAM_LENGTH * INSTRUCTION_BYTES
+            length -= MAX_STREAM_LENGTH
+        record = StreamRecord(start, length, dyn.kind, dyn.next_addr)
+        self.predictor.update(self.path.commit_view(), record, mispredicted)
+        if push_history:
+            key = stream_path_key(start, length, self._length_keys)
+            self.path.commit_push(key)
+            if self._pending_repair is not None and (
+                    self._pending_repair[1] == start):
+                # Patch the speculative placeholder left by a redirect
+                # from a fell-through terminal of this very stream.
+                try:
+                    idx = self.path.spec.index(self._pending_repair[0])
+                except ValueError:
+                    pass  # already rolled out of the window
+                else:
+                    self.path.spec[idx] = key
+                self._pending_repair = None

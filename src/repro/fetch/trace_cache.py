@@ -1,0 +1,577 @@
+"""The trace cache fetch architecture (§2.2, Fig. 3).
+
+Primary path: a cascaded **next trace predictor** produces a trace
+descriptor per cycle into the FTQ; the **trace cache** (Table 2: 32KB,
+2-way, instruction storage only) supplies the whole trace — crossing
+taken branches — at up to ``width`` instructions per cycle.
+
+Secondary path: on a trace cache miss, the predicted trace is rebuilt
+from the instruction cache one segment (≤ one taken branch) per cycle;
+on a trace *predictor* miss the engine fetches from the instruction
+cache guided by the back-up BTB (Table 2: 1K-entry, 4-way) with 2-bit
+direction counters — the redundant second prediction/storage path whose
+cost the stream architecture avoids.
+
+Traces are built by a fill unit at *commit* (wrong-path instructions
+never enter the trace cache) and capped at 16 instructions / 3
+conditional branches / a return or indirect jump.  **Selective trace
+storage** (Ramirez et al., "red & blue traces") keeps traces out of the
+trace cache unless they cross a taken branch: purely sequential traces
+are served equally well by the instruction cache, so storing them would
+only waste trace cache space.  **Partial matching** is available behind
+a flag but disabled by default — the paper found it counter-productive
+with layout-optimized codes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.history import PathHistory
+from repro.branch.ras import ReturnAddressStack
+from repro.common.params import MachineParams
+from repro.common.stats import CounterBag
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.ftq import FetchRequest, FetchTargetQueue
+from repro.fetch.trace_predictor import (
+    MAX_TRACE_BRANCHES,
+    MAX_TRACE_LENGTH,
+    NextTracePredictor,
+    TraceDescriptor,
+    TracePredictorConfig,
+)
+from repro.isa.program import Program
+from repro.isa.trace import DynBlock
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class TraceStore:
+    """The trace cache proper: set-associative storage of descriptors.
+
+    Indexed by the trace start address; the tag includes the conditional
+    outcome bits, so differently-shaped traces from one start address
+    occupy distinct entries (no path associativity, per the paper's
+    chosen configuration).
+    """
+
+    def __init__(self, entries: int = 512, assoc: int = 2) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be divisible by assoc")
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.assoc = assoc
+        self.stats = CounterBag()
+        self._sets: List[List[TraceDescriptor]] = [
+            [] for _ in range(self.num_sets)
+        ]
+        self._mask = self.num_sets - 1
+
+    def _set_of(self, start: int) -> List[TraceDescriptor]:
+        return self._sets[(start >> 2) & self._mask]
+
+    def lookup(self, descriptor: TraceDescriptor) -> bool:
+        """Exact-identity probe (start + outcomes)."""
+        ways = self._set_of(descriptor.start)
+        self.stats.add("lookups")
+        for i, stored in enumerate(ways):
+            if (stored.start == descriptor.start
+                    and stored.outcomes == descriptor.outcomes):
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return True
+        self.stats.add("misses")
+        return False
+
+    def partial_match(
+        self, descriptor: TraceDescriptor
+    ) -> Optional[TraceDescriptor]:
+        """Longest stored trace from the same start whose outcomes agree
+        with a prefix of the predicted outcomes (partial matching)."""
+        ways = self._set_of(descriptor.start)
+        best: Optional[TraceDescriptor] = None
+        for stored in ways:
+            if stored.start != descriptor.start:
+                continue
+            k = len(stored.outcomes)
+            if descriptor.outcomes[:k] == stored.outcomes:
+                if best is None or stored.length > best.length:
+                    best = stored
+        return best
+
+    def insert(self, descriptor: TraceDescriptor) -> None:
+        ways = self._set_of(descriptor.start)
+        for i, stored in enumerate(ways):
+            if (stored.start == descriptor.start
+                    and stored.outcomes == descriptor.outcomes):
+                ways[i] = descriptor
+                ways.insert(0, ways.pop(i))
+                return
+        ways.insert(0, descriptor)
+        self.stats.add("fills")
+        if len(ways) > self.assoc:
+            ways.pop()
+            self.stats.add("evictions")
+
+
+class _FillBuffer:
+    """Commit-side fill unit assembling traces from retired blocks."""
+
+    def __init__(self) -> None:
+        self.reset(0)
+
+    def reset(self, start: int) -> None:
+        self.start = start
+        self.segments: List[List[int]] = []  # [addr, count] pairs
+        self.outcomes: List[bool] = []
+        self.length = 0
+        self.call_returns: List[int] = []
+        self.mispredicted = False
+
+    @property
+    def empty(self) -> bool:
+        return self.length == 0
+
+    def add_run(self, addr: int, count: int) -> None:
+        if self.empty:
+            self.start = addr
+        if self.segments and (
+            self.segments[-1][0] + self.segments[-1][1] * INSTRUCTION_BYTES
+            == addr
+        ):
+            self.segments[-1][1] += count
+        else:
+            self.segments.append([addr, count])
+        self.length += count
+
+    def finalize(self, terminal_kind: BranchKind, next_addr: int) -> TraceDescriptor:
+        descriptor = TraceDescriptor(
+            start=self.start,
+            outcomes=tuple(self.outcomes),
+            segments=tuple((a, n) for a, n in self.segments),
+            length=self.length,
+            terminal_kind=terminal_kind,
+            next_addr=next_addr,
+            call_returns=tuple(self.call_returns),
+        )
+        self.reset(next_addr)
+        return descriptor
+
+
+class TraceCacheFetchEngine(FetchEngine):
+    """Trace cache + next trace predictor + back-up BTB path."""
+
+    name = "trace"
+
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineParams,
+        mem: MemoryHierarchy,
+        predictor_config: TracePredictorConfig | None = None,
+        tc_entries: int = 512,
+        tc_assoc: int = 2,
+        btb_entries: int = 1024,
+        btb_assoc: int = 4,
+        ras_depth: int = 8,
+        selective_storage: bool = True,
+        partial_matching: bool = False,
+    ) -> None:
+        super().__init__(program, machine, mem)
+        self.predictor = NextTracePredictor(predictor_config)
+        self.trace_cache = TraceStore(tc_entries, tc_assoc)
+        self.btb = BranchTargetBuffer(btb_entries, btb_assoc)
+        self.ras = ReturnAddressStack(ras_depth)
+        self.history = PathHistory(self.predictor.config.dolc.depth)
+        self.ftq = FetchTargetQueue(machine.core.ftq_entries)
+        self.selective_storage = selective_storage
+        self.partial_matching = partial_matching
+        self.predict_addr = program.entry_address
+        self._fill = _FillBuffer()
+        self._fill.reset(program.entry_address)
+        # Progress through the head request's descriptor.
+        self._cur_req: Optional[FetchRequest] = None
+        self._seg_idx = 0
+        self._seg_off = 0
+        self._tc_hit: Optional[bool] = None
+        #: Instructions of the current request still serviceable from a
+        #: partially-matched stored trace (partial matching only).
+        self._prefix_left = 0
+        # Speculative fill tracker: during build-mode fetch the engine
+        # emulates the fill unit's trace boundaries so the speculative
+        # trace-path history stays aligned with the commit-side pushes.
+        self._spec_fill_start = program.entry_address
+        self._spec_fill_len = 0
+        self._spec_fill_conds = 0
+
+    # ------------------------------------------------------------------
+    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+        if self._waiting_resolve:
+            return None
+        request = self.ftq.head()
+        predictor_missed = self._predict_stage(now)
+        if now < self._busy_until:
+            return None
+        if request is not None:
+            return self._trace_fetch_stage(now, request)
+        if predictor_missed and self.ftq.empty:
+            return self._build_fetch_stage(now)
+        return None
+
+    # -- next trace predictor stage -----------------------------------------
+    def _predict_stage(self, now: int) -> bool:
+        """Returns True when the predictor missed this cycle."""
+        if self.ftq.full:
+            return False
+        pc = self.predict_addr
+        descriptor = self.predictor.predict(self.history.spec_view(), pc)
+        if descriptor is None:
+            self.stats.add("trace_pred_misses")
+            return True
+        self.stats.add("trace_pred_hits")
+        ras_pre = self.ras.checkpoint()
+        self.history.spec_push(descriptor.start)
+        hist_snap = tuple(self.history.spec)
+        for return_addr in descriptor.call_returns:
+            self.ras.push(return_addr)
+        if descriptor.terminal_kind is BranchKind.RET:
+            nxt = self.ras.pop()
+        else:
+            nxt = descriptor.next_addr
+        ckpt = (self.ras.checkpoint(), hist_snap)
+        ckpt_pre = (ras_pre, hist_snap)
+        terminal = (
+            descriptor.terminal_kind
+            if descriptor.terminal_kind is not BranchKind.NONE
+            else None
+        )
+        self.ftq.push(
+            FetchRequest(
+                descriptor.start, descriptor.length, terminal, nxt,
+                None, ckpt, ckpt_pre=ckpt_pre, descriptor=descriptor,
+            )
+        )
+        self.predict_addr = nxt
+        self._spec_fill_reset(nxt)
+        return False
+
+    def _spec_fill_reset(self, addr: int) -> None:
+        self._spec_fill_start = addr
+        self._spec_fill_len = 0
+        self._spec_fill_conds = 0
+
+    def _spec_fill_advance(self, count: int, conds: int, next_addr: int,
+                           terminal: bool) -> None:
+        """Emulate fill-unit boundaries for build-mode fetched code."""
+        self._spec_fill_len += count
+        self._spec_fill_conds += conds
+        if (
+            self._spec_fill_len >= MAX_TRACE_LENGTH
+            or self._spec_fill_conds >= MAX_TRACE_BRANCHES
+            or terminal
+        ):
+            self.history.spec_push(self._spec_fill_start)
+            self._spec_fill_reset(next_addr)
+
+    # -- primary path: trace cache / descriptor-guided icache -----------------
+    def _trace_fetch_stage(
+        self, now: int, request: FetchRequest
+    ) -> Optional[List[FetchedInstr]]:
+        if request is not self._cur_req:
+            self._cur_req = request
+            self._seg_idx = 0
+            self._seg_off = 0
+            self._prefix_left = 0
+            descriptor: TraceDescriptor = request.descriptor
+            hit = self.trace_cache.lookup(descriptor)
+            if not hit and self.partial_matching:
+                partial = self.trace_cache.partial_match(descriptor)
+                if partial is not None and partial.interior_taken:
+                    # Serve the stored prefix at trace cache speed; the
+                    # remainder of the predicted trace comes from the
+                    # instruction cache.
+                    self._prefix_left = min(partial.length,
+                                            descriptor.length)
+                    self.stats.add("tc_partial_hits")
+            if hit:
+                self.stats.add("tc_hits")
+            else:
+                self.stats.add("tc_misses")
+            self._tc_hit = hit
+
+        descriptor = request.descriptor
+        if self._tc_hit or self._prefix_left > 0:
+            bundle = self._deliver_from_trace_cache(request, descriptor)
+        else:
+            bundle = self._deliver_from_icache(now, request, descriptor)
+            if bundle is None:
+                return None
+        if not bundle:
+            return None
+        self.stats.add("fetch_cycles")
+        self.stats.add("fetched_instructions", len(bundle))
+        return bundle
+
+    def _deliver_from_trace_cache(
+        self, request: FetchRequest, descriptor: TraceDescriptor
+    ) -> List[FetchedInstr]:
+        """A trace cache (or partial-match prefix) hit: up to ``width``
+        instructions, crossing taken branches freely, no instruction
+        cache involvement."""
+        bundle: List[FetchedInstr] = []
+        budget = self.width
+        if not self._tc_hit:
+            budget = min(budget, self._prefix_left)
+        while budget and self._seg_idx < len(descriptor.segments):
+            seg_addr, seg_len = descriptor.segments[self._seg_idx]
+            addr = seg_addr + self._seg_off * INSTRUCTION_BYTES
+            take = min(budget, seg_len - self._seg_off)
+            bundle.extend(self._emit_run(request, descriptor, addr, take))
+            budget -= take
+            if not self._tc_hit:
+                self._prefix_left -= take
+        self._finish_if_done(request, descriptor)
+        return bundle
+
+    def _deliver_from_icache(
+        self, now: int, request: FetchRequest, descriptor: TraceDescriptor
+    ) -> Optional[List[FetchedInstr]]:
+        """Trace cache miss: rebuild the predicted trace from the
+        instruction cache, one segment chunk per cycle."""
+        seg_addr, seg_len = descriptor.segments[self._seg_idx]
+        addr = seg_addr + self._seg_off * INSTRUCTION_BYTES
+        if self._lookup_block(addr) is None:
+            self._waiting_resolve = True
+            return None
+        if not self._fetch_line(now, addr):
+            return None
+        take = min(
+            self.width,
+            self._instrs_to_line_end(addr),
+            seg_len - self._seg_off,
+        )
+        bundle = list(self._emit_run(request, descriptor, addr, take))
+        self._finish_if_done(request, descriptor)
+        return bundle
+
+    def _emit_run(
+        self,
+        request: FetchRequest,
+        descriptor: TraceDescriptor,
+        addr: int,
+        count: int,
+    ):
+        """Emit ``count`` instructions from the current segment position,
+        assigning per-instruction predicted successors from the trace."""
+        seg_addr, seg_len = descriptor.segments[self._seg_idx]
+        for i in range(count):
+            cursor = addr + i * INSTRUCTION_BYTES
+            self._seg_off += 1
+            at_seg_end = self._seg_off == seg_len
+            last_segment = self._seg_idx == len(descriptor.segments) - 1
+            if at_seg_end and last_segment:
+                pred_next = request.pred_next
+                yield (cursor, pred_next, request.ckpt, request.payload)
+            elif at_seg_end:
+                next_seg_addr = descriptor.segments[self._seg_idx + 1][0]
+                yield (cursor, next_seg_addr, request.ckpt_pre, None)
+            else:
+                yield (cursor, cursor + INSTRUCTION_BYTES,
+                       request.ckpt_pre if self._is_cond(cursor) else None,
+                       None)
+            if at_seg_end:
+                self._seg_idx += 1
+                self._seg_off = 0
+                if not last_segment:
+                    seg_addr, seg_len = descriptor.segments[self._seg_idx]
+
+    def _is_cond(self, addr: int) -> bool:
+        located = self._lookup_block(addr)
+        if located is None:
+            return False
+        lb, _ = located
+        return lb.branch_addr == addr and lb.kind is BranchKind.COND
+
+    def _finish_if_done(
+        self, request: FetchRequest, descriptor: TraceDescriptor
+    ) -> None:
+        if self._seg_idx >= len(descriptor.segments):
+            self.ftq.pop()
+            self._cur_req = None
+            self._tc_hit = None
+
+    # -- secondary path: BTB-guided build fetch --------------------------------
+    def _build_fetch_stage(self, now: int) -> Optional[List[FetchedInstr]]:
+        addr = self.predict_addr
+        if self._lookup_block(addr) is None:
+            self._waiting_resolve = True
+            return None
+        if not self._fetch_line(now, addr):
+            return None
+        window = min(self.width, self._instrs_to_line_end(addr))
+        controls, avail = scan_run(self.program, addr, window)
+        if avail == 0:
+            self._waiting_resolve = True
+            return None
+        window = avail
+
+        bundle: List[FetchedInstr] = []
+        cursor = addr
+        next_fetch: Optional[int] = addr + window * INSTRUCTION_BYTES
+        stalled = False
+        conds = 0
+        terminal_taken = False
+        for baddr, lb in controls:
+            while cursor < baddr:
+                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
+                cursor += INSTRUCTION_BYTES
+            kind = lb.kind
+            entry = self.btb.lookup(baddr)
+            ckpt = (self.ras.checkpoint(), tuple(self.history.spec))
+            if kind is BranchKind.COND:
+                conds += 1
+                taken = entry is not None and entry.predict_taken
+                if taken:
+                    bundle.append((baddr, entry.target, ckpt, None))
+                    next_fetch = entry.target
+                    terminal_taken = True
+                    cursor = None
+                    break
+                bundle.append((baddr, baddr + INSTRUCTION_BYTES, ckpt, None))
+                cursor = baddr + INSTRUCTION_BYTES
+                continue
+            if kind in (BranchKind.JUMP, BranchKind.CALL):
+                if entry is None:
+                    self._stall(now, self.decode_bubble)
+                    self.stats.add("decode_redirects")
+                target = lb.target_addr
+                if kind is BranchKind.CALL:
+                    self.ras.push(baddr + INSTRUCTION_BYTES)
+                bundle.append(
+                    (baddr, target,
+                     (self.ras.checkpoint(), ckpt[1]), None)
+                )
+                next_fetch = target
+                terminal_taken = True
+                cursor = None
+                break
+            if kind is BranchKind.RET:
+                if entry is None:
+                    self._stall(now, self.decode_bubble)
+                    self.stats.add("decode_redirects")
+                target = self.ras.pop()
+                bundle.append(
+                    (baddr, target,
+                     (self.ras.checkpoint(), ckpt[1]), None)
+                )
+                next_fetch = target
+                terminal_taken = True
+                cursor = None
+                break
+            # Indirect.
+            if entry is not None:
+                bundle.append((baddr, entry.target, ckpt, None))
+                next_fetch = entry.target
+                terminal_taken = True
+            else:
+                bundle.append((baddr, None, ckpt, None))
+                self.stats.add("indirect_stalls")
+                self._waiting_resolve = True
+                stalled = True
+            cursor = None
+            break
+
+        if cursor is not None:
+            end = addr + window * INSTRUCTION_BYTES
+            while cursor < end:
+                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
+                cursor += INSTRUCTION_BYTES
+        if not stalled:
+            assert next_fetch is not None
+            self.predict_addr = next_fetch
+            self._spec_fill_advance(
+                len(bundle), conds, next_fetch, terminal_taken
+            )
+        self.stats.add("build_cycles")
+        self.stats.add("fetch_cycles")
+        self.stats.add("fetched_instructions", len(bundle))
+        return bundle
+
+    # ------------------------------------------------------------------
+    def redirect(self, now, correct_addr, ckpt, resolved=None) -> None:
+        self.ftq.flush()
+        self._cur_req = None
+        self._tc_hit = None
+        self.predict_addr = correct_addr
+        if isinstance(ckpt, tuple):
+            ras_ckpt, hist_snap = ckpt
+            self.ras.restore(ras_ckpt)
+            self.history.spec = list(hist_snap)
+        else:
+            self.history.recover()
+        # The fill unit restarts trace selection at the redirect point.
+        self._spec_fill_reset(correct_addr)
+        self._waiting_resolve = False
+        self._busy_until = now + 1
+        self.stats.add("redirects")
+
+    # ------------------------------------------------------------------
+    def note_commit(
+        self, dyn: DynBlock, payload: object, mispredicted: bool
+    ) -> None:
+        kind = dyn.kind
+        if kind.is_control:
+            target = dyn.next_addr if dyn.taken else 0
+            self.btb.update(dyn.lb.branch_addr, target, kind, dyn.taken)
+
+        fill = self._fill
+        fill.mispredicted = fill.mispredicted or mispredicted
+        remaining = dyn.size
+        addr = dyn.addr
+        # Length-capped chunks: a block larger than the remaining trace
+        # space splits the trace at the cap boundary.
+        while remaining:
+            space = MAX_TRACE_LENGTH - fill.length
+            if space == 0:
+                self._finalize_trace(BranchKind.NONE, addr)
+                continue
+            take = min(space, remaining)
+            fill.add_run(addr, take)
+            addr += take * INSTRUCTION_BYTES
+            remaining -= take
+        is_last_chunk_branch = kind.is_control and remaining == 0
+        if not is_last_chunk_branch:
+            return
+
+        if kind is BranchKind.COND:
+            fill.outcomes.append(dyn.taken)
+        elif kind is BranchKind.CALL:
+            fill.call_returns.append(dyn.lb.fallthrough_addr)
+
+        ends_trace = (
+            fill.length >= MAX_TRACE_LENGTH
+            or len(fill.outcomes) >= MAX_TRACE_BRANCHES
+            or kind in (BranchKind.RET, BranchKind.IND)
+            # Trace selection restarts at misprediction redirect points,
+            # so future fetches at this address find a matching trace.
+            or mispredicted
+        )
+        if ends_trace:
+            self._finalize_trace(kind, dyn.next_addr)
+
+    def _finalize_trace(self, terminal_kind: BranchKind, next_addr: int) -> None:
+        fill = self._fill
+        if fill.empty:
+            return
+        mispredicted = fill.mispredicted
+        descriptor = fill.finalize(terminal_kind, next_addr)
+        history_before = list(self.history.commit_view())
+        self.predictor.update(history_before, descriptor, mispredicted)
+        self.history.commit_push(descriptor.start)
+        if descriptor.interior_taken or not self.selective_storage:
+            self.trace_cache.insert(descriptor)
+        else:
+            self.trace_cache.stats.add("selective_skips")
+        self.stats.add("traces_committed")

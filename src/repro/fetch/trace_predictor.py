@@ -1,0 +1,214 @@
+"""The path-based next trace predictor (Jacobson, Rotenberg & Smith).
+
+Cascaded like the stream predictor: a first-level table indexed by the
+current fetch address, and a second-level table indexed by a DOLC hash
+of the recent *trace id* path (Table 2: 1K-entry 4-way first level,
+4K-entry 4-way second level, DOLC 9-4-7-9).  Entries predict the whole
+next trace: start address, embedded conditional-branch outcomes, segment
+layout, terminating branch kind and successor address, guarded by the
+same 2-bit hysteresis replacement counters.
+
+A trace id is (start address, conditional outcome bits); for path
+hashing the id is folded into a single address-like key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.hashing import DolcHasher, DolcSpec, fold_xor
+from repro.common.stats import CounterBag
+from repro.common.types import BranchKind
+
+#: Trace length cap in instructions (one trace cache line).
+MAX_TRACE_LENGTH = 16
+#: Maximum conditional branches per trace (outcome bits stored).
+MAX_TRACE_BRANCHES = 3
+
+
+@dataclass(frozen=True)
+class TraceDescriptor:
+    """A complete trace identity + layout.
+
+    ``segments`` are (address, n_instructions) runs; consecutive
+    segments are separated by taken branches.  ``call_returns`` lists
+    the return addresses pushed by calls inside the trace, in order.
+    """
+
+    start: int
+    outcomes: Tuple[bool, ...]
+    segments: Tuple[Tuple[int, int], ...]
+    length: int
+    terminal_kind: BranchKind  # NONE when the trace ends by length cap
+    next_addr: int
+    call_returns: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("trace must have at least one segment")
+        if self.length != sum(n for _, n in self.segments):
+            raise ValueError("trace length does not match its segments")
+        if len(self.outcomes) > MAX_TRACE_BRANCHES:
+            raise ValueError("too many conditional outcomes in trace")
+
+    @property
+    def outcome_bits(self) -> int:
+        bits = 0
+        for outcome in self.outcomes:
+            bits = (bits << 1) | int(outcome)
+        return bits
+
+    @property
+    def key(self) -> int:
+        """Address-like key folding identity for path hashing / tags."""
+        return self.start ^ (self.outcome_bits << 3) ^ (len(self.outcomes) << 1)
+
+    @property
+    def interior_taken(self) -> bool:
+        """True when the trace crosses a taken branch (a "red" trace)."""
+        return len(self.segments) > 1
+
+
+@dataclass(frozen=True)
+class TracePredictorConfig:
+    first_entries: int = 1024
+    first_assoc: int = 4
+    second_entries: int = 4096
+    second_assoc: int = 4
+    dolc: DolcSpec = DolcSpec(depth=9, older_bits=4, last_bits=7, current_bits=9)
+
+    @property
+    def first_sets(self) -> int:
+        return self.first_entries // self.first_assoc
+
+    @property
+    def second_sets(self) -> int:
+        return self.second_entries // self.second_assoc
+
+
+class _Entry:
+    __slots__ = ("tag", "descriptor", "counter")
+
+    def __init__(self, tag: int, descriptor: TraceDescriptor) -> None:
+        self.tag = tag
+        self.descriptor = descriptor
+        self.counter = 1
+
+
+class _TraceTable:
+    """Set-associative descriptor table with hysteresis replacement."""
+
+    def __init__(self, sets: int, assoc: int) -> None:
+        if sets & (sets - 1):
+            raise ValueError("set count must be a power of two")
+        self.sets = sets
+        self.assoc = assoc
+        self._sets: List[List[_Entry]] = [[] for _ in range(sets)]
+
+    def lookup(self, index: int, tag: int) -> Optional[_Entry]:
+        ways = self._sets[index & (self.sets - 1)]
+        for i, entry in enumerate(ways):
+            if entry.tag == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return entry
+        return None
+
+    def present(self, index: int, tag: int) -> bool:
+        ways = self._sets[index & (self.sets - 1)]
+        return any(entry.tag == tag for entry in ways)
+
+    def update(self, index: int, tag: int, descriptor: TraceDescriptor,
+               allow_allocate: bool) -> None:
+        ways = self._sets[index & (self.sets - 1)]
+        for i, entry in enumerate(ways):
+            if entry.tag == tag:
+                if entry.descriptor == descriptor:
+                    if entry.counter < 3:
+                        entry.counter += 1
+                elif entry.counter == 0:
+                    entry.descriptor = descriptor
+                    entry.counter = 1
+                else:
+                    entry.counter -= 1
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return
+        if not allow_allocate:
+            return
+        if len(ways) < self.assoc:
+            ways.insert(0, _Entry(tag, descriptor))
+            return
+        # Replace the weakest entry (counter, then LRU) — the hysteresis
+        # counter is the replacement metric.
+        victim = min(
+            range(len(ways)), key=lambda i: (ways[i].counter, -i)
+        )
+        entry = ways.pop(victim)
+        entry.tag = tag
+        entry.descriptor = descriptor
+        entry.counter = 1
+        ways.insert(0, entry)
+
+
+class NextTracePredictor:
+    """Cascaded next trace predictor over trace-id path history."""
+
+    def __init__(self, config: TracePredictorConfig | None = None) -> None:
+        self.config = config or TracePredictorConfig()
+        cfg = self.config
+        self._t1 = _TraceTable(cfg.first_sets, cfg.first_assoc)
+        self._t2 = _TraceTable(cfg.second_sets, cfg.second_assoc)
+        self._t1_bits = cfg.first_sets.bit_length() - 1
+        self._hasher = DolcHasher(cfg.dolc, cfg.second_sets.bit_length() - 1)
+        self.stats = CounterBag()
+
+    def _t1_index_tag(self, addr: int) -> Tuple[int, int]:
+        word = addr >> 2
+        return fold_xor(word, self._t1_bits), word >> self._t1_bits
+
+    def _t2_index_tag(self, history: Sequence[int], addr: int) -> Tuple[int, int]:
+        return self._hasher.index(history, addr), self._hasher.tag(history, addr)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, history: Sequence[int], fetch_addr: int
+    ) -> Optional[TraceDescriptor]:
+        """Predict the trace starting at ``fetch_addr``; path hit wins."""
+        i1, t1 = self._t1_index_tag(fetch_addr)
+        e1 = self._t1.lookup(i1, t1)
+        i2, t2 = self._t2_index_tag(history, fetch_addr)
+        e2 = self._t2.lookup(i2, t2)
+        self.stats.add("lookups")
+        entry = e2 or e1
+        if entry is None:
+            self.stats.add("misses")
+            return None
+        if entry.descriptor.start != fetch_addr:
+            # Aliased entry describing a different location: unusable.
+            self.stats.add("alias_rejects")
+            return None
+        if e2 is not None:
+            self.stats.add("path_hits")
+        else:
+            self.stats.add("address_hits")
+        return entry.descriptor
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        history: Sequence[int],
+        descriptor: TraceDescriptor,
+        mispredicted: bool,
+    ) -> None:
+        """Commit-time update (same allocation/upgrade rules as streams)."""
+        i1, t1 = self._t1_index_tag(descriptor.start)
+        i2, t2 = self._t2_index_tag(history, descriptor.start)
+        in_t1 = self._t1.present(i1, t1)
+        in_t2 = self._t2.present(i2, t2)
+        first_appearance = not in_t1 and not in_t2
+        self._t1.update(i1, t1, descriptor, allow_allocate=True)
+        allow_t2 = in_t2 or first_appearance or mispredicted
+        self._t2.update(i2, t2, descriptor, allow_allocate=allow_t2)
+        self.stats.add("updates")

@@ -1,0 +1,34 @@
+"""Synthetic ISA substrate: CFGs, behaviours, layout, programs, traces."""
+
+from repro.isa.cfg import BasicBlock, Function, ControlFlowGraph
+from repro.isa.program import Program, LinearBlock, link
+from repro.isa.layout import natural_order, optimized_order
+from repro.isa.trace import TraceWalker, DynBlock, profile_edges
+from repro.isa.workloads import (
+    WorkloadSpec,
+    SPEC_BENCHMARKS,
+    build_benchmark,
+    benchmark_spec,
+)
+from repro.isa.streams import Stream, extract_streams, stream_statistics
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "ControlFlowGraph",
+    "Program",
+    "LinearBlock",
+    "link",
+    "natural_order",
+    "optimized_order",
+    "TraceWalker",
+    "DynBlock",
+    "profile_edges",
+    "WorkloadSpec",
+    "SPEC_BENCHMARKS",
+    "build_benchmark",
+    "benchmark_spec",
+    "Stream",
+    "extract_streams",
+    "stream_statistics",
+]

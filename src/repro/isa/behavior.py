@@ -1,0 +1,307 @@
+"""Branch behaviour models.
+
+The dynamic behaviour of every conditional branch and indirect jump in a
+synthetic workload is described by a small state machine attached to its
+basic block.  Behaviours are sampled during the CFG walk that produces
+the dynamic trace; they are *layout-invariant* — they decide between CFG
+successors (``True`` selects ``succ_true``), never between ISA
+taken/not-taken, so the same program behaves identically under the
+baseline and optimized code layouts.
+
+The mix of behaviour classes is what gives the branch predictors
+something realistic to chew on:
+
+* :class:`Bernoulli` — statically biased branches (the bread and butter
+  of integer codes; a predictor can do no better than the majority).
+* :class:`LoopTrip` — loop back-edges with a trip-count distribution;
+  short trips are capturable by history predictors.
+* :class:`Pattern` — periodic branches (fully predictable with enough
+  history).
+* :class:`GlobalCorrelated` — outcome is a parity function of recent
+  conditional outcomes (what gshare-style global-history predictors are
+  built to capture).
+* :class:`PathCorrelated` — outcome is a function of the recent *block
+  path*, which path-based predictors (the stream and trace predictors'
+  second-level tables) capture more directly than outcome-history ones.
+* :class:`IndirectChooser` — weighted / phase-switching target selection
+  for indirect jumps.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, Dict, List, Sequence
+
+
+class WalkContext:
+    """Shared dynamic state threaded through a CFG walk.
+
+    Holds the RNG, a global shift register of recent conditional
+    outcomes, a short path history of recently executed blocks, and
+    per-branch private state (loop counters, pattern cursors).
+    """
+
+    __slots__ = ("rng", "global_history", "path_history", "_states")
+
+    #: How many recent conditional outcomes the global register keeps.
+    HISTORY_BITS = 32
+    #: How many recent block ids the path register keeps.
+    PATH_DEPTH = 16
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.global_history: int = 0
+        self.path_history: Deque[int] = deque(maxlen=self.PATH_DEPTH)
+        self._states: Dict[int, dict] = {}
+
+    def state_for(self, key: int) -> dict:
+        """Mutable private state for the branch identified by ``key``."""
+        state = self._states.get(key)
+        if state is None:
+            state = {}
+            self._states[key] = state
+        return state
+
+    def record_outcome(self, outcome: bool) -> None:
+        """Push a conditional outcome into the global shift register."""
+        mask = (1 << self.HISTORY_BITS) - 1
+        self.global_history = ((self.global_history << 1) | int(outcome)) & mask
+
+    def record_block(self, bid: int) -> None:
+        """Record an executed block id in the path register."""
+        self.path_history.append(bid)
+
+
+class BranchBehavior(ABC):
+    """Decides CFG-level outcomes for one static branch."""
+
+    @abstractmethod
+    def sample(self, ctx: WalkContext, key: int) -> bool:
+        """Return ``True`` to follow ``succ_true``, ``False`` otherwise.
+
+        ``key`` identifies the static branch so the behaviour can keep
+        per-branch state in the context.
+        """
+
+    def expected_true_rate(self) -> float:
+        """Approximate long-run probability of sampling ``True``.
+
+        Used by the analytical edge-profile fallback and by tests; the
+        default is refined by subclasses.
+        """
+        return 0.5
+
+
+class Bernoulli(BranchBehavior):
+    """Independent coin flips with fixed probability of ``True``."""
+
+    __slots__ = ("p_true",)
+
+    def __init__(self, p_true: float) -> None:
+        if not 0.0 <= p_true <= 1.0:
+            raise ValueError(f"p_true out of range: {p_true}")
+        self.p_true = p_true
+
+    def sample(self, ctx: WalkContext, key: int) -> bool:
+        return ctx.rng.random() < self.p_true
+
+    def expected_true_rate(self) -> float:
+        return self.p_true
+
+    def __repr__(self) -> str:
+        return f"Bernoulli({self.p_true:.3f})"
+
+
+class LoopTrip(BranchBehavior):
+    """A loop back-edge: ``True`` continues the loop, ``False`` exits.
+
+    Each time the loop is entered, a fresh trip count is drawn from a
+    geometric-ish distribution around ``mean_trip`` (optionally jittered);
+    the back-edge then answers ``True`` exactly ``trip - 1`` times.
+    """
+
+    __slots__ = ("mean_trip", "jitter")
+
+    def __init__(self, mean_trip: float, jitter: float = 0.3) -> None:
+        if mean_trip < 1.0:
+            raise ValueError("mean_trip must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.mean_trip = mean_trip
+        self.jitter = jitter
+
+    def _draw_trip(self, rng: random.Random) -> int:
+        if self.jitter == 0.0:
+            return max(1, round(self.mean_trip))
+        spread = self.mean_trip * self.jitter
+        trip = rng.gauss(self.mean_trip, spread)
+        return max(1, round(trip))
+
+    def sample(self, ctx: WalkContext, key: int) -> bool:
+        state = ctx.state_for(key)
+        remaining = state.get("remaining")
+        if remaining is None or remaining <= 0:
+            remaining = self._draw_trip(ctx.rng)
+        if remaining > 1:
+            state["remaining"] = remaining - 1
+            return True
+        state["remaining"] = 0
+        return False
+
+    def expected_true_rate(self) -> float:
+        return max(0.0, 1.0 - 1.0 / self.mean_trip)
+
+    def __repr__(self) -> str:
+        return f"LoopTrip(mean={self.mean_trip:.1f})"
+
+
+class Pattern(BranchBehavior):
+    """Deterministic periodic outcomes, e.g. ``TTNTTN...``."""
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: Sequence[bool]) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = tuple(bool(x) for x in pattern)
+
+    def sample(self, ctx: WalkContext, key: int) -> bool:
+        state = ctx.state_for(key)
+        cursor = state.get("cursor", 0)
+        state["cursor"] = (cursor + 1) % len(self.pattern)
+        return self.pattern[cursor]
+
+    def expected_true_rate(self) -> float:
+        return sum(self.pattern) / len(self.pattern)
+
+    def __repr__(self) -> str:
+        bits = "".join("T" if b else "N" for b in self.pattern)
+        return f"Pattern({bits})"
+
+
+class GlobalCorrelated(BranchBehavior):
+    """Outcome = parity of masked recent conditional outcomes, plus noise.
+
+    ``mask`` selects bits of the global outcome shift register (bit 0 is
+    the most recent outcome).  ``noise`` flips the result independently
+    with the given probability, bounding achievable accuracy.
+    """
+
+    __slots__ = ("mask", "noise", "invert")
+
+    def __init__(self, mask: int, noise: float = 0.02, invert: bool = False) -> None:
+        if mask <= 0:
+            raise ValueError("mask must select at least one bit")
+        if not 0.0 <= noise <= 0.5:
+            raise ValueError("noise must be in [0, 0.5]")
+        self.mask = mask
+        self.noise = noise
+        self.invert = invert
+
+    def sample(self, ctx: WalkContext, key: int) -> bool:
+        parity = bin(ctx.global_history & self.mask).count("1") & 1
+        outcome = bool(parity) ^ self.invert
+        if self.noise and ctx.rng.random() < self.noise:
+            outcome = not outcome
+        return outcome
+
+    def expected_true_rate(self) -> float:
+        return 0.5
+
+    def __repr__(self) -> str:
+        return f"GlobalCorrelated(mask={self.mask:#x}, noise={self.noise})"
+
+
+class PathCorrelated(BranchBehavior):
+    """Outcome depends on which blocks were executed recently.
+
+    The outcome is a hash-parity of the ``depth`` most recent block ids.
+    Path-history predictors observe (a hash of) this same information
+    directly, while outcome-history predictors see it only through the
+    noisy lens of recent branch outcomes.
+    """
+
+    __slots__ = ("depth", "salt", "noise")
+
+    def __init__(self, depth: int = 4, salt: int = 0, noise: float = 0.02) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if not 0.0 <= noise <= 0.5:
+            raise ValueError("noise must be in [0, 0.5]")
+        self.depth = depth
+        self.salt = salt
+        self.noise = noise
+
+    def sample(self, ctx: WalkContext, key: int) -> bool:
+        acc = self.salt
+        history = ctx.path_history
+        take = min(self.depth, len(history))
+        for i in range(len(history) - take, len(history)):
+            acc = (acc * 1000003 + history[i]) & 0xFFFFFFFF
+        outcome = bool((acc >> 7) & 1)
+        if self.noise and ctx.rng.random() < self.noise:
+            outcome = not outcome
+        return outcome
+
+    def expected_true_rate(self) -> float:
+        return 0.5
+
+    def __repr__(self) -> str:
+        return f"PathCorrelated(depth={self.depth}, salt={self.salt})"
+
+
+class IndirectChooser:
+    """Target selection for an indirect jump.
+
+    Chooses among ``len(weights)`` successor slots.  Selection is
+    weighted, with optional *phases*: the jump favours one dominant slot
+    for a stretch of executions, then switches — mimicking interpreter
+    dispatch loops and virtual-call sites with phase behaviour.
+    """
+
+    __slots__ = ("weights", "phase_length", "_cumulative")
+
+    def __init__(self, weights: Sequence[float], phase_length: int = 0) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.weights = [w / total for w in weights]
+        self.phase_length = phase_length
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in self.weights:
+            acc += w
+            cumulative.append(acc)
+        self._cumulative = cumulative
+
+    def choose(self, ctx: WalkContext, key: int) -> int:
+        """Return the index of the chosen successor slot."""
+        if self.phase_length:
+            state = ctx.state_for(key)
+            remaining = state.get("phase_remaining", 0)
+            if remaining <= 0:
+                state["phase_target"] = self._weighted_draw(ctx.rng)
+                state["phase_remaining"] = max(
+                    1, round(ctx.rng.expovariate(1.0 / self.phase_length))
+                )
+            state["phase_remaining"] -= 1
+            # Inside a phase, mostly stick to the phase target.
+            if ctx.rng.random() < 0.9:
+                return state["phase_target"]
+        return self._weighted_draw(ctx.rng)
+
+    def _weighted_draw(self, rng: random.Random) -> int:
+        x = rng.random()
+        for i, edge in enumerate(self._cumulative):
+            if x < edge:
+                return i
+        return len(self._cumulative) - 1
+
+    def __repr__(self) -> str:
+        return f"IndirectChooser(n={len(self.weights)}, phase={self.phase_length})"

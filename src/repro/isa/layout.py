@@ -1,0 +1,180 @@
+"""Code layout: baseline ordering and profile-guided optimization.
+
+The paper evaluates every fetch architecture on two binaries per
+benchmark: a *baseline* layout (what a compiler emits without profile
+data) and a *layout optimized* binary produced by the ``spike`` binary
+optimizer from a ``train``-input profile.  We reproduce both:
+
+* :func:`natural_order` — source order: functions in creation order,
+  blocks in creation order.  Hot `else` sides and inline cold code leave
+  many frequently-taken branches and a sparse I-cache footprint.
+* :func:`optimized_order` — a Pettis–Hansen-style bottom-up chaining of
+  basic blocks along hot edges, per function, followed by hot/cold chain
+  splitting (cold chains are exiled to the end of the image) and hot-first
+  function ordering.  The effect is the one the paper relies on: branches
+  align towards not-taken, sequential runs (streams) grow long, and
+  useful code packs densely into cache lines.
+
+Edge profiles come from :func:`repro.isa.trace.profile_edges`, collected
+with a *different seed* than the evaluation run (the train/ref input
+split of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.common.types import BranchKind
+from repro.isa.cfg import ControlFlowGraph
+
+EdgeProfile = Mapping[Tuple[int, int], int]
+
+
+def natural_order(cfg: ControlFlowGraph) -> List[int]:
+    """Creation order, grouped by function — the unoptimized layout."""
+    order: List[int] = []
+    for func in cfg.functions:
+        order.extend(func.bids)
+    return order
+
+
+def optimized_order(cfg: ControlFlowGraph, profile: EdgeProfile) -> List[int]:
+    """Profile-guided block chaining + hot/cold splitting + function order."""
+    block_weight = _block_weights(cfg, profile)
+
+    hot_section: List[int] = []
+    cold_section: List[int] = []
+    func_rank: List[Tuple[float, int, List[int], List[int]]] = []
+
+    for func in cfg.functions:
+        chains = _build_chains(cfg, func.bids, profile)
+        hot, cold = _split_chains(
+            chains, block_weight, entry_bid=func.entry
+        )
+        weight = float(sum(block_weight[b] for b in func.bids))
+        func_rank.append((weight, func.fid, hot, cold))
+
+    entry_fid = cfg.block(cfg.entry_bid).func_id if cfg.entry_bid is not None else 0
+    # Entry function first, then hottest functions first; creation order
+    # breaks ties so the layout is deterministic.
+    func_rank.sort(key=lambda item: (item[1] != entry_fid, -item[0], item[1]))
+    for _, _, hot, cold in func_rank:
+        hot_section.extend(hot)
+        cold_section.extend(cold)
+    return hot_section + cold_section
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+def _block_weights(
+    cfg: ControlFlowGraph, profile: EdgeProfile
+) -> Dict[int, int]:
+    """Execution counts per block, from incoming profiled edges."""
+    weight: Dict[int, int] = defaultdict(int)
+    for (src, dst), count in profile.items():
+        weight[dst] += count
+        weight[src] += 0  # make sure sources appear even if never entered
+    if cfg.entry_bid is not None:
+        weight[cfg.entry_bid] += 1  # the entry is executed at least once
+    return weight
+
+
+def _build_chains(
+    cfg: ControlFlowGraph,
+    bids: Sequence[int],
+    profile: EdgeProfile,
+) -> List[List[int]]:
+    """Pettis–Hansen bottom-up chaining restricted to one function.
+
+    Fall-through-capable edges (COND/NONE/CALL false edges and COND true
+    edges) are considered in decreasing weight order; two chains merge
+    when the edge connects the tail of one to the head of the other.
+    """
+    in_function = set(bids)
+    chain_of: Dict[int, List[int]] = {bid: [bid] for bid in bids}
+
+    candidates: List[Tuple[int, int, int]] = []
+    for (src, dst), count in profile.items():
+        if count <= 0 or src not in in_function or dst not in in_function:
+            continue
+        block = cfg.block(src)
+        # Only edges that *can* become fall-throughs are useful to chain.
+        if block.kind in (BranchKind.NONE, BranchKind.COND, BranchKind.CALL):
+            if dst in (block.succ_true, block.succ_false):
+                if block.kind is BranchKind.CALL and dst != block.succ_false:
+                    continue  # the call target cannot fall through
+                candidates.append((count, src, dst))
+    # Deterministic order: heavy edges first, ties by block ids.
+    candidates.sort(key=lambda e: (-e[0], e[1], e[2]))
+
+    for _, src, dst in candidates:
+        chain_a = chain_of[src]
+        chain_b = chain_of[dst]
+        if chain_a is chain_b:
+            continue
+        if chain_a[-1] != src or chain_b[0] != dst:
+            continue  # src must be a tail and dst a head
+        chain_a.extend(chain_b)
+        for bid in chain_b:
+            chain_of[bid] = chain_a
+
+    seen = set()
+    chains: List[List[int]] = []
+    for bid in bids:
+        chain = chain_of[bid]
+        head = id(chain)
+        if head not in seen:
+            seen.add(head)
+            chains.append(chain)
+    return chains
+
+
+def _split_chains(
+    chains: List[List[int]],
+    block_weight: Mapping[int, int],
+    entry_bid: int,
+) -> Tuple[List[int], List[int]]:
+    """Order chains hot-first; never-executed chains go to the cold side."""
+    entry_chain: List[int] | None = None
+    scored: List[Tuple[int, List[int]]] = []
+    for chain in chains:
+        if entry_bid in chain:
+            entry_chain = chain
+            continue
+        weight = max(block_weight.get(bid, 0) for bid in chain)
+        scored.append((weight, chain))
+    scored.sort(key=lambda item: (-item[0], item[1][0]))
+
+    hot: List[int] = []
+    cold: List[int] = []
+    if entry_chain is not None:
+        hot.extend(entry_chain)
+    for weight, chain in scored:
+        if weight > 0:
+            hot.extend(chain)
+        else:
+            cold.extend(chain)
+    return hot, cold
+
+
+def layout_quality(
+    cfg: ControlFlowGraph, order: Sequence[int], profile: EdgeProfile
+) -> float:
+    """Fraction of profiled control transfers that became fall-throughs.
+
+    A cheap layout metric used by tests and the layout example: higher is
+    better, and the optimized layout must beat the natural one on it.
+    """
+    position = {bid: i for i, bid in enumerate(order)}
+    fallthrough = 0
+    total = 0
+    for (src, dst), count in profile.items():
+        total += count
+        if position.get(dst, -2) == position.get(src, -4) + 1:
+            fallthrough += count
+    if total == 0:
+        return 0.0
+    return fallthrough / total

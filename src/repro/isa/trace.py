@@ -1,0 +1,169 @@
+"""Dynamic execution: CFG-level profiling and ISA-level trace walking.
+
+Two walkers share the behaviour machinery:
+
+* :func:`profile_edges` walks the CFG at block granularity (no layout
+  needed) to collect the edge profile used by the optimized layout — the
+  paper's ``train`` input.
+* :class:`TraceWalker` walks a linked :class:`~repro.isa.program.Program`
+  and yields :class:`DynBlock` records — the paper's ``ref`` input trace
+  that drives the simulator.
+
+Behaviours decide between *CFG successors*, so a given seed produces the
+same CFG-level path under any layout; only the ISA-level taken/not-taken
+view differs.  This mirrors how relinking a binary does not change its
+program semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.types import BranchKind
+from repro.isa.behavior import WalkContext
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.program import LinearBlock, Program
+
+
+class DynBlock:
+    """One dynamic basic-block execution in the trace."""
+
+    __slots__ = ("lb", "taken", "next_addr")
+
+    def __init__(self, lb: LinearBlock, taken: bool, next_addr: int) -> None:
+        self.lb = lb
+        self.taken = taken
+        self.next_addr = next_addr
+
+    @property
+    def addr(self) -> int:
+        return self.lb.addr
+
+    @property
+    def size(self) -> int:
+        return self.lb.size
+
+    @property
+    def kind(self) -> BranchKind:
+        return self.lb.kind
+
+    @property
+    def target_addr(self) -> int:
+        """Where control went when ``taken`` (== ``next_addr`` then)."""
+        return self.next_addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        arrow = "T" if self.taken else "N"
+        return f"DynBlock(@{self.addr:#x}+{self.size} {self.kind.name} {arrow})"
+
+
+def profile_edges(
+    cfg: ControlFlowGraph, seed: int, n_blocks: int
+) -> Dict[Tuple[int, int], int]:
+    """Walk ``n_blocks`` dynamic blocks; count (src, dst) edge traversals."""
+    cfg.validate()
+    ctx = WalkContext(seed)
+    stack: List[int] = []
+    edges: Dict[Tuple[int, int], int] = defaultdict(int)
+    current = cfg.entry_bid
+    assert current is not None
+
+    for _ in range(n_blocks):
+        block = cfg.block(current)
+        ctx.record_block(current)
+        kind = block.kind
+        if kind is BranchKind.NONE:
+            nxt = block.succ_false
+        elif kind is BranchKind.COND:
+            cond = block.behavior.sample(ctx, block.bid)
+            ctx.record_outcome(cond)
+            nxt = block.succ_true if cond else block.succ_false
+        elif kind is BranchKind.JUMP:
+            nxt = block.succ_true
+        elif kind is BranchKind.CALL:
+            stack.append(block.succ_false)
+            nxt = block.succ_true
+        elif kind is BranchKind.RET:
+            nxt = stack.pop() if stack else cfg.entry_bid
+        else:  # IND
+            slot = block.ind_chooser.choose(ctx, block.bid)
+            nxt = block.ind_targets[slot]
+        edges[(current, nxt)] += 1
+        current = nxt
+    return dict(edges)
+
+
+class TraceWalker:
+    """Iterates the dynamic execution of a linked program.
+
+    The walker is the simulator's oracle: it knows the true path.  The
+    call stack holds ISA return addresses, so returns land on whatever
+    the layout placed after the call (possibly a stub).  A return with an
+    empty stack restarts at the program entry — synthetic main functions
+    loop forever, so this only guards against malformed workloads.
+    """
+
+    def __init__(self, program: Program, seed: int) -> None:
+        self.program = program
+        self.ctx = WalkContext(seed)
+        self.stack: List[int] = []
+        self._current: Optional[LinearBlock] = program.block_starting_at(
+            program.entry_address
+        )
+        if self._current is None:
+            raise ValueError("program entry address does not start a block")
+        self.blocks_walked = 0
+        self.instructions_walked = 0
+
+    def __iter__(self) -> Iterator[DynBlock]:
+        return self
+
+    def __next__(self) -> DynBlock:
+        lb = self._current
+        if lb is None:
+            raise StopIteration
+        record = self._step(lb)
+        nxt = self.program.block_starting_at(record.next_addr)
+        if nxt is None:
+            raise RuntimeError(
+                f"control transfer to non-block address {record.next_addr:#x}"
+            )
+        self._current = nxt
+        self.blocks_walked += 1
+        self.instructions_walked += lb.size
+        return record
+
+    def _step(self, lb: LinearBlock) -> DynBlock:
+        program = self.program
+        ctx = self.ctx
+        kind = lb.kind
+        if lb.origin is not None:
+            ctx.record_block(lb.origin)
+
+        if kind is BranchKind.NONE:
+            return DynBlock(lb, False, lb.fallthrough_addr)
+        if kind is BranchKind.JUMP:
+            return DynBlock(lb, True, lb.target_addr)
+        if kind is BranchKind.CALL:
+            self.stack.append(lb.fallthrough_addr)
+            return DynBlock(lb, True, lb.target_addr)
+        if kind is BranchKind.RET:
+            if self.stack:
+                target = self.stack.pop()
+            else:
+                target = program.entry_address
+            return DynBlock(lb, True, target)
+        if kind is BranchKind.IND:
+            block = program.cfg.block(lb.origin)
+            slot = block.ind_chooser.choose(ctx, block.bid)
+            return DynBlock(lb, True, lb.ind_target_addrs[slot])
+
+        # Conditional: behaviour decides the CFG successor; the layout
+        # decides whether reaching it is an ISA taken or a fall-through.
+        block = program.cfg.block(lb.origin)
+        cond = block.behavior.sample(ctx, block.bid)
+        ctx.record_outcome(cond)
+        taken = cond if lb.taken_means_true else not cond
+        next_addr = lb.target_addr if taken else lb.fallthrough_addr
+        return DynBlock(lb, taken, next_addr)

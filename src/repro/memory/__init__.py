@@ -1,0 +1,6 @@
+"""Memory hierarchy substrate: set-associative caches and latencies."""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy"]

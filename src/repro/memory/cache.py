@@ -1,0 +1,100 @@
+"""A classic set-associative cache with true-LRU replacement.
+
+Used for the L1 instruction cache (with the very wide lines the stream
+architecture relies on, §3.4), the L1 data cache, the unified L2, and as
+the storage array of the trace cache (which indexes by trace id rather
+than address, but shares the geometry/LRU mechanics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.params import CacheParams
+from repro.common.stats import CounterBag
+
+
+class Cache:
+    """Set-associative LRU cache keyed by line address.
+
+    ``access`` combines probe + fill (the common case in a simulator);
+    ``probe`` and ``fill`` are exposed separately for engines that need
+    to model a miss without immediately filling (e.g. selective trace
+    storage deciding not to insert).
+    """
+
+    __slots__ = ("params", "name", "stats", "_sets", "_offset_bits", "_index_mask")
+
+    def __init__(self, params: CacheParams, name: str = "cache") -> None:
+        self.params = params
+        self.name = name
+        self.stats = CounterBag()
+        # Each set is an MRU-first list of tags; LRU is the last element.
+        self._sets: List[List[int]] = [[] for _ in range(params.num_sets)]
+        self._offset_bits = params.line_bytes.bit_length() - 1
+        self._index_mask = params.num_sets - 1
+
+    # ------------------------------------------------------------------
+    def line_address(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def _locate(self, addr: int) -> tuple[List[int], int]:
+        line = self.line_address(addr)
+        index = line & self._index_mask
+        tag = line >> (self._index_mask.bit_length())
+        # num_sets may be 1 (index_mask == 0): every line maps to set 0.
+        if self._index_mask == 0:
+            tag = line
+            index = 0
+        return self._sets[index], tag
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int) -> bool:
+        """Probe and update LRU; fill on miss.  Returns hit?"""
+        ways, tag = self._locate(addr)
+        self.stats.add("accesses")
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.stats.add("misses")
+            ways.insert(0, tag)
+            if len(ways) > self.params.assoc:
+                ways.pop()
+                self.stats.add("evictions")
+            return False
+        ways.insert(0, tag)
+        return True
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without changing any state."""
+        ways, tag = self._locate(addr)
+        return tag in ways
+
+    def fill(self, addr: int) -> None:
+        """Insert a line (MRU position), evicting the LRU if needed."""
+        ways, tag = self._locate(addr)
+        if tag in ways:
+            ways.remove(tag)
+        ways.insert(0, tag)
+        if len(ways) > self.params.assoc:
+            ways.pop()
+            self.stats.add("evictions")
+
+    def invalidate_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.rate("misses", "accesses")
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        p = self.params
+        return (
+            f"Cache({self.name}: {p.size_bytes // 1024}KB {p.assoc}-way "
+            f"{p.line_bytes}B lines)"
+        )

@@ -1,0 +1,88 @@
+"""The Table 2 memory hierarchy: L1I + L1D + unified L2 + memory.
+
+Latency model: an access pays the hit latency of the first level that
+holds the data.  On an L1 miss the line is filled into L1 (and into L2 if
+it also missed there).  The instruction side fetches whole (potentially
+very wide) L1I lines; when an L1I line is wider than an L2 line, each
+constituent L2 line is probed and the worst latency applies — the
+single-ported wide read the paper adopts in §3.4.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import MemoryParams
+from repro.memory.cache import Cache
+
+
+class MemoryHierarchy:
+    """Owns the caches and answers latency queries."""
+
+    def __init__(self, params: MemoryParams) -> None:
+        self.params = params
+        self.il1 = Cache(params.il1, "L1I")
+        self.dl1 = Cache(params.dl1, "L1D")
+        self.l2 = Cache(params.l2, "L2")
+
+    # ------------------------------------------------------------------
+    # instruction side
+    # ------------------------------------------------------------------
+    def fetch_line(self, addr: int) -> int:
+        """Fetch the L1I line containing ``addr``; returns latency."""
+        if self.il1.access(addr):
+            return self.params.il1.hit_latency
+        return self.params.il1.hit_latency + self._fill_from_l2_instr(addr)
+
+    def _fill_from_l2_instr(self, addr: int) -> int:
+        il1_line = self.params.il1.line_bytes
+        l2_line = self.params.l2.line_bytes
+        start = addr - (addr % il1_line)
+        worst = 0
+        for chunk in range(start, start + il1_line, l2_line):
+            if self.l2.access(chunk):
+                latency = self.params.l2_latency
+            else:
+                latency = self.params.l2_latency + self.params.memory_latency
+            worst = max(worst, latency)
+        return worst
+
+    def instruction_prefetch(self, addr: int) -> None:
+        """Fill an L1I line without charging latency (wrong-path effect).
+
+        Wrong-path fetches still move lines into the cache; the paper's
+        simulator models exactly this pollution/prefetch side effect.
+        """
+        if not self.il1.probe(addr):
+            self.il1.fill(addr)
+            l2_line = self.params.l2.line_bytes
+            il1_line = self.params.il1.line_bytes
+            start = addr - (addr % il1_line)
+            for chunk in range(start, start + il1_line, l2_line):
+                self.l2.access(chunk)
+
+    # ------------------------------------------------------------------
+    # data side
+    # ------------------------------------------------------------------
+    def data_access(self, addr: int, is_store: bool = False) -> int:
+        """Load/store latency through L1D -> L2 -> memory."""
+        if self.dl1.access(addr):
+            return self.params.dl1.hit_latency
+        latency = self.params.dl1.hit_latency
+        if self.l2.access(addr):
+            latency += self.params.l2_latency
+        else:
+            latency += self.params.l2_latency + self.params.memory_latency
+        return latency
+
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> dict:
+        return {
+            "il1_accesses": self.il1.stats["accesses"],
+            "il1_misses": self.il1.stats["misses"],
+            "il1_miss_rate": self.il1.miss_rate,
+            "dl1_accesses": self.dl1.stats["accesses"],
+            "dl1_misses": self.dl1.stats["misses"],
+            "dl1_miss_rate": self.dl1.miss_rate,
+            "l2_accesses": self.l2.stats["accesses"],
+            "l2_misses": self.l2.stats["misses"],
+            "l2_miss_rate": self.l2.miss_rate,
+        }

@@ -1,0 +1,64 @@
+"""Tests for two-bit counters and counter tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.branch.bimodal import CounterTable, TwoBitCounter
+
+
+class TestTwoBitCounter:
+    def test_saturates_up(self):
+        c = TwoBitCounter(3)
+        c.update(True)
+        assert c.value == 3
+
+    def test_saturates_down(self):
+        c = TwoBitCounter(0)
+        c.update(False)
+        assert c.value == 0
+
+    def test_hysteresis(self):
+        c = TwoBitCounter(0)
+        c.update(True)   # 1 — still predicts NT
+        assert not c.taken
+        c.update(True)   # 2 — now predicts taken
+        assert c.taken
+        c.update(False)  # 3->... 2->1: one NT does not flip a strong state
+        assert not c.taken
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TwoBitCounter(4)
+
+
+class TestCounterTable:
+    def test_learns_direction(self):
+        t = CounterTable(16)
+        for _ in range(4):
+            t.update(5, True)
+        assert t.predict(5)
+
+    def test_index_mask_wraps(self):
+        t = CounterTable(16)
+        t.update(5, True)
+        t.update(5 + 16, True)
+        assert t.counter(5) == 3  # same physical counter
+
+    def test_strengthen_only_reinforces(self):
+        t = CounterTable(16, init=1)  # weakly NT
+        t.strengthen(3, True)         # disagrees -> no change
+        assert t.counter(3) == 1
+        t.strengthen(3, False)        # agrees -> strengthen towards 0
+        assert t.counter(3) == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CounterTable(12)
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
+                    max_size=300))
+    def test_property_counters_in_range(self, updates):
+        t = CounterTable(64)
+        for index, taken in updates:
+            t.update(index, taken)
+            assert 0 <= t.counter(index) <= 3

@@ -1,0 +1,127 @@
+"""Tests for the BTB and the return address stack."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.common.types import BranchKind
+
+
+class TestBTB:
+    def test_miss_then_hit_after_taken(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000, BranchKind.COND, taken=True)
+        entry = btb.lookup(0x1000)
+        assert entry is not None
+        assert entry.target == 0x2000
+        assert entry.kind is BranchKind.COND
+
+    def test_never_allocates_on_not_taken(self):
+        """The Calder–Grunwald policy the paper adopts."""
+        btb = BranchTargetBuffer(64, 4)
+        for _ in range(10):
+            btb.update(0x1000, 0, BranchKind.COND, taken=False)
+        assert btb.lookup(0x1000) is None
+
+    def test_direction_counter_trains(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x1000, 0x2000, BranchKind.COND, taken=True)
+        entry = btb.lookup(0x1000)
+        assert entry.predict_taken
+        btb.update(0x1000, 0x2000, BranchKind.COND, taken=False)
+        btb.update(0x1000, 0x2000, BranchKind.COND, taken=False)
+        assert not btb.lookup(0x1000).predict_taken
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
+        set_stride = 4 * 4  # num_sets * instruction bytes
+        a, b, c = 0x1000, 0x1000 + set_stride, 0x1000 + 2 * set_stride
+        btb.update(a, 1, BranchKind.JUMP, True)
+        btb.update(b, 2, BranchKind.JUMP, True)
+        btb.lookup(a)                      # touch a
+        btb.update(c, 3, BranchKind.JUMP, True)  # evicts b
+        assert btb.lookup(a) is not None
+        assert btb.lookup(b) is None
+
+    def test_target_update_on_retaken(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x1000, 0x2000, BranchKind.IND, taken=True)
+        btb.update(0x1000, 0x3000, BranchKind.IND, taken=True)
+        assert btb.lookup(0x1000).target == 0x3000
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, 4)
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_something(self):
+        ras = ReturnAddressStack(4)
+        assert isinstance(ras.pop(), int)
+        assert ras.underflows == 1
+
+    def test_wraps_at_depth(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites the slot holding 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+
+    def test_checkpoint_restore_undoes_younger_ops(self):
+        """§3.2: shadow top-of-stack + index repair.
+
+        The shadow copy restores the stack pointer and the *top* entry.
+        Wrong-path pushes that clobbered deeper slots stay corrupted —
+        that is the documented cost of the single-shadow scheme (deeper
+        repair would need a full-stack checkpoint).
+        """
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        ckpt = ras.checkpoint()
+        # Wrong-path speculation: one pop, one garbage push.
+        ras.pop()
+        ras.push(0xBAD)
+        ras.restore(ckpt)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_checkpoint_cannot_repair_deep_clobber(self):
+        """Authentic limitation: slots below the shadow top stay dirty."""
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        ckpt = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.push(0xBAD)  # overwrites the slot that held 0x100
+        ras.restore(ckpt)
+        assert ras.pop() == 0x200  # shadow top repaired
+        assert ras.pop() == 0xBAD  # deeper slot stays corrupted
+
+    def test_checkpoint_restores_clobbered_top(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ckpt = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.push(0xAAA)
+        ras.push(0xBBB)  # clobbers the slot under the checkpoint top
+        ras.restore(ckpt)
+        assert ras.pop() == 0x200
+
+    def test_top_without_pop(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x42)
+        assert ras.top() == 0x42
+        assert ras.top() == 0x42  # unchanged

@@ -1,0 +1,78 @@
+"""Tests for history registers and their recovery discipline."""
+
+import pytest
+
+from repro.branch.history import HistoryRegister, PathHistory
+
+
+class TestHistoryRegister:
+    def test_push_shifts(self):
+        h = HistoryRegister(8)
+        h.spec_push(True)
+        h.spec_push(False)
+        h.spec_push(True)
+        assert h.spec == 0b101
+
+    def test_bounded_width(self):
+        h = HistoryRegister(4)
+        for _ in range(10):
+            h.spec_push(True)
+        assert h.spec == 0b1111
+
+    def test_commit_independent(self):
+        h = HistoryRegister(8)
+        h.spec_push(True)
+        assert h.commit == 0
+        h.commit_push(True)
+        assert h.commit == 1
+
+    def test_recover_copies_commit(self):
+        h = HistoryRegister(8)
+        h.commit_push(True)
+        h.spec_push(False)
+        h.spec_push(False)
+        h.recover()
+        assert h.spec == h.commit == 0b1
+
+    def test_low_bits(self):
+        h = HistoryRegister(16)
+        for bit in (True, False, True, True):
+            h.spec_push(bit)
+        assert h.low_bits(3) == 0b011
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            HistoryRegister(0)
+
+
+class TestPathHistory:
+    def test_push_order_oldest_first(self):
+        p = PathHistory(4)
+        for addr in (0x10, 0x20, 0x30):
+            p.spec_push(addr)
+        assert list(p.spec_view()) == [0x10, 0x20, 0x30]
+
+    def test_depth_bounded(self):
+        p = PathHistory(3)
+        for addr in range(10):
+            p.spec_push(addr)
+        assert list(p.spec_view()) == [7, 8, 9]
+
+    def test_recover(self):
+        p = PathHistory(4)
+        p.commit_push(0x10)
+        p.spec_push(0x10)
+        p.spec_push(0xBAD)
+        p.recover()
+        assert list(p.spec_view()) == [0x10]
+
+    def test_recover_is_a_copy(self):
+        p = PathHistory(4)
+        p.commit_push(0x10)
+        p.recover()
+        p.spec_push(0x20)
+        assert list(p.commit_view()) == [0x10]
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            PathHistory(0)

@@ -1,0 +1,137 @@
+"""Tests for the 2bcgskew and perceptron direction predictors.
+
+Branches execute in a fixed loop-body order (realistic control flow);
+random interleavings would turn global history into noise and tell us
+nothing about the predictors.
+"""
+
+import random
+
+import pytest
+
+from repro.branch.history import HistoryRegister
+from repro.branch.perceptron import PerceptronConfig, PerceptronPredictor
+from repro.branch.twobcgskew import GskewConfig, TwoBcGskew
+
+
+def run_loop_body(pred, branch_fns, iterations=800, seed=3):
+    """Execute `branch_fns` (pc -> outcome fn) round-robin; return accuracy."""
+    rng = random.Random(seed)
+    hist = HistoryRegister(40)
+    state = {}
+    correct = total = 0
+    for it in range(iterations):
+        for pc, fn in branch_fns:
+            actual = fn(it, rng, state, hist)
+            taken, info = pred.predict(pc, hist.spec)
+            total += 1
+            correct += taken == actual
+            pred.update(info, actual)
+            hist.spec_push(actual)
+            hist.commit_push(actual)
+    return correct / total
+
+
+def always_taken(it, rng, state, hist):
+    return True
+
+
+def biased(p):
+    def fn(it, rng, state, hist):
+        return rng.random() < p
+    return fn
+
+
+def loop_exit(trip):
+    def fn(it, rng, state, hist):
+        return (it % trip) != trip - 1
+    return fn
+
+
+def correlated(mask):
+    def fn(it, rng, state, hist):
+        return bool(bin(hist.commit & mask).count("1") & 1)
+    return fn
+
+
+BODY = [
+    (0x1000, always_taken),
+    (0x1010, biased(0.95)),
+    (0x1020, loop_exit(5)),
+    (0x1030, correlated(0b110)),
+]
+
+
+class TestTwoBcGskew:
+    def test_learns_structured_body(self):
+        acc = run_loop_body(TwoBcGskew(), BODY)
+        assert acc > 0.9
+
+    def test_near_perfect_on_static_branches(self):
+        acc = run_loop_body(TwoBcGskew(), [(0x1000, always_taken)],
+                            iterations=2000)
+        assert acc > 0.995  # only cold-start mispredictions
+
+    def test_counts_short_loops(self):
+        acc = run_loop_body(TwoBcGskew(), [(0x2000, loop_exit(4))],
+                            iterations=2000)
+        assert acc > 0.95
+
+    def test_small_tables_alias(self):
+        """Shrinking the banks must hurt on a large static branch set."""
+        big_body = [
+            (0x1000 + i * 64, loop_exit(3 + i % 5)) for i in range(64)
+        ]
+        small = run_loop_body(
+            TwoBcGskew(GskewConfig(bank_entries=64)), big_body,
+            iterations=300,
+        )
+        large = run_loop_body(TwoBcGskew(), big_body, iterations=300)
+        assert large > small
+
+
+class TestPerceptron:
+    def test_learns_structured_body(self):
+        acc = run_loop_body(PerceptronPredictor(), BODY)
+        assert acc > 0.93
+
+    def test_counts_loops_via_local_history(self):
+        acc = run_loop_body(PerceptronPredictor(), [(0x2000, loop_exit(6))],
+                            iterations=2000)
+        assert acc > 0.97
+
+    def test_linearly_separable_correlation(self):
+        acc = run_loop_body(
+            PerceptronPredictor(), [(0x3000, correlated(0b1))],
+            iterations=2000,
+        )
+        assert acc > 0.97
+
+    def test_weights_saturate(self):
+        pred = PerceptronPredictor()
+        hist = HistoryRegister(40)
+        for _ in range(1000):
+            _, info = pred.predict(0x4000, hist.spec)
+            pred.update(info, True)
+            hist.spec_push(True)
+        pidx = (0x4000 >> 2) & (pred.config.num_perceptrons - 1)
+        assert all(
+            pred.config.weight_min <= w <= pred.config.weight_max
+            for w in pred._weights[pidx]
+        )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(PerceptronConfig(num_perceptrons=300))
+
+    def test_threshold_formula(self):
+        cfg = PerceptronConfig()
+        assert cfg.threshold == int(1.93 * cfg.num_inputs + 14)
+
+
+class TestComparative:
+    def test_both_beat_static_on_correlated(self):
+        """History predictors must beat the 50% static floor."""
+        body = [(0x5000, correlated(0b101))]
+        for pred in (TwoBcGskew(), PerceptronPredictor()):
+            assert run_loop_body(pred, body, iterations=1500) > 0.9

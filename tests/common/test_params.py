@@ -1,0 +1,70 @@
+"""Tests for repro.common.params (the Table 2 configurations)."""
+
+import pytest
+
+from repro.common.params import (
+    CacheParams,
+    CoreParams,
+    default_machine,
+    default_memory,
+)
+
+
+class TestCacheParams:
+    def test_num_sets(self):
+        p = CacheParams(size_bytes=64 * 1024, assoc=2, line_bytes=64)
+        assert p.num_sets == 512
+
+    def test_instructions_per_line(self):
+        assert CacheParams(64 * 1024, 2, 128).instructions_per_line == 32
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheParams(size_bytes=1000, assoc=3, line_bytes=64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheParams(size_bytes=64 * 1024, assoc=2, line_bytes=48)
+
+
+class TestCoreParams:
+    def test_rob_derived_from_width(self):
+        assert CoreParams(width=8).rob_size == 128
+        assert CoreParams(width=2).rob_size == 32
+
+    def test_explicit_rob_respected(self):
+        assert CoreParams(width=8, rob_size=64).rob_size == 64
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            CoreParams(width=3)
+
+
+class TestTable2Defaults:
+    """The common settings block of Table 2."""
+
+    @pytest.mark.parametrize("width,line", [(2, 32), (4, 64), (8, 128)])
+    def test_icache_line_scales_with_width(self, width, line):
+        mem = default_memory(width)
+        assert mem.il1.line_bytes == line
+
+    def test_l1_sizes(self):
+        mem = default_memory(8)
+        assert mem.il1.size_bytes == 64 * 1024
+        assert mem.il1.assoc == 2
+        assert mem.dl1.size_bytes == 64 * 1024
+        assert mem.dl1.assoc == 2
+        assert mem.dl1.line_bytes == 64
+
+    def test_l2(self):
+        mem = default_memory(8)
+        assert mem.l2.size_bytes == 1024 * 1024
+        assert mem.l2.assoc == 4
+        assert mem.l2_latency == 15
+        assert mem.memory_latency == 100
+
+    def test_machine_pipeline(self):
+        machine = default_machine(4)
+        assert machine.core.pipeline_depth == 16
+        assert machine.core.ftq_entries == 4
+        assert machine.width == 4

@@ -1,0 +1,65 @@
+"""Tests for repro.common.stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import CounterBag, geometric_mean, harmonic_mean
+
+
+class TestCounterBag:
+    def test_add_and_get(self):
+        bag = CounterBag()
+        bag.add("x")
+        bag.add("x", 4)
+        assert bag["x"] == 5
+
+    def test_missing_is_zero(self):
+        assert CounterBag()["nothing"] == 0
+
+    def test_rate(self):
+        bag = CounterBag({"hits": 30, "accesses": 40})
+        assert bag.rate("hits", "accesses") == pytest.approx(0.75)
+
+    def test_rate_zero_denominator(self):
+        assert CounterBag().rate("a", "b") == 0.0
+
+    def test_merge(self):
+        a = CounterBag({"x": 1})
+        b = CounterBag({"x": 2, "y": 3})
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_as_dict_is_copy(self):
+        bag = CounterBag({"x": 1})
+        d = bag.as_dict()
+        d["x"] = 99
+        assert bag["x"] == 1
+
+
+class TestMeans:
+    def test_harmonic_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_harmonic_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=20))
+    def test_harmonic_leq_geometric(self, values):
+        """HM <= GM for positive values (classic inequality)."""
+        assert harmonic_mean(values) <= geometric_mean(values) * (1 + 1e-9)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=20))
+    def test_harmonic_bounded_by_min_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import build_tiny_cfg  # noqa: E402
+
+from repro.common.params import default_machine  # noqa: E402
+from repro.isa.layout import natural_order  # noqa: E402
+from repro.isa.program import link  # noqa: E402
+from repro.isa.workloads import prepare_program  # noqa: E402
+from repro.memory.hierarchy import MemoryHierarchy  # noqa: E402
+
+
+@pytest.fixture
+def tiny_cfg():
+    return build_tiny_cfg()
+
+
+@pytest.fixture
+def tiny_program(tiny_cfg):
+    return link(tiny_cfg, natural_order(tiny_cfg), seed=7)
+
+
+@pytest.fixture(scope="session")
+def gzip_programs():
+    """(base, optimized) gzip images at a small scale, built once."""
+    return (
+        prepare_program("gzip", optimized=False, scale=0.4),
+        prepare_program("gzip", optimized=True, scale=0.4),
+    )
+
+
+@pytest.fixture
+def machine8():
+    return default_machine(8)
+
+
+@pytest.fixture
+def mem8(machine8):
+    return MemoryHierarchy(machine8.memory)

@@ -1,0 +1,118 @@
+"""Tests for the dataflow back-end model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import default_machine
+from repro.common.types import InstrClass
+from repro.core.backend import DataflowBackend
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def backend(width=8):
+    machine = default_machine(width)
+    return DataflowBackend(machine, MemoryHierarchy(machine.memory))
+
+
+def alu(d1=0, d2=0):
+    return (int(InstrClass.ALU), 1, d1, d2, 0, 0, 0)
+
+
+def load(d1=0, base=0x10000, stride=8, span=1 << 12):
+    return (int(InstrClass.LOAD), 1, d1, 0, base, stride, span)
+
+
+class TestScheduling:
+    def test_independent_instructions_pack_width(self):
+        be = backend(width=4)
+        completes = [be.dispatch(alu(), (0, i), 0)[0] for i in range(8)]
+        # 4 issue slots per cycle: two waves.
+        assert completes.count(min(completes)) == 4
+
+    def test_dependence_serializes(self):
+        be = backend()
+        c1, _ = be.dispatch(alu(), (0, 0), 0)
+        c2, _ = be.dispatch(alu(d1=1), (0, 1), 0)
+        assert c2 >= c1 + 1
+
+    def test_zero_dep_is_independent(self):
+        be = backend()
+        be.dispatch(alu(), (0, 0), 0)
+        c2, _ = be.dispatch(alu(), (0, 1), 0)
+        c1, _ = be.dispatch(alu(), (0, 2), 0)
+        assert abs(c1 - c2) <= 1
+
+    def test_commits_in_order(self):
+        be = backend()
+        commits = []
+        for i in range(50):
+            meta = alu(d1=(1 if i % 7 == 0 else 0))
+            commits.append(be.dispatch(meta, (0, i), i // 8)[1])
+        assert commits == sorted(commits)
+
+    def test_commit_width_bounded(self):
+        be = backend(width=2)
+        commits = [be.dispatch(alu(), (0, i), 0)[1] for i in range(20)]
+        from collections import Counter
+        per_cycle = Counter(commits)
+        assert max(per_cycle.values()) <= 2
+
+    def test_dispatch_cycle_lower_bound(self):
+        be = backend()
+        complete, _ = be.dispatch(alu(), (0, 0), 100)
+        assert complete >= 101
+
+
+class TestMemoryInstructions:
+    def test_load_miss_extends_latency(self):
+        be = backend()
+        c_hit_path, _ = be.dispatch(alu(), (0, 0), 0)
+        # Cold load: misses L1D and L2 -> long completion.
+        c_load, _ = be.dispatch(load(), (1, 0), 0)
+        assert c_load > c_hit_path + 50
+
+    def test_load_locality_warms_up(self):
+        be = backend()
+        first, _ = be.dispatch(load(), (2, 0), 0)
+        second, _ = be.dispatch(load(), (2, 0), 200)
+        # Same slot, stride 8 within one line: second access hits.
+        assert second - 200 < first - 0
+
+    def test_stores_do_not_stall_completion(self):
+        be = backend()
+        store_meta = (int(InstrClass.STORE), 1, 0, 0, 0x90000, 64, 1 << 14)
+        complete, _ = be.dispatch(store_meta, (3, 0), 0)
+        assert complete <= 3  # store-buffer semantics
+
+    def test_load_counter_advances(self):
+        be = backend()
+        be.dispatch(load(stride=64), (4, 0), 0)
+        be.dispatch(load(stride=64), (4, 0), 0)
+        assert be._load_counters[(4, 0)] == 2
+
+
+class TestWindowModel:
+    def test_instruction_count(self):
+        be = backend()
+        for i in range(10):
+            be.dispatch(alu(), (0, i), 0)
+        assert be.instructions == 10
+
+    def test_last_commit_monotone(self):
+        be = backend()
+        last = 0
+        for i in range(100):
+            _, commit = be.dispatch(alu(d1=i % 3), (0, i), i // 8)
+            assert commit >= last
+            last = commit
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                    min_size=1, max_size=120))
+    def test_property_ipc_never_exceeds_width(self, deps):
+        be = backend(width=4)
+        n = 0
+        for i, (d1, d2) in enumerate(deps):
+            be.dispatch(alu(d1=d1, d2=d2), (0, i), i // 4)
+            n += 1
+        assert n / max(be.last_commit_cycle, 1) <= 4.0 + 1e-9

@@ -1,0 +1,54 @@
+"""Smoke tests for the CLI and the ablation studies."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.cli import main
+
+
+class TestAblations:
+    def test_line_width_sweep_renders(self):
+        text = ablations.line_width_sweep(
+            "gzip", line_bytes_options=(32, 128), instructions=8000,
+            scale=0.3,
+        )
+        assert "line bytes" in text
+        assert "128" in text
+
+    def test_ftq_depth_sweep_renders(self):
+        text = ablations.ftq_depth_sweep(
+            "gzip", depths=(1, 4), instructions=8000, scale=0.3,
+        )
+        assert "FTQ entries" in text
+
+    def test_trace_storage_ablation_renders(self):
+        text = ablations.trace_storage_ablation(
+            "gzip", instructions=8000, scale=0.3,
+        )
+        assert "selective" in text
+
+    def test_cascade_ablation_renders(self):
+        text = ablations.cascade_ablation(
+            "gzip", instructions=8000, scale=0.3,
+        )
+        assert "cascade" in text
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        rc = main(["table1", "--benchmarks", "gzip",
+                   "--instructions", "8000", "--scale", "0.3", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_fig9(self, capsys):
+        rc = main(["fig9", "--benchmarks", "gzip",
+                   "--instructions", "6000", "--scale", "0.3", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,86 @@
+"""Tests asserting the Table 2 configuration is faithfully encoded."""
+
+import pytest
+
+from repro.branch.perceptron import PerceptronConfig
+from repro.branch.twobcgskew import GskewConfig
+from repro.common.params import default_machine
+from repro.experiments.configs import (
+    ARCH_LABELS,
+    ARCHITECTURES,
+    build_engine,
+    build_processor,
+)
+from repro.fetch.stream_predictor import StreamPredictorConfig
+from repro.fetch.trace_predictor import TracePredictorConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class TestTable2PredictorBudgets:
+    def test_ev8_gskew(self):
+        cfg = GskewConfig()
+        assert cfg.bank_entries == 32 * 1024  # 4 x 32K-entry tables
+        assert cfg.history_bits == 15
+
+    def test_ftb_perceptron(self):
+        cfg = PerceptronConfig()
+        assert cfg.num_perceptrons == 512
+        assert cfg.global_history_bits == 40
+        assert cfg.local_table_entries == 4096
+        assert cfg.local_history_bits == 14
+
+    def test_stream_predictor(self):
+        cfg = StreamPredictorConfig()
+        assert (cfg.first_entries, cfg.first_assoc) == (1024, 4)
+        assert (cfg.second_entries, cfg.second_assoc) == (6 * 1024, 3)
+        d = cfg.dolc
+        assert (d.depth, d.older_bits, d.last_bits, d.current_bits) == (
+            12, 2, 4, 10)
+
+    def test_trace_predictor(self):
+        cfg = TracePredictorConfig()
+        assert (cfg.first_entries, cfg.first_assoc) == (1024, 4)
+        assert (cfg.second_entries, cfg.second_assoc) == (4096, 4)
+        d = cfg.dolc
+        assert (d.depth, d.older_bits, d.last_bits, d.current_bits) == (
+            9, 4, 7, 9)
+
+
+class TestEngineFactories:
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_builds_every_architecture(self, arch, tiny_program, machine8,
+                                       mem8):
+        engine = build_engine(arch, tiny_program, machine8, mem8)
+        assert engine.name == arch
+
+    def test_rejects_unknown(self, tiny_program, machine8, mem8):
+        with pytest.raises(ValueError):
+            build_engine("btac", tiny_program, machine8, mem8)
+
+    def test_labels_cover_architectures(self):
+        assert set(ARCH_LABELS) == set(ARCHITECTURES)
+
+    def test_ev8_defaults(self, tiny_program, machine8, mem8):
+        engine = build_engine("ev8", tiny_program, machine8, mem8)
+        assert engine.btb.num_sets * engine.btb.assoc == 2048
+        assert engine.ras.depth == 8
+
+    def test_trace_defaults(self, tiny_program, machine8, mem8):
+        engine = build_engine("trace", tiny_program, machine8, mem8)
+        # 32KB of instruction storage / (16 instr x 4B) = 512 traces.
+        assert engine.trace_cache.num_sets * engine.trace_cache.assoc == 512
+        assert engine.btb.num_sets * engine.btb.assoc == 1024
+        assert engine.selective_storage is True
+        assert engine.partial_matching is False
+
+
+class TestBuildProcessor:
+    def test_wires_width(self, tiny_program):
+        processor = build_processor("stream", tiny_program, width=4)
+        assert processor.machine.width == 4
+
+    def test_custom_machine(self, tiny_program):
+        machine = default_machine(2)
+        processor = build_processor("ev8", tiny_program, width=8,
+                                    machine=machine)
+        assert processor.machine.width == 2  # explicit machine wins

@@ -1,0 +1,66 @@
+"""Tests for the cost/complexity accounting (Table 1's cost column)."""
+
+import pytest
+
+from repro.experiments.cost_model import (
+    cost_comparison,
+    cost_table_text,
+    ev8_cost,
+    ftb_cost,
+    stream_cost,
+    trace_cost,
+)
+
+
+class TestStructuralClaims:
+    """§3.1: the architectural simplicity argument."""
+
+    def test_stream_single_instruction_path(self):
+        assert stream_cost().instruction_paths == 1
+
+    def test_stream_single_predictor(self):
+        assert stream_cost().predictors == 1
+
+    def test_stream_no_special_store(self):
+        assert stream_cost().special_stores == 0
+
+    def test_trace_cache_two_paths_two_predictors(self):
+        report = trace_cost()
+        assert report.instruction_paths == 2
+        assert report.predictors == 2
+        assert report.special_stores == 1
+
+    def test_trace_cache_most_expensive(self):
+        reports = {r.name: r.total_bits for r in cost_comparison()}
+        assert reports["trace"] == max(reports.values())
+
+    def test_stream_cost_of_same_order_as_btb_engines(self):
+        """Table 1: streams are 'low cost' like basic-block engines."""
+        reports = {r.name: r.total_bits for r in cost_comparison()}
+        assert reports["stream"] < reports["trace"]
+        assert reports["stream"] < 2.0 * max(reports["ev8"], reports["ftb"])
+
+
+class TestBudgets:
+    def test_predictor_budgets_near_45kb(self):
+        """§4.1: 'a total approximate budget of 45KB' for prediction
+        state (excluding the trace cache's instruction storage)."""
+        for report in (ev8_cost(), ftb_cost(), stream_cost()):
+            assert 15 < report.total_kib < 90, report.name
+
+    def test_trace_storage_dominates_trace_cost(self):
+        report = trace_cost()
+        assert report.components["trace cache data"] == 512 * 16 * 32
+
+    def test_component_bits_positive(self):
+        for report in cost_comparison():
+            for name, bits in report.components.items():
+                assert bits > 0, f"{report.name}/{name}"
+
+
+class TestRendering:
+    def test_table_text(self):
+        text = cost_table_text()
+        assert "stream" in text
+        assert "state (KiB)" in text
+        assert "trace" in text

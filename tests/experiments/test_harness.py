@@ -1,0 +1,114 @@
+"""Tests for the experiment harness: runner, figures, tables, reporting."""
+
+import pytest
+
+from repro.experiments.figures import figure8_data, figure8_text, figure9_text
+from repro.experiments.reporting import (
+    ascii_bars,
+    format_table,
+    relative_speedups,
+)
+from repro.experiments.runner import ProgramCache, RunSpec, run_matrix
+from repro.experiments.tables import fetch_unit_sizes, table3_text
+
+BENCHES = ["gzip"]
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix(
+        BENCHES, widths=(8,), instructions=15000, warmup=5000, scale=0.3,
+    )
+
+
+class TestRunner:
+    def test_matrix_covers_cross_product(self, small_matrix):
+        assert len(small_matrix.results) == 1 * 1 * 4 * 2
+
+    def test_get(self, small_matrix):
+        r = small_matrix.get("stream", "gzip", 8, True)
+        assert r.engine == "stream"
+        assert r.optimized is True
+
+    def test_select_filters(self, small_matrix):
+        only_stream = small_matrix.select(arch="stream")
+        assert len(only_stream) == 2
+        assert all(r.engine == "stream" for r in only_stream)
+
+    def test_program_cache_reuses(self):
+        cache = ProgramCache()
+        a = cache.get("gzip", False, 0.3)
+        b = cache.get("gzip", False, 0.3)
+        assert a is b
+
+    def test_runspec_hashable(self):
+        assert RunSpec("ev8", "gzip", 8, True) == RunSpec("ev8", "gzip", 8, True)
+
+
+class TestFigures:
+    def test_figure8_data_structure(self, small_matrix):
+        data = figure8_data(small_matrix, BENCHES, widths=(8,))
+        assert set(data) == {8}
+        assert set(data[8]) == {"ev8", "ftb", "stream", "trace"}
+        for per_layout in data[8].values():
+            assert set(per_layout) == {False, True}
+            assert all(v > 0 for v in per_layout.values())
+
+    def test_figure8_text_renders(self, small_matrix):
+        text = figure8_text(small_matrix, BENCHES, widths=(8,))
+        assert "Figure 8" in text
+        assert "Streams" in text
+
+    def test_figure9_text_renders(self, small_matrix):
+        text = figure9_text(small_matrix, BENCHES)
+        assert "gzip" in text
+        assert "hmean" in text
+
+
+class TestTables:
+    def test_table3_text(self, small_matrix):
+        text = table3_text(small_matrix, BENCHES)
+        assert "mispred" in text
+        assert "Tcache" in text
+
+    def test_fetch_unit_sizes_ordering(self):
+        sizes = fetch_unit_sizes("gzip", optimized=True,
+                                 n_instructions=20000, scale=0.3)
+        # Table 1 ordering: block < trace <= stream; fetch blocks are
+        # bounded by the FTB length cap.
+        assert sizes["basic_block"] < sizes["trace"]
+        assert sizes["basic_block"] < sizes["stream"]
+        assert sizes["stream"] > sizes["fetch_block"] * 0.9
+
+    def test_fetch_unit_sizes_layout_effect(self):
+        base = fetch_unit_sizes("gzip", optimized=False,
+                                n_instructions=20000, scale=0.3)
+        opt = fetch_unit_sizes("gzip", optimized=True,
+                               n_instructions=20000, scale=0.3)
+        assert opt["stream"] > base["stream"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_bars(self):
+        out = ascii_bars({"x": 1.0, "y": 2.0}, width=10)
+        assert "##########" in out
+        assert "#####" in out
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars({}) == "(no data)"
+
+    def test_relative_speedups(self):
+        sp = relative_speedups({"a": 2.0, "b": 3.0}, base="a")
+        assert sp["a"] == pytest.approx(1.0)
+        assert sp["b"] == pytest.approx(1.5)
+
+    def test_relative_speedups_missing_base(self):
+        with pytest.raises(KeyError):
+            relative_speedups({"a": 1.0}, base="zz")

@@ -1,0 +1,128 @@
+"""Behavioural tests for the four fetch engines on a tiny program.
+
+These drive engines through the full Processor (the contract is easiest
+to exercise end-to-end), asserting per-engine invariants on the
+resulting statistics.
+"""
+
+import pytest
+
+from repro.common.params import default_machine
+from repro.core.processor import Processor
+from repro.experiments.configs import ARCHITECTURES, build_engine
+from repro.isa.trace import TraceWalker
+from repro.memory.hierarchy import MemoryHierarchy
+
+N_INSTR = 6000
+
+
+def run_engine(arch, program, width=8, n=N_INSTR, **overrides):
+    machine = default_machine(width)
+    mem = MemoryHierarchy(machine.memory)
+    engine = build_engine(arch, program, machine, mem, **overrides)
+    walker = TraceWalker(program, seed=5)
+    processor = Processor(engine, walker, machine, mem)
+    result = processor.run(n)
+    return result, engine
+
+
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+class TestAllEngines:
+    def test_completes_and_counts(self, arch, tiny_program):
+        result, _ = run_engine(arch, tiny_program)
+        # The run stops at the first bundle boundary past the target.
+        assert N_INSTR <= result.instructions < N_INSTR + 8
+        assert result.cycles > 0
+        assert 0 < result.ipc <= 8.0
+
+    def test_branch_accounting(self, arch, tiny_program):
+        result, _ = run_engine(arch, tiny_program)
+        assert result.branches > 0
+        assert result.mispredictions <= result.branches
+        assert result.taken_branches <= result.branches
+
+    def test_fetch_width_bounded(self, arch, tiny_program):
+        result, _ = run_engine(arch, tiny_program)
+        assert 0 < result.fetch_ipc <= 8.0
+
+    def test_deterministic(self, arch, tiny_program):
+        r1, _ = run_engine(arch, tiny_program, n=3000)
+        r2, _ = run_engine(arch, tiny_program, n=3000)
+        assert r1.cycles == r2.cycles
+        assert r1.mispredictions == r2.mispredictions
+
+    def test_learns_the_loop(self, arch, tiny_program):
+        """The tiny loop is highly predictable: after warm-up every
+        engine must be well below a 20% misprediction rate."""
+        result, _ = run_engine(arch, tiny_program)
+        assert result.branch_misprediction_rate < 0.2
+
+    def test_narrow_machine_slower(self, arch, tiny_program):
+        wide, _ = run_engine(arch, tiny_program, width=8, n=4000)
+        narrow, _ = run_engine(arch, tiny_program, width=2, n=4000)
+        assert narrow.ipc < wide.ipc + 0.2
+
+
+class TestEV8Specifics:
+    def test_predicts_conditionals(self, tiny_program):
+        _, engine = run_engine("ev8", tiny_program)
+        assert engine.stats["cond_predictions"] > 0
+
+    def test_btb_populated(self, tiny_program):
+        _, engine = run_engine("ev8", tiny_program)
+        assert engine.btb.stats["allocations"] > 0
+
+
+class TestFTBSpecifics:
+    def test_ftb_hits_after_warmup(self, tiny_program):
+        _, engine = run_engine("ftb", tiny_program)
+        assert engine.stats["ftb_hits"] > engine.stats["ftb_misses"]
+
+    def test_ftq_used(self, tiny_program):
+        _, engine = run_engine("ftb", tiny_program)
+        assert engine.ftq.pushes > 0
+
+
+class TestStreamSpecifics:
+    def test_predictor_hits_dominate(self, tiny_program):
+        _, engine = run_engine("stream", tiny_program)
+        assert engine.stats["stream_pred_hits"] > engine.stats[
+            "stream_pred_misses"
+        ]
+
+    def test_streams_reconstructed_at_commit(self, tiny_program):
+        _, engine = run_engine("stream", tiny_program)
+        assert engine.stats["streams_committed"] > 0
+        avg = (engine.stats["stream_instructions"]
+               / engine.stats["streams_committed"])
+        assert 2.0 < avg < 64.0
+
+    def test_single_instruction_path(self, tiny_program):
+        """No trace cache, no second predictor: stream engines have
+        exactly one instruction source (the I-cache)."""
+        _, engine = run_engine("stream", tiny_program)
+        assert not hasattr(engine, "trace_cache")
+        assert not hasattr(engine, "btb")
+
+
+class TestTraceCacheSpecifics:
+    def test_trace_cache_hits_after_warmup(self, tiny_program):
+        result, engine = run_engine("trace", tiny_program)
+        assert engine.stats.as_dict().get("tc_hits", 0) > 0
+
+    def test_traces_filled_at_commit(self, tiny_program):
+        _, engine = run_engine("trace", tiny_program)
+        assert engine.stats["traces_committed"] > 0
+
+    def test_selective_storage_skips_blue_traces(self, gzip_programs):
+        """Sequential ('blue') traces must not enter the trace cache."""
+        _, opt = gzip_programs
+        _, engine = run_engine("trace", opt, n=20000)
+        assert engine.trace_cache.stats["selective_skips"] > 0
+
+    def test_trace_cache_beats_streams_on_fetch_width(self, gzip_programs):
+        """The TC's reason to exist: fetching past taken branches."""
+        base, _ = gzip_programs
+        r_trace, _ = run_engine("trace", base, n=20000)
+        r_stream, _ = run_engine("stream", base, n=20000)
+        assert r_trace.fetch_ipc > r_stream.fetch_ipc

@@ -1,0 +1,68 @@
+"""Tests for the Fetch Target Buffer table semantics."""
+
+import pytest
+
+from repro.common.types import BranchKind
+from repro.fetch.ftb import FTB_MAX_LENGTH, FetchTargetBuffer
+
+
+class TestFTBTable:
+    def test_miss_then_hit(self):
+        ftb = FetchTargetBuffer(64, 4)
+        assert ftb.lookup(0x1000) is None
+        ftb.update(0x1000, 6, 0x2000, BranchKind.COND)
+        entry = ftb.lookup(0x1000)
+        assert entry.length == 6
+        assert entry.target == 0x2000
+
+    def test_shorter_block_wins(self):
+        """A newly-taken embedded branch splits the block: the shorter
+        version must replace the longer one."""
+        ftb = FetchTargetBuffer(64, 4)
+        ftb.update(0x1000, 12, 0x2000, BranchKind.COND)
+        ftb.update(0x1000, 5, 0x3000, BranchKind.COND)
+        assert ftb.lookup(0x1000).length == 5
+
+    def test_longer_block_does_not_replace(self):
+        ftb = FetchTargetBuffer(64, 4)
+        ftb.update(0x1000, 5, 0x3000, BranchKind.COND)
+        ftb.update(0x1000, 12, 0x2000, BranchKind.COND)
+        assert ftb.lookup(0x1000).length == 5
+
+    def test_same_length_updates_target(self):
+        ftb = FetchTargetBuffer(64, 4)
+        ftb.update(0x1000, 5, 0x3000, BranchKind.IND)
+        ftb.update(0x1000, 5, 0x4000, BranchKind.IND)
+        assert ftb.lookup(0x1000).target == 0x4000
+
+    def test_sequential_continuation_entries(self):
+        """Max-length sequential blocks (kind NONE) are first-class."""
+        ftb = FetchTargetBuffer(64, 4)
+        nxt = 0x1000 + FTB_MAX_LENGTH * 4
+        ftb.update(0x1000, FTB_MAX_LENGTH, nxt, BranchKind.NONE)
+        entry = ftb.lookup(0x1000)
+        assert entry.kind is BranchKind.NONE
+        assert entry.length == FTB_MAX_LENGTH
+
+    def test_lru_within_set(self):
+        ftb = FetchTargetBuffer(4, 2)  # 2 sets
+        stride = 2 * 4
+        ftb.update(0x1000, 4, 1, BranchKind.JUMP)
+        ftb.update(0x1000 + stride, 4, 2, BranchKind.JUMP)
+        ftb.lookup(0x1000)
+        ftb.update(0x1000 + 2 * stride, 4, 3, BranchKind.JUMP)
+        assert ftb.lookup(0x1000) is not None
+        assert ftb.probe(0x1000 + stride) is None
+
+    def test_probe_does_not_touch_lru(self):
+        ftb = FetchTargetBuffer(4, 2)
+        stride = 2 * 4
+        ftb.update(0x1000, 4, 1, BranchKind.JUMP)
+        ftb.update(0x1000 + stride, 4, 2, BranchKind.JUMP)
+        ftb.probe(0x1000)  # must NOT refresh
+        ftb.update(0x1000 + 2 * stride, 4, 3, BranchKind.JUMP)
+        assert ftb.probe(0x1000) is None  # evicted despite the probe
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            FetchTargetBuffer(10, 4)

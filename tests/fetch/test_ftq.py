@@ -1,0 +1,79 @@
+"""Tests for the fetch target queue and Fig. 6 request updates."""
+
+import pytest
+
+from repro.common.types import BranchKind
+from repro.fetch.ftq import FetchRequest, FetchTargetQueue
+
+
+class TestFetchRequest:
+    def test_terminal_addr(self):
+        req = FetchRequest(0x1000, 5, BranchKind.COND, 0x2000)
+        assert req.terminal_addr == 0x1000 + 4 * 4
+
+    def test_consume_advances_start(self):
+        """Fig. 6: 'the stream starting address is advanced, and the
+        stream length is reduced appropriately'."""
+        req = FetchRequest(0x1000, 10, BranchKind.COND, 0x2000)
+        done = req.consume(4)
+        assert not done
+        assert req.start == 0x1010
+        assert req.remaining == 6
+
+    def test_consume_to_completion(self):
+        req = FetchRequest(0x1000, 3, None, 0x100C)
+        assert req.consume(3) is True
+
+    def test_consume_rejects_overrun(self):
+        req = FetchRequest(0x1000, 3, None, 0x100C)
+        with pytest.raises(ValueError):
+            req.consume(4)
+
+    def test_rejects_empty_request(self):
+        with pytest.raises(ValueError):
+            FetchRequest(0x1000, 0, None, 0x1000)
+
+
+class TestFetchTargetQueue:
+    def test_fifo_order(self):
+        q = FetchTargetQueue(4)
+        r1 = FetchRequest(0x1000, 4, None, 0x1010)
+        r2 = FetchRequest(0x2000, 4, None, 0x2010)
+        q.push(r1)
+        q.push(r2)
+        assert q.head() is r1
+        assert q.pop() is r1
+        assert q.head() is r2
+
+    def test_capacity(self):
+        q = FetchTargetQueue(2)
+        q.push(FetchRequest(0x1000, 1, None, 0x1004))
+        q.push(FetchRequest(0x2000, 1, None, 0x2004))
+        assert q.full
+        with pytest.raises(RuntimeError):
+            q.push(FetchRequest(0x3000, 1, None, 0x3004))
+
+    def test_flush(self):
+        q = FetchTargetQueue(4)
+        q.push(FetchRequest(0x1000, 1, None, 0x1004))
+        q.flush()
+        assert q.empty
+        assert q.flushes == 1
+
+    def test_flush_empty_not_counted(self):
+        q = FetchTargetQueue(4)
+        q.flush()
+        assert q.flushes == 0
+
+    def test_head_of_empty(self):
+        assert FetchTargetQueue(4).head() is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FetchTargetQueue(0)
+
+    def test_occupancy(self):
+        q = FetchTargetQueue(4)
+        assert q.occupancy() == 0
+        q.push(FetchRequest(0x1000, 1, None, 0x1004))
+        assert q.occupancy() == 1

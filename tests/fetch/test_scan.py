@@ -1,0 +1,43 @@
+"""Tests for the pre-decode scan helper shared by the engines."""
+
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.fetch.base import scan_run
+
+
+class TestScanRun:
+    def test_finds_controls_in_window(self, tiny_program):
+        entry = tiny_program.entry_address
+        lb = tiny_program.block_starting_at(entry)
+        image_instrs = sum(b.size for b in tiny_program.linear_blocks)
+        controls, n = scan_run(tiny_program, entry, 32)
+        assert n == min(32, image_instrs)
+        assert controls[0][0] == lb.branch_addr
+        assert controls[0][1] is lb
+
+    def test_mid_block_start(self, tiny_program):
+        entry = tiny_program.entry_address
+        controls, n = scan_run(tiny_program, entry + INSTRUCTION_BYTES, 8)
+        # Still sees block A's terminal branch.
+        lb = tiny_program.block_starting_at(entry)
+        assert (lb.branch_addr, lb) in controls
+
+    def test_window_excludes_later_controls(self, tiny_program):
+        entry = tiny_program.entry_address
+        controls_small, _ = scan_run(tiny_program, entry, 2)
+        controls_large, _ = scan_run(tiny_program, entry, 40)
+        assert len(controls_large) > len(controls_small)
+
+    def test_truncates_at_image_end(self, tiny_program):
+        last = tiny_program.linear_blocks[-1]
+        controls, n = scan_run(tiny_program, last.addr, 100)
+        assert n == last.size
+
+    def test_off_image_scans_nothing(self, tiny_program):
+        controls, n = scan_run(tiny_program, tiny_program.end_address + 64, 8)
+        assert n == 0
+        assert controls == []
+
+    def test_controls_in_order(self, tiny_program):
+        controls, _ = scan_run(tiny_program, tiny_program.entry_address, 64)
+        addrs = [addr for addr, _ in controls]
+        assert addrs == sorted(addrs)

@@ -1,0 +1,95 @@
+"""Unit tests for the stream engine's commit-side reconstruction.
+
+These feed hand-crafted DynBlock sequences to ``note_commit`` and check
+the streams the predictor learns — including the paper's partial-stream
+semantics around mispredictions (§1) and the length cap.
+"""
+
+import pytest
+
+from repro.common.params import default_machine
+from repro.common.types import BranchKind
+from repro.fetch.stream import StreamFetchEngine
+from repro.fetch.stream_predictor import MAX_STREAM_LENGTH
+from repro.isa.trace import DynBlock, TraceWalker
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def engine(tiny_program, machine8, mem8):
+    return StreamFetchEngine(tiny_program, machine8, mem8)
+
+
+def dyn_for(program, addr, taken, next_addr):
+    lb, off = program.block_containing(addr)
+    assert off == 0
+    return DynBlock(lb, taken, next_addr)
+
+
+class TestCommitReconstruction:
+    def test_stream_crosses_not_taken_branches(self, engine, tiny_program):
+        """NT branches are invisible: blocks accumulate into one stream."""
+        a = tiny_program.linear_blocks[0]   # COND block (A)
+        b = tiny_program.linear_blocks[1]   # NONE (B)
+        d = tiny_program.linear_blocks[3]   # COND (D, loop tail)
+        engine._s_start = a.addr
+        engine._s_len = 0
+        engine.note_commit(DynBlock(a, False, b.addr), None, False)
+        engine.note_commit(DynBlock(b, False, d.addr), None, False)
+        assert engine.stats["streams_committed"] == 0  # still open
+        engine.note_commit(DynBlock(d, True, a.addr), None, False)
+        assert engine.stats["streams_committed"] == 1
+        # The recorded stream covers A+B+D.
+        pred = engine.predictor.predict([], a.addr)
+        assert pred is not None
+        assert pred.length == a.size + b.size + d.size
+        assert pred.next_addr == a.addr
+
+    def test_partial_stream_recorded_on_nt_mispredict(self, engine,
+                                                      tiny_program):
+        """A mispredicted not-taken terminal creates a partial stream
+        at its fall-through AND keeps the enclosing long stream."""
+        a = tiny_program.linear_blocks[0]
+        b = tiny_program.linear_blocks[1]
+        d = tiny_program.linear_blocks[3]
+        engine._s_start = a.addr
+        # A falls through; the engine had predicted taken (mispredict).
+        engine.note_commit(DynBlock(a, False, b.addr), None, True)
+        engine.note_commit(DynBlock(b, False, d.addr), None, False)
+        engine.note_commit(DynBlock(d, True, a.addr), None, False)
+        assert engine.stats["partial_streams_committed"] == 1
+        # Long stream keyed at A.
+        long_pred = engine.predictor.predict([], a.addr)
+        assert long_pred.length == a.size + b.size + d.size
+        # Partial stream keyed at B (the redirect target).
+        part_pred = engine.predictor.predict([], b.addr)
+        assert part_pred is not None
+        assert part_pred.length == b.size + d.size
+
+    def test_taken_mispredict_splits_stream(self, engine, tiny_program):
+        """An intermediate branch that was taken (predicted NT) ends the
+        commit-side stream there; the next stream starts at its target."""
+        a = tiny_program.linear_blocks[0]
+        c = tiny_program.linear_blocks[2]
+        d = tiny_program.linear_blocks[3]
+        engine._s_start = a.addr
+        engine.note_commit(DynBlock(a, True, c.addr), None, True)
+        assert engine.stats["streams_committed"] == 1
+        pred = engine.predictor.predict([], a.addr)
+        assert pred.length == a.size
+        assert pred.next_addr == c.addr
+        assert engine._s_start == c.addr
+
+    def test_long_run_capped(self, engine, tiny_program):
+        """Runs longer than the length field split into capped
+        pseudo-streams that continue sequentially."""
+        a = tiny_program.linear_blocks[0]
+        engine._s_start = a.addr
+        # Simulate a giant sequential run by faking the open length.
+        engine._s_len = MAX_STREAM_LENGTH + 10 - a.size
+        engine.note_commit(DynBlock(a, True, a.addr), None, False)
+        capped = engine.predictor.predict([], a.addr)
+        assert capped is not None
+        assert capped.length == MAX_STREAM_LENGTH
+        assert capped.kind is BranchKind.NONE
+        assert capped.next_addr == a.addr + MAX_STREAM_LENGTH * 4

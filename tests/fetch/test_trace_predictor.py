@@ -1,0 +1,106 @@
+"""Tests for the next trace predictor and trace descriptors."""
+
+import pytest
+
+from repro.common.types import BranchKind
+from repro.fetch.trace_predictor import (
+    MAX_TRACE_BRANCHES,
+    MAX_TRACE_LENGTH,
+    NextTracePredictor,
+    TraceDescriptor,
+    TracePredictorConfig,
+)
+
+
+def desc(start=0x1000, outcomes=(True,), segments=None, nxt=0x2000,
+         kind=BranchKind.COND):
+    if segments is None:
+        segments = ((start, 6), (start + 0x100, 6))
+    length = sum(n for _, n in segments)
+    return TraceDescriptor(
+        start=start, outcomes=tuple(outcomes), segments=tuple(segments),
+        length=length, terminal_kind=kind, next_addr=nxt,
+    )
+
+
+class TestDescriptor:
+    def test_outcome_bits(self):
+        d = desc(outcomes=(True, False, True))
+        assert d.outcome_bits == 0b101
+
+    def test_key_distinguishes_outcomes(self):
+        a = desc(outcomes=(True,))
+        b = desc(outcomes=(False,))
+        assert a.key != b.key
+
+    def test_interior_taken(self):
+        multi = desc()
+        single = desc(segments=((0x1000, 12),))
+        assert multi.interior_taken
+        assert not single.interior_taken
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TraceDescriptor(
+                start=0x1000, outcomes=(), segments=((0x1000, 4),),
+                length=5, terminal_kind=BranchKind.COND, next_addr=0,
+            )
+
+    def test_rejects_too_many_branches(self):
+        with pytest.raises(ValueError):
+            desc(outcomes=(True,) * (MAX_TRACE_BRANCHES + 1))
+
+    def test_rejects_empty_segments(self):
+        with pytest.raises(ValueError):
+            TraceDescriptor(
+                start=0x1000, outcomes=(), segments=(),
+                length=0, terminal_kind=BranchKind.COND, next_addr=0,
+            )
+
+
+class TestPredictor:
+    def test_table2_geometry(self):
+        cfg = TracePredictorConfig()
+        assert cfg.first_entries == 1024 and cfg.first_assoc == 4
+        assert cfg.second_entries == 4096 and cfg.second_assoc == 4
+        assert (cfg.dolc.depth, cfg.dolc.older_bits,
+                cfg.dolc.last_bits, cfg.dolc.current_bits) == (9, 4, 7, 9)
+
+    def test_cold_miss(self):
+        assert NextTracePredictor().predict([], 0x1000) is None
+
+    def test_learns_descriptor(self):
+        p = NextTracePredictor()
+        d = desc()
+        p.update([], d, False)
+        assert p.predict([], 0x1000) == d
+
+    def test_alias_reject(self):
+        """An entry describing a different start address is unusable."""
+        p = NextTracePredictor()
+        p.update([], desc(start=0x1000), False)
+        # Find another address with the same t1 index but same tag is
+        # nearly impossible; instead verify normal lookups at other
+        # addresses miss rather than return the wrong descriptor.
+        assert p.predict([], 0x1040) is None
+
+    def test_path_disambiguation(self):
+        p = NextTracePredictor()
+        d_a = desc(outcomes=(True, False), nxt=0x2000)
+        d_b = desc(outcomes=(False, True), nxt=0x3000)
+        path_a, path_b = [0x111], [0x999]
+        for _ in range(6):
+            p.update(path_a, d_a, True)
+            p.update(path_b, d_b, True)
+        assert p.predict(path_a, 0x1000) == d_a
+        assert p.predict(path_b, 0x1000) == d_b
+
+    def test_hysteresis_protects_majority(self):
+        p = NextTracePredictor()
+        major = desc(outcomes=(True,))
+        minor = desc(outcomes=(False,))
+        for _ in range(30):
+            p.update([], major, False)
+            p.update([], major, False)
+            p.update([], minor, False)
+        assert p.predict([], 0x1000) == major

@@ -1,0 +1,190 @@
+"""Tests for branch behaviour models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.behavior import (
+    Bernoulli,
+    GlobalCorrelated,
+    IndirectChooser,
+    LoopTrip,
+    Pattern,
+    PathCorrelated,
+    WalkContext,
+)
+
+
+def sample_many(behavior, n=2000, seed=1, record=False):
+    ctx = WalkContext(seed)
+    out = []
+    for _ in range(n):
+        v = behavior.sample(ctx, key=1)
+        out.append(v)
+        if record:
+            ctx.record_outcome(v)
+    return out
+
+
+class TestBernoulli:
+    def test_rate_close_to_p(self):
+        outcomes = sample_many(Bernoulli(0.8), 5000)
+        assert 0.76 < sum(outcomes) / len(outcomes) < 0.84
+
+    def test_extremes(self):
+        assert all(sample_many(Bernoulli(1.0), 100))
+        assert not any(sample_many(Bernoulli(0.0), 100))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+
+    def test_expected_rate(self):
+        assert Bernoulli(0.3).expected_true_rate() == pytest.approx(0.3)
+
+
+class TestLoopTrip:
+    def test_deterministic_trip(self):
+        b = LoopTrip(5.0, jitter=0.0)
+        outcomes = sample_many(b, 50)
+        # Trip 5: pattern of four Trues then one False, repeating.
+        assert outcomes[:10] == [True] * 4 + [False] + [True] * 4 + [False]
+
+    def test_trip_one_never_continues(self):
+        outcomes = sample_many(LoopTrip(1.0, jitter=0.0), 20)
+        assert not any(outcomes)
+
+    def test_mean_trip_respected(self):
+        b = LoopTrip(8.0, jitter=0.3)
+        outcomes = sample_many(b, 8000)
+        exits = outcomes.count(False)
+        mean_trip = len(outcomes) / max(exits, 1)
+        assert 6.0 < mean_trip < 10.5
+
+    def test_rejects_sub_one_trip(self):
+        with pytest.raises(ValueError):
+            LoopTrip(0.5)
+
+    def test_expected_rate(self):
+        assert LoopTrip(4.0).expected_true_rate() == pytest.approx(0.75)
+
+
+class TestPattern:
+    def test_repeats_exactly(self):
+        b = Pattern([True, False, False])
+        assert sample_many(b, 9) == [True, False, False] * 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Pattern([])
+
+    def test_expected_rate(self):
+        assert Pattern([True, False]).expected_true_rate() == 0.5
+
+
+class TestGlobalCorrelated:
+    def test_noiseless_is_deterministic_function_of_history(self):
+        b = GlobalCorrelated(mask=0b101, noise=0.0)
+        ctx1, ctx2 = WalkContext(1), WalkContext(99)
+        for h in (0b000, 0b101, 0b111, 0b100):
+            ctx1.global_history = h
+            ctx2.global_history = h
+            assert b.sample(ctx1, 1) == b.sample(ctx2, 1)
+
+    def test_parity_semantics(self):
+        b = GlobalCorrelated(mask=0b1, noise=0.0)
+        ctx = WalkContext(0)
+        ctx.global_history = 0b1
+        assert b.sample(ctx, 1) is True
+        ctx.global_history = 0b0
+        assert b.sample(ctx, 1) is False
+
+    def test_invert(self):
+        b = GlobalCorrelated(mask=0b1, noise=0.0, invert=True)
+        ctx = WalkContext(0)
+        ctx.global_history = 0b1
+        assert b.sample(ctx, 1) is False
+
+    def test_rejects_zero_mask(self):
+        with pytest.raises(ValueError):
+            GlobalCorrelated(mask=0)
+
+
+class TestPathCorrelated:
+    def test_depends_on_path(self):
+        b = PathCorrelated(depth=3, salt=5, noise=0.0)
+        ctx = WalkContext(0)
+        for bid in (3, 7, 9):
+            ctx.record_block(bid)
+        v1 = b.sample(ctx, 1)
+        ctx2 = WalkContext(0)
+        for bid in (3, 7, 9):
+            ctx2.record_block(bid)
+        assert b.sample(ctx2, 1) == v1
+
+    def test_different_paths_can_differ(self):
+        b = PathCorrelated(depth=2, salt=1, noise=0.0)
+        results = set()
+        for path in [(1, 2), (3, 4), (5, 6), (7, 8), (9, 10)]:
+            ctx = WalkContext(0)
+            for bid in path:
+                ctx.record_block(bid)
+            results.add(b.sample(ctx, 1))
+        assert results == {True, False}
+
+
+class TestIndirectChooser:
+    def test_respects_weights_roughly(self):
+        chooser = IndirectChooser([0.7, 0.2, 0.1])
+        ctx = WalkContext(3)
+        counts = [0, 0, 0]
+        for _ in range(3000):
+            counts[chooser.choose(ctx, 1)] += 1
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_in_range(self):
+        chooser = IndirectChooser([1, 1, 1, 1], phase_length=20)
+        ctx = WalkContext(5)
+        assert all(0 <= chooser.choose(ctx, 2) < 4 for _ in range(500))
+
+    def test_phases_create_runs(self):
+        chooser = IndirectChooser([1] * 8, phase_length=50)
+        ctx = WalkContext(7)
+        picks = [chooser.choose(ctx, 1) for _ in range(400)]
+        # With phases, consecutive repeats are much more common than 1/8.
+        repeats = sum(a == b for a, b in zip(picks, picks[1:]))
+        assert repeats / len(picks) > 0.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IndirectChooser([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IndirectChooser([1.0, -0.5])
+
+
+class TestWalkContext:
+    def test_history_shift(self):
+        ctx = WalkContext(0)
+        ctx.record_outcome(True)
+        ctx.record_outcome(False)
+        assert ctx.global_history & 0b11 == 0b10
+
+    def test_path_depth_bounded(self):
+        ctx = WalkContext(0)
+        for i in range(50):
+            ctx.record_block(i)
+        assert len(ctx.path_history) == WalkContext.PATH_DEPTH
+
+    def test_state_isolated_per_key(self):
+        ctx = WalkContext(0)
+        ctx.state_for(1)["x"] = 5
+        assert "x" not in ctx.state_for(2)
+        assert ctx.state_for(1)["x"] == 5
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_deterministic_given_seed(self, seed):
+        a = sample_many(Bernoulli(0.5), 50, seed=seed)
+        b = sample_many(Bernoulli(0.5), 50, seed=seed)
+        assert a == b

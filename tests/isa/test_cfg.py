@@ -1,0 +1,134 @@
+"""Tests for CFG construction and validation."""
+
+import pytest
+
+from repro.common.types import BranchKind
+from repro.isa.behavior import Bernoulli, IndirectChooser
+from repro.isa.cfg import ControlFlowGraph, IlpProfile
+
+
+def minimal_cfg() -> ControlFlowGraph:
+    cfg = ControlFlowGraph()
+    f = cfg.new_function("f")
+    a = cfg.new_block(f, 3, BranchKind.NONE)
+    b = cfg.new_block(f, 2, BranchKind.JUMP)
+    a.succ_false = b.bid
+    b.succ_true = a.bid
+    cfg.entry_bid = a.bid
+    return cfg
+
+
+class TestConstruction:
+    def test_bids_sequential(self):
+        cfg = minimal_cfg()
+        assert [blk.bid for blk in cfg.blocks] == [0, 1]
+
+    def test_function_entry_is_first_block(self):
+        cfg = minimal_cfg()
+        assert cfg.functions[0].entry == 0
+
+    def test_total_instructions(self):
+        assert minimal_cfg().total_instructions == 5
+
+    def test_rejects_empty_block(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        with pytest.raises(ValueError):
+            cfg.new_block(f, 0)
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        minimal_cfg().validate()
+
+    def test_missing_entry(self):
+        cfg = minimal_cfg()
+        cfg.entry_bid = None
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_cond_needs_behavior(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(f, 2, BranchKind.COND)
+        b = cfg.new_block(f, 1, BranchKind.JUMP)
+        b.succ_true = a.bid
+        a.succ_true = b.bid
+        a.succ_false = b.bid
+        cfg.entry_bid = a.bid
+        with pytest.raises(ValueError, match="COND without behavior"):
+            cfg.validate()
+
+    def test_cond_needs_both_successors(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(f, 2, BranchKind.COND, behavior=Bernoulli(0.5))
+        a.succ_true = a.bid
+        cfg.entry_bid = a.bid
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_call_must_target_function_entry(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(f, 2, BranchKind.CALL)
+        b = cfg.new_block(f, 1, BranchKind.JUMP)
+        b.succ_true = a.bid
+        a.succ_true = b.bid  # b is not a function entry
+        a.succ_false = b.bid
+        cfg.entry_bid = a.bid
+        with pytest.raises(ValueError, match="not a\n?.*function entry|is not"):
+            cfg.validate()
+
+    def test_ind_needs_chooser(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(f, 2, BranchKind.IND, ind_targets=[0])
+        cfg.entry_bid = a.bid
+        with pytest.raises(ValueError, match="IND without chooser"):
+            cfg.validate()
+
+    def test_ind_chooser_arity_mismatch(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(
+            f, 2, BranchKind.IND, ind_targets=[0],
+            ind_chooser=IndirectChooser([1, 1]),
+        )
+        cfg.entry_bid = a.bid
+        with pytest.raises(ValueError, match="arity"):
+            cfg.validate()
+
+
+class TestSuccessors:
+    def test_cond_successors(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(f, 2, BranchKind.COND, behavior=Bernoulli(0.5))
+        a.succ_true = 5
+        a.succ_false = 7
+        assert a.successors() == [5, 7]
+
+    def test_ret_has_no_static_successors(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        r = cfg.new_block(f, 1, BranchKind.RET)
+        assert r.successors() == []
+
+    def test_census(self):
+        cfg = minimal_cfg()
+        census = cfg.static_branch_census()
+        assert census == {"NONE": 1, "JUMP": 1}
+
+
+class TestIlpProfile:
+    def test_defaults_valid(self):
+        IlpProfile()
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(ValueError):
+            IlpProfile(load_fraction=0.6, store_fraction=0.5)
+
+    def test_rejects_bad_dep_distance(self):
+        with pytest.raises(ValueError):
+            IlpProfile(mean_dep_distance=0.5)

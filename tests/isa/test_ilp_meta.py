@@ -1,0 +1,50 @@
+"""Property tests for instruction metadata synthesis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import InstrClass
+from repro.isa.cfg import IlpProfile
+from repro.isa.layout import natural_order
+from repro.isa.program import link
+from repro.isa.workloads import build_benchmark
+
+
+def collect_meta(scale=0.25, seed=3):
+    cfg = build_benchmark("gzip", scale=scale)
+    program = link(cfg, natural_order(cfg), seed=seed)
+    meta = []
+    for lb in program.linear_blocks[:400]:
+        meta.extend(program.instr_meta(lb))
+    return meta, cfg.ilp
+
+
+class TestClassMix:
+    def test_fractions_roughly_match_profile(self):
+        meta, ilp = collect_meta()
+        n = len(meta)
+        loads = sum(1 for m in meta if m[0] == int(InstrClass.LOAD))
+        stores = sum(1 for m in meta if m[0] == int(InstrClass.STORE))
+        assert abs(loads / n - ilp.load_fraction) < 0.08
+        assert abs(stores / n - ilp.store_fraction) < 0.06
+
+    def test_memory_ops_have_address_patterns(self):
+        meta, _ = collect_meta()
+        for m in meta:
+            cls, _, _, _, base, stride, span = m
+            if cls in (int(InstrClass.LOAD), int(InstrClass.STORE)):
+                assert span > 0
+            else:
+                assert base == stride == span == 0
+
+    def test_dep_distance_mean_sane(self):
+        meta, ilp = collect_meta()
+        d1s = [m[2] for m in meta if m[2] > 0]
+        assert d1s, "some instructions must carry dependences"
+        mean = sum(d1s) / len(d1s)
+        assert 1.0 < mean < 3 * ilp.mean_dep_distance
+
+    def test_caching_returns_same_object(self):
+        cfg = build_benchmark("gzip", scale=0.2)
+        program = link(cfg, natural_order(cfg), seed=1)
+        lb = program.linear_blocks[0]
+        assert program.instr_meta(lb) is program.instr_meta(lb)

@@ -1,0 +1,86 @@
+"""Tests for baseline and optimized code layout."""
+
+import pytest
+
+from repro.isa.layout import (
+    layout_quality,
+    natural_order,
+    optimized_order,
+)
+from repro.isa.trace import profile_edges
+from repro.isa.workloads import build_benchmark
+
+from helpers import build_tiny_cfg
+
+
+class TestNaturalOrder:
+    def test_is_permutation(self, tiny_cfg):
+        order = natural_order(tiny_cfg)
+        assert sorted(order) == list(range(tiny_cfg.num_blocks))
+
+    def test_creation_order_within_function(self, tiny_cfg):
+        assert natural_order(tiny_cfg) == [0, 1, 2, 3, 4]
+
+
+class TestOptimizedOrder:
+    def test_is_permutation(self, tiny_cfg):
+        profile = profile_edges(tiny_cfg, seed=1, n_blocks=2000)
+        order = optimized_order(tiny_cfg, profile)
+        assert sorted(order) == list(range(tiny_cfg.num_blocks))
+
+    def test_hot_successor_becomes_adjacent(self, tiny_cfg):
+        """A->B is the hot edge (90%); optimization must place B after A."""
+        profile = profile_edges(tiny_cfg, seed=1, n_blocks=2000)
+        order = optimized_order(tiny_cfg, profile)
+        pos = {bid: i for i, bid in enumerate(order)}
+        assert pos[1] == pos[0] + 1
+
+    def test_quality_improves(self):
+        cfg = build_benchmark("gzip", scale=0.3)
+        profile = profile_edges(cfg, seed=1, n_blocks=30000)
+        natural_q = layout_quality(cfg, natural_order(cfg), profile)
+        optimized_q = layout_quality(cfg, optimized_order(cfg, profile),
+                                     profile)
+        assert optimized_q > natural_q
+
+    def test_cold_blocks_pushed_back(self):
+        cfg = build_benchmark("gzip", scale=0.3)
+        profile = profile_edges(cfg, seed=1, n_blocks=30000)
+        order = optimized_order(cfg, profile)
+        executed = set()
+        for (src, dst) in profile:
+            executed.add(src)
+            executed.add(dst)
+        pos = {bid: i for i, bid in enumerate(order)}
+        cold = [bid for bid in order if bid not in executed]
+        hot = [bid for bid in order if bid in executed]
+        if cold and hot:
+            import statistics
+            assert statistics.mean(pos[b] for b in cold) > statistics.mean(
+                pos[b] for b in hot
+            )
+
+    def test_entry_function_first(self):
+        cfg = build_benchmark("gzip", scale=0.3)
+        profile = profile_edges(cfg, seed=1, n_blocks=10000)
+        order = optimized_order(cfg, profile)
+        assert cfg.block(order[0]).func_id == cfg.block(cfg.entry_bid).func_id
+
+    def test_deterministic(self):
+        cfg = build_benchmark("vpr", scale=0.3)
+        profile = profile_edges(cfg, seed=1, n_blocks=10000)
+        assert optimized_order(cfg, profile) == optimized_order(cfg, profile)
+
+    def test_empty_profile_still_valid(self, tiny_cfg):
+        order = optimized_order(tiny_cfg, {})
+        assert sorted(order) == list(range(tiny_cfg.num_blocks))
+
+
+class TestLayoutQuality:
+    def test_zero_for_empty_profile(self, tiny_cfg):
+        assert layout_quality(tiny_cfg, natural_order(tiny_cfg), {}) == 0.0
+
+    def test_bounded(self, tiny_cfg):
+        profile = profile_edges(tiny_cfg, seed=1, n_blocks=1000)
+        q = layout_quality(tiny_cfg, natural_order(tiny_cfg), profile)
+        assert 0.0 <= q <= 1.0

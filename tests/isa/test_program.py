@@ -1,0 +1,189 @@
+"""Tests for linking (layout -> program image) and instruction metadata."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import INSTRUCTION_BYTES, BranchKind, InstrClass
+from repro.isa.behavior import Bernoulli
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.layout import natural_order
+from repro.isa.program import link
+
+
+def hammock_cfg() -> ControlFlowGraph:
+    """entry -> cond -> (then | else) -> join -> jump back."""
+    cfg = ControlFlowGraph()
+    f = cfg.new_function("f")
+    cond = cfg.new_block(f, 3, BranchKind.COND, behavior=Bernoulli(0.5))
+    then = cfg.new_block(f, 4, BranchKind.NONE)
+    els = cfg.new_block(f, 5, BranchKind.NONE)
+    join = cfg.new_block(f, 2, BranchKind.JUMP)
+    cond.succ_true = then.bid
+    cond.succ_false = els.bid
+    then.succ_false = join.bid
+    els.succ_false = join.bid
+    join.succ_true = cond.bid
+    cfg.entry_bid = cond.bid
+    cfg.validate()
+    return cfg
+
+
+class TestLinkBasics:
+    def test_rejects_non_permutation(self):
+        cfg = hammock_cfg()
+        with pytest.raises(ValueError):
+            link(cfg, [0, 1, 2])  # missing block 3
+
+    def test_addresses_monotonic_and_contiguous(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3])
+        addr = program.base_address
+        for lb in program.linear_blocks:
+            assert lb.addr == addr
+            addr += lb.size * INSTRUCTION_BYTES
+
+    def test_entry_address(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3], base_address=0x8000)
+        assert program.entry_address == 0x8000
+
+
+class TestBranchSense:
+    def test_adjacent_true_successor_flips_branch(self):
+        """Natural order: then (succ_true) right after cond -> flip."""
+        program = link(hammock_cfg(), [0, 1, 2, 3])
+        cond_lb = program.linear_blocks[0]
+        assert cond_lb.kind is BranchKind.COND
+        assert cond_lb.taken_means_true is False
+        # Branch target must be the else block.
+        els_addr = program.addr_of_bid[2]
+        assert cond_lb.target_addr == els_addr
+
+    def test_adjacent_false_successor_keeps_sense(self):
+        """Order with else adjacent: no flip; target = then."""
+        program = link(hammock_cfg(), [0, 2, 1, 3])
+        cond_lb = program.block_starting_at(program.addr_of_bid[0])
+        assert cond_lb.taken_means_true is True
+        assert cond_lb.target_addr == program.addr_of_bid[1]
+
+    def test_neither_adjacent_gets_stub(self):
+        """Order [cond, join, then, else]: fall-through needs a stub."""
+        program = link(hammock_cfg(), [0, 3, 1, 2])
+        stubs = [lb for lb in program.linear_blocks if lb.is_stub]
+        assert stubs, "expected a trampoline stub"
+        stub = stubs[0]
+        assert stub.kind is BranchKind.JUMP
+        assert stub.size == 1
+        assert stub.target_addr == program.addr_of_bid[2]  # -> else
+
+
+class TestStubsForStraightline:
+    def test_none_block_nonadjacent_successor(self):
+        cfg = ControlFlowGraph()
+        f = cfg.new_function("f")
+        a = cfg.new_block(f, 3, BranchKind.NONE)
+        b = cfg.new_block(f, 2, BranchKind.NONE)
+        c = cfg.new_block(f, 1, BranchKind.JUMP)
+        a.succ_false = c.bid  # skips b
+        b.succ_false = c.bid
+        c.succ_true = a.bid
+        cfg.entry_bid = a.bid
+        cfg.validate()
+        program = link(cfg, [0, 1, 2])
+        # a falls through into a stub that jumps to c.
+        stub = program.linear_blocks[1]
+        assert stub.is_stub
+        assert stub.target_addr == program.addr_of_bid[2]
+
+    def test_call_return_point_stub(self):
+        cfg = ControlFlowGraph()
+        callee_f = cfg.new_function("callee")
+        callee = cfg.new_block(callee_f, 2, BranchKind.RET)
+        f = cfg.new_function("f")
+        call = cfg.new_block(f, 2, BranchKind.CALL)
+        other = cfg.new_block(f, 3, BranchKind.NONE)
+        ret_point = cfg.new_block(f, 2, BranchKind.JUMP)
+        call.succ_true = callee.bid
+        call.succ_false = ret_point.bid  # NOT adjacent in the order below
+        other.succ_false = ret_point.bid
+        ret_point.succ_true = call.bid
+        cfg.entry_bid = call.bid
+        cfg.validate()
+        program = link(cfg, [1, 2, 3, 0])
+        call_lb = program.block_starting_at(program.addr_of_bid[1])
+        following = program.linear_blocks[call_lb.index + 1]
+        assert following.is_stub
+        assert following.target_addr == program.addr_of_bid[3]
+
+
+class TestAddressLookup:
+    def test_block_containing_offsets(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3])
+        lb0 = program.linear_blocks[0]
+        lb, off = program.block_containing(lb0.addr + 2 * INSTRUCTION_BYTES)
+        assert lb is lb0
+        assert off == 2
+
+    def test_block_containing_rejects_outside(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            program.block_containing(program.end_address)
+        with pytest.raises(ValueError):
+            program.block_containing(program.base_address - 4)
+
+    def test_branch_addr_is_last_slot(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3])
+        lb = program.linear_blocks[0]
+        assert lb.branch_addr == lb.addr + (lb.size - 1) * INSTRUCTION_BYTES
+
+    def test_none_block_has_no_branch_addr(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3])
+        then_lb = program.block_starting_at(program.addr_of_bid[1])
+        assert then_lb.branch_addr is None
+
+
+class TestInstrMeta:
+    def test_meta_length_matches_block(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3], seed=3)
+        for lb in program.linear_blocks:
+            assert len(program.instr_meta(lb)) == lb.size
+
+    def test_terminal_slot_is_branch(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3], seed=3)
+        cond_lb = program.linear_blocks[0]
+        meta = program.instr_meta(cond_lb)
+        assert meta[-1][0] == int(InstrClass.BRANCH)
+
+    def test_meta_deterministic_across_layouts(self):
+        """Origin blocks carry identical instructions in any layout."""
+        cfg = hammock_cfg()
+        p1 = link(cfg, [0, 1, 2, 3], seed=9)
+        cfg2 = hammock_cfg()
+        p2 = link(cfg2, [0, 2, 1, 3], seed=9)
+        lb1 = p1.block_starting_at(p1.addr_of_bid[1])
+        lb2 = p2.block_starting_at(p2.addr_of_bid[1])
+        assert p1.instr_meta(lb1) == p2.instr_meta(lb2)
+
+    def test_dep_distances_bounded(self):
+        program = link(hammock_cfg(), [0, 1, 2, 3], seed=5)
+        for lb in program.linear_blocks:
+            for meta in program.instr_meta(lb):
+                _, _, d1, d2, *_ = meta
+                assert 0 <= d1 <= 64
+                assert 0 <= d2 <= 64
+
+
+@settings(max_examples=25, deadline=None)
+@given(order_seed=st.integers(0, 10_000))
+def test_property_any_order_links_consistently(order_seed):
+    """Every permutation yields a well-formed image: contiguous blocks,
+    resolvable targets, and all origin blocks present."""
+    import random
+
+    cfg = hammock_cfg()
+    order = [0, 1, 2, 3]
+    random.Random(order_seed).shuffle(order)
+    program = link(cfg, order)
+    assert set(program.addr_of_bid) == {0, 1, 2, 3}
+    for lb in program.linear_blocks:
+        if lb.kind in (BranchKind.COND, BranchKind.JUMP, BranchKind.CALL):
+            target_lb = program.block_starting_at(lb.target_addr)
+            assert target_lb is not None, "targets must start blocks"

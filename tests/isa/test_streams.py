@@ -1,0 +1,113 @@
+"""Tests for stream extraction (paper §1, Fig. 1) and statistics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import BranchKind
+from repro.isa.streams import Stream, extract_streams, stream_statistics
+from repro.isa.trace import TraceWalker
+from repro.isa.workloads import prepare_program, ref_trace_seed
+
+
+class TestStreamInvariants:
+    def test_streams_end_at_taken_branches(self, tiny_program):
+        walker = TraceWalker(tiny_program, seed=3)
+        dyns = [next(walker) for _ in range(600)]
+        streams = list(extract_streams(iter(dyns)))
+        # Sum of stream lengths equals total instructions walked.
+        assert sum(s.length for s in streams) == sum(d.size for d in dyns)
+
+    def test_stream_boundaries_match_taken(self, tiny_program):
+        walker = TraceWalker(tiny_program, seed=3)
+        dyns = [next(walker) for _ in range(600)]
+        taken = sum(1 for d in dyns if d.taken)
+        streams = list(extract_streams(iter(dyns)))
+        # Every taken branch ends one stream; the tail may add one more.
+        assert taken <= len(streams) <= taken + 1
+
+    def test_stream_starts_are_branch_targets(self, tiny_program):
+        walker = TraceWalker(tiny_program, seed=3)
+        dyns = [next(walker) for _ in range(600)]
+        streams = list(extract_streams(iter(dyns)))
+        targets = {d.next_addr for d in dyns if d.taken}
+        targets.add(dyns[0].addr)
+        for s in streams:
+            assert s.start_addr in targets
+
+    def test_max_length_cap(self, tiny_program):
+        walker = TraceWalker(tiny_program, seed=3)
+        dyns = [next(walker) for _ in range(600)]
+        for s in extract_streams(iter(dyns), max_length=8):
+            assert s.length <= 8
+
+    def test_capped_streams_conserve_instructions(self, tiny_program):
+        walker = TraceWalker(tiny_program, seed=3)
+        dyns = [next(walker) for _ in range(400)]
+        uncapped = sum(s.length for s in extract_streams(iter(dyns)))
+        capped = sum(
+            s.length for s in extract_streams(iter(dyns), max_length=8)
+        )
+        assert uncapped == capped
+
+
+class TestStreamDataclass:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Stream(0x1000, 0, 1, BranchKind.COND)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            Stream(0x1000, 4, 0, BranchKind.COND)
+
+
+class TestStatistics:
+    def test_keys_present(self, tiny_program):
+        stats = stream_statistics(TraceWalker(tiny_program, seed=3), 3000)
+        for key in ("avg_stream_length", "avg_block_length",
+                    "taken_fraction", "streams_per_kinstr"):
+            assert key in stats
+
+    def test_taken_fraction_bounded(self, tiny_program):
+        stats = stream_statistics(TraceWalker(tiny_program, seed=3), 3000)
+        assert 0.0 <= stats["taken_fraction"] <= 1.0
+
+    def test_too_short_trace_raises(self, tiny_program):
+        with pytest.raises(ValueError):
+            stream_statistics(iter([]), 100)
+
+
+class TestPaperClaims:
+    """§3.2 / Table 1: layout optimization lengthens streams and makes
+    most conditional instances not-taken."""
+
+    def test_optimized_streams_longer(self, gzip_programs):
+        base, opt = gzip_programs
+        seed = ref_trace_seed("gzip")
+        s_base = stream_statistics(TraceWalker(base, seed), 30000)
+        s_opt = stream_statistics(TraceWalker(opt, seed), 30000)
+        assert s_opt["avg_stream_length"] > 1.5 * s_base["avg_stream_length"]
+
+    def test_optimized_mostly_not_taken(self, gzip_programs):
+        base, opt = gzip_programs
+        seed = ref_trace_seed("gzip")
+        s_base = stream_statistics(TraceWalker(base, seed), 30000)
+        s_opt = stream_statistics(TraceWalker(opt, seed), 30000)
+        # Paper §3.2: optimization aligns branches towards not-taken
+        # (~80% of instances not taken on the full-size workloads).
+        assert s_opt["taken_fraction"] < 0.5
+        assert s_opt["taken_fraction"] < 0.75 * s_base["taken_fraction"]
+
+    def test_average_block_5_to_6(self, gzip_programs):
+        base, _ = gzip_programs
+        seed = ref_trace_seed("gzip")
+        stats = stream_statistics(TraceWalker(base, seed), 30000)
+        assert 3.5 < stats["avg_block_length"] < 8.0
+
+    def test_optimized_streams_over_16(self, gzip_programs):
+        """Paper: 'the average stream contains over 16 instructions'."""
+        _, opt = gzip_programs
+        seed = ref_trace_seed("gzip")
+        stats = stream_statistics(TraceWalker(opt, seed), 30000)
+        assert stats["avg_stream_length"] > 16.0

@@ -1,0 +1,122 @@
+"""Tests for the synthetic SPECint2000 workload generators."""
+
+import pytest
+
+from repro.common.types import BranchKind
+from repro.isa.trace import TraceWalker, profile_edges
+from repro.isa.workloads import (
+    SPEC_BENCHMARKS,
+    WorkloadSpec,
+    benchmark_spec,
+    build_benchmark,
+    prepare_program,
+    ref_trace_seed,
+)
+
+
+class TestRegistry:
+    def test_eleven_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 11
+
+    def test_order_matches_figure9(self):
+        assert SPEC_BENCHMARKS == (
+            "gzip", "vpr", "gcc", "crafty", "parser", "eon",
+            "perlbmk", "gap", "vortex", "bzip2", "twolf",
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("mcf")  # floating-point-free but not in SPECint's 11 here
+
+    def test_specs_have_distinct_seeds(self):
+        seeds = {benchmark_spec(b).seed for b in SPEC_BENCHMARKS}
+        assert len(seeds) == 11
+
+
+@pytest.mark.parametrize("name", SPEC_BENCHMARKS)
+class TestEveryBenchmarkBuilds:
+    def test_builds_and_validates(self, name):
+        cfg = build_benchmark(name, scale=0.2)
+        cfg.validate()
+        assert cfg.num_blocks > 50
+
+    def test_walkable(self, name):
+        program = prepare_program(name, optimized=False, scale=0.2)
+        walker = TraceWalker(program, ref_trace_seed(name))
+        for _ in range(500):
+            next(walker)
+
+
+class TestDeterminism:
+    def test_same_seed_same_cfg(self):
+        a = build_benchmark("gzip", scale=0.3)
+        b = build_benchmark("gzip", scale=0.3)
+        assert a.num_blocks == b.num_blocks
+        for blk_a, blk_b in zip(a.blocks, b.blocks):
+            assert blk_a.size == blk_b.size
+            assert blk_a.kind == blk_b.kind
+            assert blk_a.succ_true == blk_b.succ_true
+            assert blk_a.succ_false == blk_b.succ_false
+
+    def test_scale_changes_footprint(self):
+        small = build_benchmark("gzip", scale=0.2)
+        big = build_benchmark("gzip", scale=1.0)
+        assert big.num_blocks > 2 * small.num_blocks
+
+
+class TestFootprintOrdering:
+    def test_gcc_bigger_than_gzip(self):
+        gcc = prepare_program("gcc", optimized=False, scale=0.4)
+        gzip = prepare_program("gzip", optimized=False, scale=0.4)
+        assert gcc.code_bytes > 3 * gzip.code_bytes
+
+    def test_vortex_large(self):
+        vortex = prepare_program("vortex", optimized=False, scale=0.4)
+        bzip2 = prepare_program("bzip2", optimized=False, scale=0.4)
+        assert vortex.code_bytes > 2 * bzip2.code_bytes
+
+
+class TestDynamicCharacter:
+    def test_gzip_block_size_realistic(self):
+        program = prepare_program("gzip", optimized=False, scale=0.3)
+        walker = TraceWalker(program, ref_trace_seed("gzip"))
+        instrs = blocks = 0
+        for _ in range(4000):
+            dyn = next(walker)
+            instrs += dyn.size
+            blocks += 1
+        assert 3.0 < instrs / blocks < 9.0
+
+    def test_calls_and_returns_balance(self):
+        program = prepare_program("eon", optimized=False, scale=0.3)
+        walker = TraceWalker(program, ref_trace_seed("eon"))
+        calls = rets = 0
+        for _ in range(20000):
+            dyn = next(walker)
+            if dyn.kind is BranchKind.CALL:
+                calls += 1
+            elif dyn.kind is BranchKind.RET:
+                rets += 1
+        assert calls > 10
+        assert abs(calls - rets) <= max(20, calls * 0.5)
+
+    def test_perlbmk_has_indirects(self):
+        program = prepare_program("perlbmk", optimized=False, scale=0.3)
+        walker = TraceWalker(program, ref_trace_seed("perlbmk"))
+        inds = sum(
+            1 for _ in range(20000) if next(walker).kind is BranchKind.IND
+        )
+        assert inds > 10
+
+
+class TestTrainRefSplit:
+    def test_profile_seed_differs_from_ref(self):
+        spec = benchmark_spec("gzip")
+        assert ref_trace_seed("gzip") != spec.seed
+
+    def test_layouts_differ(self):
+        base = prepare_program("gzip", optimized=False, scale=0.3)
+        opt = prepare_program("gzip", optimized=True, scale=0.3)
+        base_order = [lb.origin for lb in base.linear_blocks if not lb.is_stub]
+        opt_order = [lb.origin for lb in opt.linear_blocks if not lb.is_stub]
+        assert base_order != opt_order

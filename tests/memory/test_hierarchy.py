@@ -1,0 +1,70 @@
+"""Tests for the Table 2 memory hierarchy."""
+
+import pytest
+
+from repro.common.params import default_memory
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def mem() -> MemoryHierarchy:
+    return MemoryHierarchy(default_memory(8))
+
+
+class TestInstructionSide:
+    def test_cold_fetch_pays_memory(self, mem):
+        latency = mem.fetch_line(0x1000)
+        assert latency == 1 + 15 + 100
+
+    def test_warm_fetch_is_l1_hit(self, mem):
+        mem.fetch_line(0x1000)
+        assert mem.fetch_line(0x1000) == 1
+
+    def test_l2_hit_after_l1_eviction(self, mem):
+        mem.fetch_line(0x1000)
+        # Evict from 64KB 2-way L1I by touching two conflicting lines.
+        line = mem.params.il1.line_bytes
+        way_stride = mem.params.il1.num_sets * line
+        mem.fetch_line(0x1000 + way_stride)
+        mem.fetch_line(0x1000 + 2 * way_stride)
+        latency = mem.fetch_line(0x1000)
+        assert latency == 1 + 15  # L2 still holds it
+
+    def test_wide_line_spans_multiple_l2_lines(self, mem):
+        # 128B L1I line = two 64B L2 lines; both get filled.
+        mem.fetch_line(0x2000)
+        assert mem.l2.probe(0x2000)
+        assert mem.l2.probe(0x2040)
+
+    def test_prefetch_fills_without_latency_result(self, mem):
+        mem.instruction_prefetch(0x3000)
+        assert mem.il1.probe(0x3000)
+        assert mem.fetch_line(0x3000) == 1
+
+
+class TestDataSide:
+    def test_cold_load(self, mem):
+        assert mem.data_access(0x50000) == 1 + 15 + 100
+
+    def test_warm_load(self, mem):
+        mem.data_access(0x50000)
+        assert mem.data_access(0x50000) == 1
+
+    def test_store_fills_too(self, mem):
+        mem.data_access(0x60000, is_store=True)
+        assert mem.data_access(0x60000) == 1
+
+    def test_stats_summary_keys(self, mem):
+        mem.fetch_line(0x1000)
+        mem.data_access(0x2000)
+        stats = mem.stats_summary()
+        for key in ("il1_misses", "dl1_misses", "l2_misses",
+                    "il1_miss_rate", "dl1_miss_rate"):
+            assert key in stats
+
+
+class TestSharedL2:
+    def test_instruction_and_data_share_l2(self, mem):
+        mem.fetch_line(0x1000)       # fills L2 with 0x1000 (as data too)
+        latency = mem.data_access(0x1000)
+        assert latency == 1 + 15     # L2 hit thanks to the I-side fill
