@@ -18,6 +18,7 @@ def _run_width(width, sim_budget):
         instructions=sim_budget["instructions"],
         warmup=sim_budget["warmup"],
         scale=sim_budget["scale"],
+        jobs=sim_budget["jobs"],
     )
 
 

@@ -15,6 +15,7 @@ def _run(sim_budget):
         instructions=sim_budget["instructions"],
         warmup=sim_budget["warmup"],
         scale=sim_budget["scale"],
+        jobs=sim_budget["jobs"],
     )
 
 

@@ -22,13 +22,16 @@ FIGURE_SUITE = ("gzip", "gcc", "eon", "vortex", "twolf")
 def pytest_addoption(parser):
     parser.addoption("--repro-instructions", type=int, default=40_000)
     parser.addoption("--repro-scale", type=float, default=0.5)
+    parser.addoption("--repro-jobs", type=int, default=1,
+                     help="worker processes for run_matrix sharding")
 
 
 @pytest.fixture(scope="session")
 def sim_budget(request):
     n = request.config.getoption("--repro-instructions")
     return {"instructions": n, "warmup": n // 3,
-            "scale": request.config.getoption("--repro-scale")}
+            "scale": request.config.getoption("--repro-scale"),
+            "jobs": request.config.getoption("--repro-jobs")}
 
 
 @pytest.fixture(scope="session")

@@ -47,7 +47,11 @@ class BranchTargetBuffer:
             raise ValueError("number of sets must be a power of two")
         self.assoc = assoc
         self.name = name
-        self.stats = CounterBag()
+        # Hot-path event counters as plain ints; see the stats property.
+        self.lookups = 0
+        self.misses = 0
+        self.allocations = 0
+        self.evictions = 0
         self._sets: List[List[BTBEntry]] = [[] for _ in range(self.num_sets)]
         self._index_mask = self.num_sets - 1
 
@@ -60,14 +64,26 @@ class BranchTargetBuffer:
     def lookup(self, pc: int) -> Optional[BTBEntry]:
         """Probe; moves a hit to MRU.  Returns the entry or ``None``."""
         ways, tag = self._locate(pc)
-        self.stats.add("lookups")
+        self.lookups += 1
+        if ways and ways[0].tag == tag:  # MRU fast path
+            return ways[0]
         for i, entry in enumerate(ways):
             if entry.tag == tag:
                 if i:
                     ways.insert(0, ways.pop(i))
                 return entry
-        self.stats.add("misses")
+        self.misses += 1
         return None
+
+    @property
+    def stats(self) -> CounterBag:
+        """Counters in mergeable CounterBag form (built on demand)."""
+        return CounterBag({
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+        })
 
     def update(self, pc: int, target: int, kind: BranchKind, taken: bool) -> None:
         """Commit-time update: allocate on taken, train direction bits."""
@@ -84,7 +100,7 @@ class BranchTargetBuffer:
         if not taken:
             return  # never allocate on a not-taken branch
         ways.insert(0, BTBEntry(tag, target, kind))
-        self.stats.add("allocations")
+        self.allocations += 1
         if len(ways) > self.assoc:
             ways.pop()
-            self.stats.add("evictions")
+            self.evictions += 1

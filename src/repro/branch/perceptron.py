@@ -56,6 +56,10 @@ class PerceptronPredictor:
         ]
         self._local: List[int] = [0] * cfg.local_table_entries
         self._local_mask = (1 << cfg.local_history_bits) - 1
+        # Sum of the non-bias weights per perceptron, maintained by
+        # update(): lets predict() visit only the *set* history bits
+        # (y = bias - wsum + 2 * sum of weights at set bits).
+        self._wsum: List[int] = [0] * cfg.num_perceptrons
 
     # ------------------------------------------------------------------
     def _inputs(self, pc: int, global_history: int) -> Tuple[int, int, int]:
@@ -69,17 +73,18 @@ class PerceptronPredictor:
     def predict(self, pc: int, global_history: int) -> Tuple[bool, PredictionInfo]:
         pidx, lidx, bits = self._inputs(pc, global_history)
         weights = self._weights[pidx]
-        y = weights[0]  # bias
+        # Dot product over +1/-1 inputs, visiting only the set bits:
+        # y = bias + sum(w_i for set i) - sum(w_i for clear i)
+        #   = bias - wsum + 2 * sum(w_i for set i).
+        s = 0
         x = bits
         i = 1
-        n = self.config.num_inputs
-        while i <= n:
+        while x:
             if x & 1:
-                y += weights[i]
-            else:
-                y -= weights[i]
+                s += weights[i]
             x >>= 1
             i += 1
+        y = weights[0] - self._wsum[pidx] + 2 * s
         return y >= 0, (pidx, lidx, bits, y)
 
     # ------------------------------------------------------------------
@@ -97,6 +102,8 @@ class PerceptronPredictor:
                 xi = 1 if x & 1 else -1
                 weights[i] = _saturate(weights[i] + t * xi, cfg)
                 x >>= 1
+            # Refresh the cached non-bias weight sum (see predict()).
+            self._wsum[pidx] = sum(weights) - weights[0]
         # Local history is maintained non-speculatively (commit order).
         self._local[lidx] = ((self._local[lidx] << 1) | int(taken)) & self._local_mask
 

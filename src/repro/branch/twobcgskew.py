@@ -49,6 +49,7 @@ class TwoBcGskew:
         self._g1 = CounterTable(entries)
         self._meta = CounterTable(entries, init=2)  # slight e-gskew bias
         self._index_bits = entries.bit_length() - 1
+        self._fold_limit = 1 << (4 * self._index_bits)
 
     # ------------------------------------------------------------------
     def _indices(self, pc: int, history: int) -> Tuple[int, int, int, int]:
@@ -57,12 +58,33 @@ class TwoBcGskew:
         h0 = history & ((1 << cfg.short_history_bits) - 1)
         h1 = history & ((1 << cfg.history_bits) - 1)
         bits = self._index_bits
-        bim_i = fold_xor(word, bits)
+        mask = (1 << bits) - 1
+        limit = self._fold_limit
+        # fold_xor unrolled to four fold windows: identical to the loop
+        # for any operand below 2^(4*bits), which covers every realistic
+        # program address; larger operands take the general path.
+        v = word
+        if v < limit:
+            bim_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+        else:  # pragma: no cover - beyond any simulated image
+            bim_i = fold_xor(v, bits)
         # Distinct skewing functions per bank: rotate the pc contribution
         # so one aliasing collision does not strike all banks at once.
-        g0_i = fold_xor(word ^ (h0 << 5) ^ (word << 2), bits)
-        g1_i = fold_xor(word ^ (h1 << 3) ^ (word << 7), bits)
-        meta_i = fold_xor(word ^ (h1 << 9) ^ (word << 4), bits)
+        v = word ^ (h0 << 5) ^ (word << 2)
+        if v < limit:
+            g0_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+        else:  # pragma: no cover
+            g0_i = fold_xor(v, bits)
+        v = word ^ (h1 << 3) ^ (word << 7)
+        if v < limit:
+            g1_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+        else:  # pragma: no cover
+            g1_i = fold_xor(v, bits)
+        v = word ^ (h1 << 9) ^ (word << 4)
+        if v < limit:
+            meta_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+        else:  # pragma: no cover
+            meta_i = fold_xor(v, bits)
         return bim_i, g0_i, g1_i, meta_i
 
     # ------------------------------------------------------------------

@@ -77,6 +77,24 @@ class DolcHasher:
             raise ValueError("index_bits must be positive")
         self.spec = spec
         self.index_bits = index_bits
+        # Memoized per-address folds: the address population is bounded
+        # by the program image (plus a handful of placeholder keys), and
+        # the same addresses are hashed millions of times per run.
+        self._fold_cache: dict = {}
+        # Memoized (history-window, current) -> (index, tag): loops make
+        # the same windows recur constantly, and the commit-side update
+        # re-hashes exactly what the fetch side hashed.  Bounded by a
+        # deterministic clear so adversarial histories cannot leak.
+        self._it_cache: dict = {}
+
+    def _fold_addr(self, addr: int, width_bits: int) -> int:
+        key = (addr, width_bits)
+        folded = self._fold_cache.get(key)
+        if folded is None:
+            folded = self._fold_cache[key] = fold_xor(
+                addr >> _ADDR_SHIFT, width_bits
+            )
+        return folded
 
     def index(self, history: Sequence[int], current: int) -> int:
         """Hash the most recent ``depth - 1`` history addresses + current.
@@ -92,22 +110,87 @@ class DolcHasher:
         software equivalent of that tuning.
         """
         spec = self.spec
-        value = fold_xor(current >> _ADDR_SHIFT, spec.current_bits)
+        fold_addr = self._fold_addr
+        value = fold_addr(current, spec.current_bits)
         width = spec.current_bits
 
         wanted = spec.depth - 1
-        if wanted and history:
-            recent = history[-wanted:]
+        n = len(history)
+        if wanted and n:
+            take = wanted if wanted < n else n
             # Most recent history entry contributes `last_bits`.
-            value |= fold_xor(recent[-1] >> _ADDR_SHIFT, spec.last_bits) << width
+            value |= fold_addr(history[-1], spec.last_bits) << width
             width += spec.last_bits
-            if spec.older_bits:
-                for addr in reversed(recent[:-1]):
-                    value |= (
-                        fold_xor(addr >> _ADDR_SHIFT, spec.older_bits) << width
-                    )
-                    width += spec.older_bits
+            older_bits = spec.older_bits
+            if older_bits:
+                # history[-2] .. history[-take], newest-to-oldest — the
+                # same order the sliced version visited them in.
+                for i in range(2, take + 1):
+                    value |= fold_addr(history[-i], older_bits) << width
+                    width += older_bits
         return fold_xor(value, self.index_bits)
+
+    def index_tag(self, history: Sequence[int], current: int) -> tuple:
+        """``(index, tag)`` computed in a single pass over the history.
+
+        Equivalent to ``(self.index(h, c), self.tag(h, c))`` but shares
+        the history walk and inlines the per-address fold memoization —
+        this pair is computed once per predictor lookup, which makes it
+        one of the hottest call sites in the whole simulator.
+        """
+        spec = self.spec
+        wanted = spec.depth - 1
+        n = len(history)
+        window = tuple(history[n - wanted:]) if n > wanted else tuple(history)
+        it_cache = self._it_cache
+        it_key = (current, window)
+        hit = it_cache.get(it_key)
+        if hit is not None:
+            return hit
+
+        cache = self._fold_cache
+        cache_get = cache.get
+
+        current_bits = spec.current_bits
+        key = (current, current_bits)
+        value = cache_get(key)
+        if value is None:
+            value = cache[key] = fold_xor(current >> _ADDR_SHIFT, current_bits)
+        width = current_bits
+
+        path = 0
+        if wanted and n:
+            take = wanted if wanted < n else n
+            last_bits = spec.last_bits
+            last = history[-1]
+            key = (last, last_bits)
+            folded = cache_get(key)
+            if folded is None:
+                folded = cache[key] = fold_xor(last >> _ADDR_SHIFT, last_bits)
+            value |= folded << width
+            width += last_bits
+            older_bits = spec.older_bits
+            if older_bits:
+                for i in range(2, take + 1):
+                    addr = history[-i]
+                    key = (addr, older_bits)
+                    folded = cache_get(key)
+                    if folded is None:
+                        folded = cache[key] = fold_xor(
+                            addr >> _ADDR_SHIFT, older_bits
+                        )
+                    value |= folded << width
+                    width += older_bits
+            # Path tag: oldest-to-newest over the same window.
+            for i in range(n - take, n):
+                path = ((path << 5) ^ (history[i] >> _ADDR_SHIFT)) & 0xFFFFFFFF
+        index = fold_xor(value, self.index_bits)
+        base = current >> (_ADDR_SHIFT + self.index_bits)
+        result = (index, (base << 16) ^ fold_xor(path, 16))
+        if len(it_cache) > (1 << 20):  # deterministic bound
+            it_cache.clear()
+        it_cache[it_key] = result
+        return result
 
     def tag(self, history: Sequence[int], current: int) -> int:
         """A tag that disambiguates different paths mapping to one index.
@@ -118,9 +201,11 @@ class DolcHasher:
         base = current >> (_ADDR_SHIFT + self.index_bits)
         path = 0
         wanted = self.spec.depth - 1
-        if wanted and history:
-            for addr in history[-wanted:]:
-                path = ((path << 5) ^ (addr >> _ADDR_SHIFT)) & 0xFFFFFFFF
+        n = len(history)
+        if wanted and n:
+            start = n - wanted if n > wanted else 0
+            for i in range(start, n):
+                path = ((path << 5) ^ (history[i] >> _ADDR_SHIFT)) & 0xFFFFFFFF
         return (base << 16) ^ fold_xor(path, 16)
 
 

@@ -34,9 +34,21 @@ from repro.memory.hierarchy import MemoryHierarchy
 #: dependence distance the metadata generator emits (64).
 _RING = 128
 
+# Plain-int class codes: metadata carries ints, and IntEnum equality is
+# several times slower than int equality on the per-instruction path.
+_LOAD = int(InstrClass.LOAD)
+_STORE = int(InstrClass.STORE)
+
 
 class DataflowBackend:
     """Incremental timing model for the out-of-order core."""
+
+    __slots__ = (
+        "machine", "mem", "width", "_completions", "_count",
+        "_issue_used", "_issue_floor", "_last_commit",
+        "_commits_in_cycle", "_load_counters",
+        "load_accesses", "store_accesses",
+    )
 
     def __init__(self, machine: MachineParams, mem: MemoryHierarchy) -> None:
         self.machine = machine
@@ -56,22 +68,50 @@ class DataflowBackend:
     def dispatch(
         self, meta: InstrMeta, slot_key: Tuple[int, int], dispatch_cycle: int
     ) -> Tuple[int, int]:
-        """Schedule one instruction; returns (complete, commit) cycles."""
+        """Schedule one instruction; returns (complete, commit) cycles.
+
+        This is the canonical dispatch model.  ``Processor.run`` carries
+        a hand-inlined copy of this body (plus the L1D fast path of
+        ``MemoryHierarchy.data_access``) for speed — any semantic change
+        here must be mirrored there, and
+        ``tests/core/test_backend.py::TestDispatchProcessorParity``
+        cross-checks the two.
+        """
         cls, latency, d1, d2, mem_base, mem_stride, mem_span = meta
+        completions = self._completions
         index = self._count
         ready = dispatch_cycle + 1
         if d1:
-            ready = max(ready, self._completions[(index - d1) % _RING])
+            dep = completions[(index - d1) % _RING]
+            if dep > ready:
+                ready = dep
         if d2:
-            ready = max(ready, self._completions[(index - d2) % _RING])
+            dep = completions[(index - d2) % _RING]
+            if dep > ready:
+                ready = dep
 
-        issue = self._allocate_issue_slot(ready)
+        # Issue-slot allocation: earliest cycle >= ready with spare
+        # issue bandwidth (inlined; this runs once per instruction and
+        # the call overhead is measurable).
+        width = self.width
+        floor = self._issue_floor
+        issue = ready if ready > floor else floor
+        used = self._issue_used
+        used_get = used.get
+        while used_get(issue, 0) >= width:
+            issue += 1
+        used[issue] = used_get(issue, 0) + 1
+        if len(used) > 4096:
+            floor = issue - 256
+            self._issue_used = {c: n for c, n in used.items() if c >= floor}
+            if floor > self._issue_floor:
+                self._issue_floor = floor
 
-        if cls == InstrClass.LOAD:
+        if cls == _LOAD:
             latency += self._memory_latency(slot_key, mem_base, mem_stride,
                                             mem_span, is_store=False)
             self.load_accesses += 1
-        elif cls == InstrClass.STORE:
+        elif cls == _STORE:
             # Stores retire through the store buffer; the D-cache access
             # happens for its side effects but does not extend latency.
             self._memory_latency(slot_key, mem_base, mem_stride, mem_span,
@@ -79,32 +119,15 @@ class DataflowBackend:
             self.store_accesses += 1
 
         complete = issue + latency
-        self._completions[index % _RING] = complete
-        self._count += 1
+        completions[index % _RING] = complete
+        self._count = index + 1
 
-        commit = self._allocate_commit_slot(complete + 1)
-        return complete, commit
-
-    # ------------------------------------------------------------------
-    def _allocate_issue_slot(self, ready: int) -> int:
-        """Earliest cycle >= ready with spare issue bandwidth."""
-        cycle = max(ready, self._issue_floor)
-        used = self._issue_used
-        while used.get(cycle, 0) >= self.width:
-            cycle += 1
-        used[cycle] = used.get(cycle, 0) + 1
-        # Prune old cycles occasionally to bound memory.
-        if len(used) > 4096:
-            floor = cycle - 256
-            self._issue_used = {c: n for c, n in used.items() if c >= floor}
-            self._issue_floor = max(self._issue_floor, floor)
-        return cycle
-
-    def _allocate_commit_slot(self, earliest: int) -> int:
-        """In-order commit, at most ``width`` per cycle."""
-        commit = max(earliest, self._last_commit)
-        if commit == self._last_commit:
-            if self._commits_in_cycle >= self.width:
+        # Commit-slot allocation: in-order, at most ``width`` per cycle.
+        earliest = complete + 1
+        last = self._last_commit
+        commit = earliest if earliest > last else last
+        if commit == last:
+            if self._commits_in_cycle >= width:
                 commit += 1
                 self._commits_in_cycle = 1
             else:
@@ -112,8 +135,9 @@ class DataflowBackend:
         else:
             self._commits_in_cycle = 1
         self._last_commit = commit
-        return commit
+        return complete, commit
 
+    # ------------------------------------------------------------------
     def _memory_latency(
         self,
         slot_key: Tuple[int, int],
@@ -123,11 +147,17 @@ class DataflowBackend:
         is_store: bool,
     ) -> int:
         """Synthesize this access's address and probe the D-cache."""
-        k = self._load_counters.get(slot_key, 0)
-        self._load_counters[slot_key] = k + 1
-        addr = base + (k * stride) % max(span, 1)
-        latency = self.mem.data_access(addr, is_store)
-        return latency - 1  # the base latency already charges 1 cycle
+        counters = self._load_counters
+        k = counters.get(slot_key, 0)
+        counters[slot_key] = k + 1
+        addr = base + (k * stride) % (span if span > 0 else 1)
+        # Inlined L1D-hit fast path of MemoryHierarchy.data_access.
+        mem = self.mem
+        if mem.dl1.access(addr):
+            return mem._dl1_hit - 1
+        if mem.l2.access(addr):
+            return mem._dl1_hit + mem._l2_lat - 1
+        return mem._dl1_hit + mem._l2_lat + mem._mem_lat - 1
 
     # ------------------------------------------------------------------
     @property

@@ -32,11 +32,14 @@ from typing import Deque, Optional, Tuple
 
 from repro.common.params import MachineParams
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.core.backend import DataflowBackend
+from repro.core.backend import _LOAD, _RING, _STORE, DataflowBackend
 from repro.core.results import SimulationResult
 from repro.fetch.base import FetchEngine
 from repro.isa.trace import DynBlock, TraceWalker
 from repro.memory.hierarchy import MemoryHierarchy
+
+#: Sentinel "no queued entry" cycle for the cached queue heads.
+_NEVER = 1 << 62
 
 
 class _TraceCursor:
@@ -105,13 +108,24 @@ class Processor:
         self.optimized = optimized
 
     # ------------------------------------------------------------------
-    def run(self, max_instructions: int, warmup: int = 0) -> SimulationResult:
+    def run(
+        self,
+        max_instructions: int,
+        warmup: int = 0,
+        _reference_dispatch: bool = False,
+    ) -> SimulationResult:
         """Simulate until ``max_instructions`` have been scheduled.
 
         With ``warmup`` > 0, the first ``warmup`` instructions train the
         predictors and caches but are excluded from the reported cycle
         and event counts — the small-trace equivalent of the paper
         fast-forwarding to a representative segment before measuring.
+
+        ``_reference_dispatch`` routes every instruction through the
+        canonical :meth:`DataflowBackend.dispatch` instead of the
+        hand-inlined copy below.  It exists for the parity test that
+        pins the two implementations together; results must be
+        identical either way.
         """
         core = self.machine.core
         engine = self.engine
@@ -138,13 +152,57 @@ class Processor:
         # ROB occupancy: (commit_cycle, instruction_count) per block
         inflight: Deque[Tuple[int, int]] = deque()
         inflight_count = 0
+        commit_head = _NEVER
+        inflight_head = _NEVER
         dispatch_depth = core.dispatch_depth
+        rob_size = core.rob_size
+
+        # Hot-path locals: every name below is read once or more per
+        # simulated instruction, so the attribute walks are paid here
+        # instead of inside the loop.
+        engine_cycle = engine.cycle
+        note_commit = engine.note_commit
+        block_meta = engine.program.block_meta
+        dispatch_ref = backend.dispatch if _reference_dispatch else None
+        commit_pop = commit_queue.popleft
+        commit_push = commit_queue.append
+        inflight_pop = inflight.popleft
+        inflight_push = inflight.append
+        walker_next = cursor._walker.__next__
+        # Per-block decode artifacts for the block the cursor is in.
+        cur_dyn = cursor.dyn
+        cur_off = cursor.offset
+        cur_meta: Tuple = ()
+        cur_keys: Tuple = ()
+        cur_lb = None
+
+        # Inlined DataflowBackend.dispatch state (the canonical
+        # implementation lives in backend.py; the dispatch block in the
+        # bundle loop below must stay equivalent to it).  The scalars
+        # live in locals for the duration of the run and are written
+        # back to the backend after the loop.
+        completions = backend._completions
+        issue_used = backend._issue_used
+        issue_floor = backend._issue_floor
+        bk_count = backend._count
+        last_commit = backend._last_commit
+        commits_in_cycle = backend._commits_in_cycle
+        load_counters = backend._load_counters
+        load_accesses = backend.load_accesses
+        store_accesses = backend.store_accesses
+        bk_width = backend.width
+        mem = self.mem
+        dl1_access = mem.dl1.access
+        l2_access = mem.l2.access
+        dl1_hit = mem._dl1_hit
+        l2_lat = mem._l2_lat
+        mem_lat = mem._mem_lat
 
         # Hard safety net: a front-end deadlock (an engine stalling with
         # no pending redirect) must fail loudly, not spin forever.
         cycle_limit = 400 * max_instructions + 1_000_000
 
-        while scheduled < max_instructions and not cursor.exhausted:
+        while scheduled < max_instructions and cur_dyn is not None:
             now += 1
             if now > cycle_limit:
                 raise RuntimeError(
@@ -153,11 +211,16 @@ class Processor:
                     f"diverged={diverged}, idle={result.idle_cycles})"
                 )
 
-            while commit_queue and commit_queue[0][0] <= now:
-                _, dyn, payload, misp = commit_queue.popleft()
-                engine.note_commit(dyn, payload, misp)
-            while inflight and inflight[0][0] <= now:
-                inflight_count -= inflight.popleft()[1]
+            # Head cycles are cached as ints: commit slots are allocated
+            # in order, so both queues are non-decreasing and the head
+            # is always the minimum.
+            while commit_head <= now:
+                _, dyn, payload, misp = commit_pop()
+                note_commit(dyn, payload, misp)
+                commit_head = commit_queue[0][0] if commit_queue else _NEVER
+            while inflight_head <= now:
+                inflight_count -= inflight_pop()[1]
+                inflight_head = inflight[0][0] if inflight else _NEVER
 
             if pending is not None and now >= pending[0]:
                 _, correct_addr, ckpt, _, resolved = pending
@@ -166,40 +229,114 @@ class Processor:
                 diverged = False
                 continue
 
-            if not diverged and inflight_count >= core.rob_size:
+            if not diverged and inflight_count >= rob_size:
                 result.rob_stall_cycles += 1
                 continue
 
-            bundle = engine.cycle(now)
+            bundle = engine_cycle(now)
             if not bundle:
                 result.idle_cycles += 1
+                continue
+
+            if diverged:
+                # The whole bundle is wrong-path speculative fetch: it
+                # cost bandwidth and polluted caches inside the engine,
+                # but nothing dispatches.
+                result.wrong_path_instructions += len(bundle)
                 continue
 
             block_instrs = 0
             block_commit = 0
             correct_in_bundle = 0
-            for addr, pred_next, ckpt, payload in bundle:
-                if diverged:
-                    result.wrong_path_instructions += 1
-                    continue
+            bundle_len = len(bundle)
+            for idx, (addr, pred_next, ckpt, payload) in enumerate(bundle):
                 correct_in_bundle += 1
-                assert addr == cursor.addr, (
-                    f"engine fetched {addr:#x}, trace expects "
-                    f"{cursor.addr:#x} at cycle {now}"
-                )
-                dyn = cursor.dyn
+                dyn = cur_dyn
                 lb = dyn.lb
-                meta = engine.program.instr_meta(lb)[cursor.offset]
-                slot_key = (lb.addr, cursor.offset)
-                complete, commit = backend.dispatch(
-                    meta, slot_key, now + dispatch_depth
+                assert addr == dyn.addr + cur_off * INSTRUCTION_BYTES, (
+                    f"engine fetched {addr:#x}, trace expects "
+                    f"{dyn.addr + cur_off * INSTRUCTION_BYTES:#x} at cycle {now}"
                 )
+                if lb is not cur_lb:
+                    cur_meta, cur_keys = block_meta(lb)
+                    cur_lb = lb
+
+                if dispatch_ref is not None:
+                    # Parity-test path: the canonical
+                    # implementation in backend.py.
+                    complete, commit = dispatch_ref(
+                        cur_meta[cur_off], cur_keys[cur_off],
+                        now + dispatch_depth,
+                    )
+                else:
+                    # -- dispatch, inlined from DataflowBackend.dispatch --
+                    (cls, latency, d1, d2,
+                     mem_base, mem_stride, mem_span) = cur_meta[cur_off]
+                    ready = now + dispatch_depth + 1
+                    if d1:
+                        dep = completions[(bk_count - d1) % _RING]
+                        if dep > ready:
+                            ready = dep
+                    if d2:
+                        dep = completions[(bk_count - d2) % _RING]
+                        if dep > ready:
+                            ready = dep
+                    issue = ready if ready > issue_floor else issue_floor
+                    used_get = issue_used.get
+                    while used_get(issue, 0) >= bk_width:
+                        issue += 1
+                    issue_used[issue] = used_get(issue, 0) + 1
+                    if len(issue_used) > 4096:
+                        floor = issue - 256
+                        issue_used = {
+                            c: n for c, n in issue_used.items() if c >= floor
+                        }
+                        if floor > issue_floor:
+                            issue_floor = floor
+                    if cls == _LOAD or cls == _STORE:
+                        slot_key = cur_keys[cur_off]
+                        k = load_counters.get(slot_key, 0)
+                        load_counters[slot_key] = k + 1
+                        maddr = mem_base + (k * mem_stride) % (
+                            mem_span if mem_span > 0 else 1
+                        )
+                        if dl1_access(maddr):
+                            dlat = dl1_hit - 1
+                        elif l2_access(maddr):
+                            dlat = dl1_hit + l2_lat - 1
+                        else:
+                            dlat = dl1_hit + l2_lat + mem_lat - 1
+                        if cls == _LOAD:
+                            latency += dlat
+                            load_accesses += 1
+                        else:
+                            # Stores retire through the store buffer; the
+                            # access happens for its side effects only.
+                            store_accesses += 1
+                    complete = issue + latency
+                    completions[bk_count % _RING] = complete
+                    bk_count += 1
+                    earliest = complete + 1
+                    commit = earliest if earliest > last_commit else last_commit
+                    if commit == last_commit:
+                        if commits_in_cycle >= bk_width:
+                            commit += 1
+                            commits_in_cycle = 1
+                        else:
+                            commits_in_cycle += 1
+                    else:
+                        commits_in_cycle = 1
+                    last_commit = commit
+                    # -- end inlined dispatch --
+
                 scheduled += 1
                 block_instrs += 1
                 block_commit = commit
 
-                at_end = cursor.at_block_end
-                actual_next = cursor.actual_next
+                at_end = cur_off == dyn.size - 1
+                actual_next = (
+                    dyn.next_addr if at_end else addr + INSTRUCTION_BYTES
+                )
                 if at_end:
                     self._account_block(result, dyn)
                     mispredicted = False
@@ -214,8 +351,12 @@ class Processor:
                         self._account_mispredict(result, dyn)
                         pending = (complete + 1, actual_next, ckpt, True, dyn)
                         diverged = True
-                    commit_queue.append((commit, dyn, payload, mispredicted))
-                    inflight.append((commit, block_instrs))
+                    commit_push((commit, dyn, payload, mispredicted))
+                    if commit < commit_head:
+                        commit_head = commit
+                    inflight_push((commit, block_instrs))
+                    if commit < inflight_head:
+                        inflight_head = commit
                     inflight_count += block_instrs
                     block_instrs = 0
                 elif pred_next is not None and pred_next != actual_next:
@@ -224,12 +365,28 @@ class Processor:
                     pending = (complete + 1, actual_next, ckpt, True, dyn)
                     result.mispredictions += 1
                     diverged = True
-                cursor.advance()
+                # Advance the trace cursor (inlined _TraceCursor.advance).
+                if at_end:
+                    try:
+                        cur_dyn = walker_next()
+                        cur_off = 0
+                    except StopIteration:  # pragma: no cover - infinite
+                        cur_dyn = None
+                        cur_off = 0
+                        break
+                else:
+                    cur_off += 1
+                if diverged:
+                    # Everything past the divergence is wrong-path.
+                    result.wrong_path_instructions += bundle_len - idx - 1
+                    break
 
             if block_instrs:
                 # Partial block at the bundle boundary still occupies
                 # the window until its (future) block commit completes.
-                inflight.append((block_commit, block_instrs))
+                inflight_push((block_commit, block_instrs))
+                if block_commit < inflight_head:
+                    inflight_head = block_commit
                 inflight_count += block_instrs
 
             if correct_in_bundle:
@@ -247,6 +404,25 @@ class Processor:
 
             if scheduled >= max_instructions:
                 break
+
+        # Publish the inlined cursor state back to the cursor object so
+        # the processor can be inspected (or resumed) after the run.
+        cursor.dyn = cur_dyn
+        cursor.offset = cur_off
+        cursor.exhausted = cur_dyn is None
+
+        if dispatch_ref is None:
+            # Publish the inlined backend state back (see the dispatch
+            # block above; the deques and dicts were mutated in place).
+            # In reference mode the backend mutated itself and these
+            # locals are stale.
+            backend._issue_used = issue_used
+            backend._issue_floor = issue_floor
+            backend._count = bk_count
+            backend._last_commit = last_commit
+            backend._commits_in_cycle = commits_in_cycle
+            backend.load_accesses = load_accesses
+            backend.store_accesses = store_accesses
 
         result.instructions = scheduled
         result.cycles = max(now, backend.last_commit_cycle)
@@ -272,7 +448,7 @@ class Processor:
     @staticmethod
     def _account_block(result: SimulationResult, dyn: DynBlock) -> None:
         kind = dyn.kind
-        if not kind.is_control:
+        if kind is BranchKind.NONE:
             return
         result.branches += 1
         if kind is BranchKind.COND:

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Everything a single simulation run measured.
 

@@ -31,6 +31,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--instructions", type=int, default=90_000)
     parser.add_argument("--scale", type=float, default=0.6,
                         help="code footprint scale factor")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation matrix "
+                             "(results are identical to --jobs 1)")
     parser.add_argument("--quiet", action="store_true")
 
 
@@ -70,19 +73,22 @@ def main(argv: List[str] | None = None) -> int:
     if args.command == "fig8":
         matrix = run_matrix(args.benchmarks, widths=tuple(args.widths),
                             instructions=args.instructions,
-                            scale=args.scale, progress=progress)
+                            scale=args.scale, progress=progress,
+                            jobs=args.jobs)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
                             instructions=args.instructions,
-                            scale=args.scale, progress=progress)
+                            scale=args.scale, progress=progress,
+                            jobs=args.jobs)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
     elif args.command == "table3":
         matrix = run_matrix(args.benchmarks, widths=(8,),
                             instructions=args.instructions,
-                            scale=args.scale, progress=progress)
+                            scale=args.scale, progress=progress,
+                            jobs=args.jobs)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(

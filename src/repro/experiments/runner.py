@@ -3,12 +3,21 @@
 The harness amortizes program generation: each (benchmark, layout) image
 is linked once and shared across architectures and widths, exactly like
 the paper simulating the same binaries on every fetch engine.
+
+``run_matrix`` can shard the cross product across worker processes
+(``jobs > 1``).  Work is grouped by (benchmark, layout) so each worker
+links its program image exactly once — the same amortization the serial
+path gets from :class:`ProgramCache`.  Every simulation is fully
+deterministic given its :class:`RunSpec`, so the parallel path produces
+bit-identical :class:`SimulationResult`\\ s to the serial path.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import SimulationResult
 from repro.experiments.configs import ARCHITECTURES, build_processor
@@ -75,6 +84,48 @@ class ProgramCache:
         return program
 
 
+def _run_cell(
+    program: Program,
+    benchmark: str,
+    optimized: bool,
+    width: int,
+    arch: str,
+    instructions: int,
+    warmup: int,
+) -> SimulationResult:
+    """Simulate one matrix cell on an already-linked image."""
+    processor = build_processor(
+        arch, program, width,
+        benchmark=benchmark, optimized=optimized,
+        trace_seed=ref_trace_seed(benchmark),
+    )
+    return processor.run(instructions, warmup=warmup)
+
+
+def _run_group(
+    benchmark: str,
+    optimized: bool,
+    widths: Sequence[int],
+    archs: Sequence[str],
+    instructions: int,
+    warmup: int,
+    scale: float,
+) -> List[Tuple[RunSpec, SimulationResult]]:
+    """Worker entry point: all cells of one (benchmark, layout) image.
+
+    Links the image once, then runs every (width, arch) cell on it —
+    mirroring the serial path's iteration order within the group.
+    """
+    program = prepare_program(benchmark, optimized=optimized, scale=scale)
+    out: List[Tuple[RunSpec, SimulationResult]] = []
+    for width in widths:
+        for arch in archs:
+            result = _run_cell(program, benchmark, optimized, width, arch,
+                               instructions, warmup)
+            out.append((RunSpec(arch, benchmark, width, optimized), result))
+    return out
+
+
 def run_matrix(
     benchmarks: Sequence[str],
     widths: Sequence[int] = (8,),
@@ -84,30 +135,60 @@ def run_matrix(
     warmup: Optional[int] = None,
     scale: float = 1.0,
     program_cache: Optional[ProgramCache] = None,
-    progress: Optional[callable] = None,
+    progress: Optional[Callable[[SimulationResult], None]] = None,
+    jobs: int = 1,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
 
     ``warmup`` defaults to a third of the instruction budget — the
     predictors and caches train during it, and it is excluded from the
     reported metrics (the paper's fast-forward equivalent).
+
+    ``jobs > 1`` shards the (benchmark, layout) groups across a process
+    pool.  ``jobs`` is a cap: the effective worker count is
+    ``min(jobs, cpu_count, groups)`` — oversubscribing a core only adds
+    scheduler thrash, so a 1-CPU host runs the pool with one worker.
+    Results are bit-identical to the serial path (every cell is an
+    isolated deterministic simulation); only wall-clock changes.
+    ``progress`` is still invoked in the main process, per result, in
+    the same deterministic order as the serial path.
+
+    An explicitly provided ``program_cache`` forces the serial path:
+    the caller asked for shared already-linked images, which worker
+    processes cannot see (they relink per group).
     """
     if warmup is None:
         warmup = instructions // 3
-    cache = program_cache or ProgramCache()
     out = RunMatrixResult(instructions=instructions, scale=scale)
-    for benchmark in benchmarks:
-        for optimized in layouts:
-            program = cache.get(benchmark, optimized, scale)
-            for width in widths:
-                for arch in archs:
-                    processor = build_processor(
-                        arch, program, width,
-                        benchmark=benchmark, optimized=optimized,
-                        trace_seed=ref_trace_seed(benchmark),
-                    )
-                    result = processor.run(instructions, warmup=warmup)
-                    out.results[RunSpec(arch, benchmark, width, optimized)] = result
+
+    groups = [(benchmark, optimized)
+              for benchmark in benchmarks for optimized in layouts]
+
+    if jobs > 1 and len(groups) > 1 and program_cache is None:
+        max_workers = max(1, min(jobs, len(groups), os.cpu_count() or 1))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(_run_group, benchmark, optimized, tuple(widths),
+                            tuple(archs), instructions, warmup, scale)
+                for benchmark, optimized in groups
+            ]
+            # Collect in submission order so results and progress
+            # callbacks land exactly like the serial path.
+            for future in futures:
+                for spec, result in future.result():
+                    out.results[spec] = result
                     if progress is not None:
                         progress(result)
+        return out
+
+    cache = program_cache or ProgramCache()
+    for benchmark, optimized in groups:
+        program = cache.get(benchmark, optimized, scale)
+        for width in widths:
+            for arch in archs:
+                result = _run_cell(program, benchmark, optimized, width,
+                                   arch, instructions, warmup)
+                out.results[RunSpec(arch, benchmark, width, optimized)] = result
+                if progress is not None:
+                    progress(result)
     return out

@@ -71,10 +71,22 @@ class FetchEngine(ABC):
         self.line_bytes = machine.memory.il1.line_bytes
         self.decode_bubble = machine.core.decode_depth
         self.stats = CounterBag()
+        # The two per-cycle counters are integer attributes (bumped on
+        # every productive fetch cycle); they are merged back into the
+        # CounterBag view by stats_dict().
+        self.fetch_cycles = 0
+        self.fetched_instructions = 0
         #: The front-end is busy (miss/bubble) until this cycle.
         self._busy_until = 0
         #: Set when the engine has no predicted target and must wait.
         self._waiting_resolve = False
+        # Image bounds for the per-cycle "did wrong-path fetch run off
+        # the program?" check: the linked image is gap-free, so a bounds
+        # comparison is equivalent to the bisect lookup and much cheaper.
+        self._image_start = program.base_address
+        self._image_end = program.end_address
+        # Interned sequential-run bundle fragments (see _seq_run).
+        self._seq_runs: dict = {}
 
     # ------------------------------------------------------------------
     # the processor-facing API
@@ -121,15 +133,39 @@ class FetchEngine(ABC):
         offset = addr & (self.line_bytes - 1)
         return (self.line_bytes - offset) // INSTRUCTION_BYTES
 
+    def _seq_run(self, start: int, end: int) -> list:
+        """The bundle fragment for a straight sequential run.
+
+        ``(addr, addr + 4, None, None)`` tuples are immutable and a
+        pure function of the address, so each distinct run is built once
+        and re-served by reference: fetch loops (and wrong-path replays)
+        revisit the same runs constantly.
+        """
+        key = (start, end)
+        run = self._seq_runs.get(key)
+        if run is None:
+            ib = INSTRUCTION_BYTES
+            run = self._seq_runs[key] = [
+                (c, c + ib, None, None) for c in range(start, end, ib)
+            ]
+        return run
+
     def _fetch_line(self, now: int, addr: int) -> bool:
         """Access the I-cache; on a miss, stall and return False."""
-        latency = self.mem.fetch_line(addr)
-        extra = latency - self.machine.memory.il1.hit_latency
+        mem = self.mem
+        if mem.il1.access(addr):
+            # L1I hit: the hit latency is the pipeline's base cost.
+            return True
+        extra = mem._fill_from_l2_instr(addr)
         if extra > 0:
             self.stats.add("icache_miss_stalls")
             self._stall(now, extra)
             return False
-        return True
+        return True  # pragma: no cover - fill latencies are positive
+
+    def _on_image(self, addr: int) -> bool:
+        """True when ``addr`` is inside the program image (O(1))."""
+        return self._image_start <= addr < self._image_end
 
     def _lookup_block(self, addr: int) -> Optional[Tuple[LinearBlock, int]]:
         """Static-dictionary lookup; ``None`` when off the program image.
@@ -143,7 +179,12 @@ class FetchEngine(ABC):
             return None
 
     def stats_dict(self) -> dict:
-        return self.stats.as_dict()
+        out = self.stats.as_dict()
+        out["fetch_cycles"] = out.get("fetch_cycles", 0) + self.fetch_cycles
+        out["fetched_instructions"] = (
+            out.get("fetched_instructions", 0) + self.fetched_instructions
+        )
+        return out
 
 
 def scan_run(
@@ -157,22 +198,48 @@ def scan_run(
     the program image ends (== ``max_instrs`` in the normal case).
 
     This models the pre-decode information fetch engines read alongside
-    the instruction bytes.
+    the instruction bytes.  Results are memoized on the program (they
+    are a pure function of the image): fetch engines re-scan the same
+    windows on every loop iteration and on every wrong-path replay.
+    Callers must treat the returned list as read-only.
     """
+    cache = program._scan_cache
+    key = (addr, max_instrs)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
     controls: List[Tuple[int, LinearBlock]] = []
+    # One bisect locates the first block; the image is gap-free, so the
+    # rest of the run walks the ordered block list directly instead of
+    # re-searching per block.
+    try:
+        lb, offset = program.block_containing(addr)
+    except ValueError:
+        cache[key] = (controls, 0)
+        return controls, 0
+    blocks = program.linear_blocks
+    n_blocks = len(blocks)
+    idx = lb.index
     scanned = 0
     cursor = addr
+    none_kind = BranchKind.NONE
     while scanned < max_instrs:
-        try:
-            lb, offset = program.block_containing(cursor)
-        except ValueError:
-            break
-        take = min(lb.size - offset, max_instrs - scanned)
-        branch_addr = lb.branch_addr
-        if branch_addr is not None:
+        size = lb.size
+        take = size - offset
+        room = max_instrs - scanned
+        if take > room:
+            take = room
+        if lb.kind is not none_kind:
+            branch_addr = lb.addr + (size - 1) * INSTRUCTION_BYTES
             pos = (branch_addr - cursor) // INSTRUCTION_BYTES
             if 0 <= pos < take:
                 controls.append((branch_addr, lb))
         scanned += take
         cursor += take * INSTRUCTION_BYTES
+        idx += 1
+        if idx >= n_blocks:
+            break
+        lb = blocks[idx]
+        offset = 0
+    cache[key] = (controls, scanned)
     return controls, scanned

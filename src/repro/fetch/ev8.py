@@ -64,7 +64,7 @@ class EV8FetchEngine(FetchEngine):
         slot_bytes = self.width * INSTRUCTION_BYTES
         to_slot_end = (slot_bytes - (addr & (slot_bytes - 1))) // INSTRUCTION_BYTES
         window = min(self.width, to_slot_end, self._instrs_to_line_end(addr))
-        if self._lookup_block(addr) is None:
+        if not self._on_image(addr):
             # Wrong-path fetch ran off the image; idle until redirect.
             self._waiting_resolve = True
             return None
@@ -79,13 +79,14 @@ class EV8FetchEngine(FetchEngine):
 
         bundle: List[FetchedInstr] = []
         cursor = addr
-        next_fetch: Optional[int] = addr + window * INSTRUCTION_BYTES
+        ib = INSTRUCTION_BYTES
+        next_fetch: Optional[int] = addr + window * ib
         stalled = False
 
         for baddr, lb in controls:
-            while cursor < baddr:
-                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
-                cursor += INSTRUCTION_BYTES
+            if cursor < baddr:
+                bundle += self._seq_run(cursor, baddr)
+                cursor = baddr
             kind = lb.kind
             if kind is BranchKind.COND:
                 hist_snap = self.history.spec
@@ -138,16 +139,15 @@ class EV8FetchEngine(FetchEngine):
             break
 
         if cursor is not None:
-            end = addr + window * INSTRUCTION_BYTES
-            while cursor < end:
-                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
-                cursor += INSTRUCTION_BYTES
+            end = addr + window * ib
+            if cursor < end:
+                bundle += self._seq_run(cursor, end)
 
         if not stalled:
             assert next_fetch is not None
             self.fetch_addr = next_fetch
-        self.stats.add("fetch_cycles")
-        self.stats.add("fetched_instructions", len(bundle))
+        self.fetch_cycles += 1
+        self.fetched_instructions += len(bundle)
         return bundle
 
     def _taken_target(self, now: int, baddr: int, static_target: int) -> int:
@@ -181,7 +181,7 @@ class EV8FetchEngine(FetchEngine):
         self, dyn: DynBlock, payload: object, mispredicted: bool
     ) -> None:
         kind = dyn.kind
-        if not kind.is_control:
+        if kind is BranchKind.NONE:
             return
         baddr = dyn.lb.branch_addr
         if kind is BranchKind.COND:

@@ -54,7 +54,11 @@ class FetchTargetBuffer:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError("number of sets must be a power of two")
         self.assoc = assoc
-        self.stats = CounterBag()
+        # Hot-path event counters as plain ints; see the stats property.
+        self.lookups = 0
+        self.misses = 0
+        self.allocations = 0
+        self.evictions = 0
         self._sets: List[List[FTBEntry]] = [[] for _ in range(self.num_sets)]
         self._mask = self.num_sets - 1
 
@@ -66,14 +70,26 @@ class FetchTargetBuffer:
 
     def lookup(self, addr: int) -> Optional[FTBEntry]:
         ways, tag = self._locate(addr)
-        self.stats.add("lookups")
+        self.lookups += 1
+        if ways and ways[0].tag == tag:  # MRU fast path
+            return ways[0]
         for i, entry in enumerate(ways):
             if entry.tag == tag:
                 if i:
                     ways.insert(0, ways.pop(i))
                 return entry
-        self.stats.add("misses")
+        self.misses += 1
         return None
+
+    @property
+    def stats(self) -> CounterBag:
+        """Counters in mergeable CounterBag form (built on demand)."""
+        return CounterBag({
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+        })
 
     def probe(self, addr: int) -> Optional[FTBEntry]:
         ways, tag = self._locate(addr)
@@ -95,10 +111,10 @@ class FetchTargetBuffer:
                     ways.insert(0, ways.pop(i))
                 return
         ways.insert(0, FTBEntry(tag, length, target, kind))
-        self.stats.add("allocations")
+        self.allocations += 1
         if len(ways) > self.assoc:
             ways.pop()
-            self.stats.add("evictions")
+            self.evictions += 1
 
 
 class FTBFetchEngine(FetchEngine):
@@ -136,7 +152,8 @@ class FTBFetchEngine(FetchEngine):
         # Snapshot the request visible to the cache stage *before* the
         # prediction stage runs: a request becomes fetchable one cycle
         # after it was predicted (the decoupling pipeline boundary).
-        request = self.ftq.head()
+        queue = self.ftq._queue
+        request = queue[0] if queue else None
         self._predict_stage(now)
         if now < self._busy_until or request is None:
             return None
@@ -144,7 +161,8 @@ class FTBFetchEngine(FetchEngine):
 
     # -- prediction stage ------------------------------------------------
     def _predict_stage(self, now: int) -> None:
-        if self.ftq.full:
+        ftq = self.ftq
+        if len(ftq._queue) >= ftq.capacity:
             return
         pc = self.predict_addr
         ckpt_pre = (self.ras.checkpoint(), self.history.spec)
@@ -194,7 +212,7 @@ class FTBFetchEngine(FetchEngine):
         self, now: int, request: FetchRequest
     ) -> Optional[List[FetchedInstr]]:
         addr = request.start
-        if self._lookup_block(addr) is None:
+        if not self._on_image(addr):
             self._waiting_resolve = True
             return None
         if not self._fetch_line(now, addr):
@@ -207,56 +225,51 @@ class FTBFetchEngine(FetchEngine):
         n = min(n, avail)
         terminal_addr = request.terminal_addr if not request.is_fallback else None
 
+        # Walk control-to-control; straight-line runs are bulk-extended.
         bundle: List[FetchedInstr] = []
         cursor = addr
-        end = addr + n * INSTRUCTION_BYTES
-        consumed = 0
+        ib = INSTRUCTION_BYTES
+        end = addr + n * ib
         done_early = False
+        append = bundle.append
+        ckpt_pre = request.ckpt_pre
 
-        ctl_map = {baddr: lb for baddr, lb in controls}
-        while cursor < end:
-            lb = ctl_map.get(cursor)
-            if lb is None:
-                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
-                cursor += INSTRUCTION_BYTES
-                consumed += 1
-                continue
-            kind = lb.kind
+        for baddr, lb in controls:
+            if cursor < baddr:
+                bundle += self._seq_run(cursor, baddr)
+                cursor = baddr
             if cursor == terminal_addr:
                 # The predicted terminal branch of this fetch block.
                 # A stale kind field does not invalidate the target
                 # prediction; follow it and let resolution verify.
-                bundle.append(
+                append(
                     (cursor, request.pred_next, request.ckpt, request.payload)
                 )
-                consumed += 1
                 done_early = True
                 break
-            if kind is BranchKind.COND:
+            if lb.kind is BranchKind.COND:
                 # Embedded conditional the FTB does not know: implicitly
                 # not taken (it has never been taken).
-                bundle.append(
-                    (cursor, cursor + INSTRUCTION_BYTES,
-                     request.ckpt_pre, None)
-                )
-                cursor += INSTRUCTION_BYTES
-                consumed += 1
+                append((cursor, cursor + ib, ckpt_pre, None))
+                cursor += ib
                 continue
             # Unpredicted unconditional control: decode fixup.
-            consumed += 1
             self._decode_fixup(now, bundle, cursor, lb)
             done_early = True
             break
+
+        if not done_early and cursor < end:
+            bundle += self._seq_run(cursor, end)
 
         if done_early:
             # A decode fixup may already have flushed the queue.
             if self.ftq.head() is request:
                 self.ftq.pop()
-        elif request.consume(consumed):
+        elif request.consume(n):
             self.ftq.pop()
 
-        self.stats.add("fetch_cycles")
-        self.stats.add("fetched_instructions", len(bundle))
+        self.fetch_cycles += 1
+        self.fetched_instructions += len(bundle)
         return bundle
 
     def _decode_fixup(
@@ -312,7 +325,7 @@ class FTBFetchEngine(FetchEngine):
         self, dyn: DynBlock, payload: object, mispredicted: bool
     ) -> None:
         self._c_len += dyn.size
-        if not dyn.kind.is_control:
+        if dyn.kind is BranchKind.NONE:
             self._spill_sequential_chunks()
             return
 

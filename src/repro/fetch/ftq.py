@@ -88,6 +88,8 @@ class FetchRequest:
 class FetchTargetQueue:
     """A bounded queue of :class:`FetchRequest` (Table 2: 4 entries)."""
 
+    __slots__ = ("capacity", "_queue", "pushes", "flushes")
+
     def __init__(self, capacity: int = 4) -> None:
         if capacity < 1:
             raise ValueError("FTQ capacity must be >= 1")

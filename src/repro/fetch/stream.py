@@ -97,7 +97,8 @@ class StreamFetchEngine(FetchEngine):
     def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
         if self._waiting_resolve:
             return None
-        request = self.ftq.head()
+        queue = self.ftq._queue
+        request = queue[0] if queue else None
         self._predict_stage(now)
         if now < self._busy_until or request is None:
             return None
@@ -105,7 +106,8 @@ class StreamFetchEngine(FetchEngine):
 
     # -- next stream predictor stage ---------------------------------------
     def _predict_stage(self, now: int) -> None:
-        if self.ftq.full:
+        ftq = self.ftq
+        if len(ftq._queue) >= ftq.capacity:
             return
         pc = self.predict_addr
         prediction = self.predictor.predict(self.path.spec_view(), pc)
@@ -159,7 +161,7 @@ class StreamFetchEngine(FetchEngine):
         self, now: int, request: FetchRequest
     ) -> Optional[List[FetchedInstr]]:
         addr = request.start
-        if self._lookup_block(addr) is None:
+        if not self._on_image(addr):
             self._waiting_resolve = True
             return None
         if not self._fetch_line(now, addr):
@@ -174,71 +176,69 @@ class StreamFetchEngine(FetchEngine):
             request.terminal_addr if request.terminal_kind is not None else None
         )
 
+        # The window is walked control-to-control: straight-line runs in
+        # between are emitted with one bulk extend instead of a dict
+        # probe per instruction.
         bundle: List[FetchedInstr] = []
         cursor = addr
-        end = addr + n * INSTRUCTION_BYTES
-        consumed = 0
+        ib = INSTRUCTION_BYTES
+        end = addr + n * ib
         done_early = False
-        ctl_map = {baddr: lb for baddr, lb in controls}
+        append = bundle.append
+        ckpt_pre = request.ckpt_pre
 
-        while cursor < end:
-            lb = ctl_map.get(cursor)
-            at_terminal = cursor == terminal_addr
-            if lb is None:
-                if at_terminal:
-                    # Predicted stream length is stale: there is no
-                    # branch here.  Decode fixes this up — continue
-                    # sequentially and resync the prediction pipeline.
-                    self.stats.add("length_misfetches")
-                    bundle.append(
-                        (cursor, cursor + INSTRUCTION_BYTES, None, None)
-                    )
-                    consumed += 1
-                    self._resync(now, cursor + INSTRUCTION_BYTES)
-                    done_early = True
-                    break
-                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
-                cursor += INSTRUCTION_BYTES
-                consumed += 1
-                continue
-            kind = lb.kind
-            if at_terminal:
+        for baddr, lb in controls:
+            if terminal_addr is not None and terminal_addr < baddr:
+                break  # stale-length terminal before the next control
+            if cursor < baddr:
+                bundle += self._seq_run(cursor, baddr)
+                cursor = baddr
+            if cursor == terminal_addr:
                 # The predicted stream terminal.  The stored branch-type
                 # field only drives RAS management; even if it is stale
                 # (kind mismatch), the engine follows its own next-stream
                 # prediction — a wrong target resolves as an ordinary
                 # misprediction.
-                bundle.append(
+                append(
                     (cursor, request.pred_next, request.ckpt, request.payload)
                 )
-                consumed += 1
                 done_early = True
                 break
-            if kind is BranchKind.COND:
+            if lb.kind is BranchKind.COND:
                 # Intermediate branch: implicitly not taken.
-                bundle.append(
-                    (cursor, cursor + INSTRUCTION_BYTES,
-                     request.ckpt_pre, None)
-                )
-                cursor += INSTRUCTION_BYTES
-                consumed += 1
+                append((cursor, cursor + ib, ckpt_pre, None))
+                cursor += ib
                 continue
             # Unconditional control inside the (predicted or fallback)
             # stream: decode fixup.
-            consumed += 1
             self._decode_fixup(now, bundle, cursor, lb)
             done_early = True
             break
+
+        if not done_early:
+            if terminal_addr is not None and cursor <= terminal_addr < end:
+                # Predicted stream length is stale: there is no branch
+                # at the predicted terminal.  Decode fixes this up —
+                # continue sequentially and resync the prediction
+                # pipeline.
+                if cursor < terminal_addr:
+                    bundle += self._seq_run(cursor, terminal_addr)
+                self.stats.add("length_misfetches")
+                append((terminal_addr, terminal_addr + ib, None, None))
+                self._resync(now, terminal_addr + ib)
+                done_early = True
+            elif cursor < end:
+                bundle += self._seq_run(cursor, end)
 
         if done_early:
             # A decode fixup may already have flushed the queue.
             if self.ftq.head() is request:
                 self.ftq.pop()
-        elif request.consume(consumed):
+        elif request.consume(n):
             self.ftq.pop()
 
-        self.stats.add("fetch_cycles")
-        self.stats.add("fetched_instructions", len(bundle))
+        self.fetch_cycles += 1
+        self.fetched_instructions += len(bundle)
         return bundle
 
     def _decode_fixup(

@@ -63,7 +63,12 @@ class TraceStore:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError("set count must be a power of two")
         self.assoc = assoc
-        self.stats = CounterBag()
+        # Hot-path event counters as plain ints; see the stats property.
+        self.lookups = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.selective_skips = 0
         self._sets: List[List[TraceDescriptor]] = [
             [] for _ in range(self.num_sets)
         ]
@@ -75,15 +80,26 @@ class TraceStore:
     def lookup(self, descriptor: TraceDescriptor) -> bool:
         """Exact-identity probe (start + outcomes)."""
         ways = self._set_of(descriptor.start)
-        self.stats.add("lookups")
+        self.lookups += 1
         for i, stored in enumerate(ways):
             if (stored.start == descriptor.start
                     and stored.outcomes == descriptor.outcomes):
                 if i:
                     ways.insert(0, ways.pop(i))
                 return True
-        self.stats.add("misses")
+        self.misses += 1
         return False
+
+    @property
+    def stats(self) -> CounterBag:
+        """Counters in mergeable CounterBag form (built on demand)."""
+        return CounterBag({
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "selective_skips": self.selective_skips,
+        })
 
     def partial_match(
         self, descriptor: TraceDescriptor
@@ -110,10 +126,10 @@ class TraceStore:
                 ways.insert(0, ways.pop(i))
                 return
         ways.insert(0, descriptor)
-        self.stats.add("fills")
+        self.fills += 1
         if len(ways) > self.assoc:
             ways.pop()
-            self.stats.add("evictions")
+            self.evictions += 1
 
 
 class _FillBuffer:
@@ -189,6 +205,9 @@ class TraceCacheFetchEngine(FetchEngine):
         self.selective_storage = selective_storage
         self.partial_matching = partial_matching
         self.predict_addr = program.entry_address
+        # Pre-decode surface: O(1) "is there a conditional branch at this
+        # address?" for the per-instruction checkpoint decision.
+        self._cond_addrs = program.cond_branch_addrs
         self._fill = _FillBuffer()
         self._fill.reset(program.entry_address)
         # Progress through the head request's descriptor.
@@ -210,20 +229,22 @@ class TraceCacheFetchEngine(FetchEngine):
     def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
         if self._waiting_resolve:
             return None
-        request = self.ftq.head()
+        queue = self.ftq._queue
+        request = queue[0] if queue else None
         predictor_missed = self._predict_stage(now)
         if now < self._busy_until:
             return None
         if request is not None:
             return self._trace_fetch_stage(now, request)
-        if predictor_missed and self.ftq.empty:
+        if predictor_missed and not self.ftq._queue:
             return self._build_fetch_stage(now)
         return None
 
     # -- next trace predictor stage -----------------------------------------
     def _predict_stage(self, now: int) -> bool:
         """Returns True when the predictor missed this cycle."""
-        if self.ftq.full:
+        ftq = self.ftq
+        if len(ftq._queue) >= ftq.capacity:
             return False
         pc = self.predict_addr
         descriptor = self.predictor.predict(self.history.spec_view(), pc)
@@ -310,8 +331,8 @@ class TraceCacheFetchEngine(FetchEngine):
                 return None
         if not bundle:
             return None
-        self.stats.add("fetch_cycles")
-        self.stats.add("fetched_instructions", len(bundle))
+        self.fetch_cycles += 1
+        self.fetched_instructions += len(bundle)
         return bundle
 
     def _deliver_from_trace_cache(
@@ -328,7 +349,7 @@ class TraceCacheFetchEngine(FetchEngine):
             seg_addr, seg_len = descriptor.segments[self._seg_idx]
             addr = seg_addr + self._seg_off * INSTRUCTION_BYTES
             take = min(budget, seg_len - self._seg_off)
-            bundle.extend(self._emit_run(request, descriptor, addr, take))
+            self._emit_run(bundle, request, descriptor, addr, take)
             budget -= take
             if not self._tc_hit:
                 self._prefix_left -= take
@@ -342,7 +363,7 @@ class TraceCacheFetchEngine(FetchEngine):
         instruction cache, one segment chunk per cycle."""
         seg_addr, seg_len = descriptor.segments[self._seg_idx]
         addr = seg_addr + self._seg_off * INSTRUCTION_BYTES
-        if self._lookup_block(addr) is None:
+        if not self._on_image(addr):
             self._waiting_resolve = True
             return None
         if not self._fetch_line(now, addr):
@@ -352,47 +373,53 @@ class TraceCacheFetchEngine(FetchEngine):
             self._instrs_to_line_end(addr),
             seg_len - self._seg_off,
         )
-        bundle = list(self._emit_run(request, descriptor, addr, take))
+        bundle: List[FetchedInstr] = []
+        self._emit_run(bundle, request, descriptor, addr, take)
         self._finish_if_done(request, descriptor)
         return bundle
 
     def _emit_run(
         self,
+        bundle: List[FetchedInstr],
         request: FetchRequest,
         descriptor: TraceDescriptor,
         addr: int,
         count: int,
-    ):
-        """Emit ``count`` instructions from the current segment position,
-        assigning per-instruction predicted successors from the trace."""
-        seg_addr, seg_len = descriptor.segments[self._seg_idx]
-        for i in range(count):
-            cursor = addr + i * INSTRUCTION_BYTES
-            self._seg_off += 1
-            at_seg_end = self._seg_off == seg_len
-            last_segment = self._seg_idx == len(descriptor.segments) - 1
-            if at_seg_end and last_segment:
-                pred_next = request.pred_next
-                yield (cursor, pred_next, request.ckpt, request.payload)
-            elif at_seg_end:
-                next_seg_addr = descriptor.segments[self._seg_idx + 1][0]
-                yield (cursor, next_seg_addr, request.ckpt_pre, None)
+    ) -> None:
+        """Append ``count`` instructions from the current segment
+        position, assigning per-instruction predicted successors from
+        the trace."""
+        segments = descriptor.segments
+        last_idx = len(segments) - 1
+        seg_idx = self._seg_idx
+        seg_off = self._seg_off
+        seg_len = segments[seg_idx][1]
+        cond_addrs = self._cond_addrs
+        ckpt_pre = request.ckpt_pre
+        append = bundle.append
+        cursor = addr
+        for _ in range(count):
+            seg_off += 1
+            if seg_off == seg_len:
+                if seg_idx == last_idx:
+                    append((cursor, request.pred_next, request.ckpt,
+                            request.payload))
+                else:
+                    append((cursor, segments[seg_idx + 1][0], ckpt_pre, None))
+                seg_idx += 1
+                seg_off = 0
+                if seg_idx <= last_idx:
+                    seg_len = segments[seg_idx][1]
             else:
-                yield (cursor, cursor + INSTRUCTION_BYTES,
-                       request.ckpt_pre if self._is_cond(cursor) else None,
-                       None)
-            if at_seg_end:
-                self._seg_idx += 1
-                self._seg_off = 0
-                if not last_segment:
-                    seg_addr, seg_len = descriptor.segments[self._seg_idx]
+                append((cursor, cursor + INSTRUCTION_BYTES,
+                        ckpt_pre if cursor in cond_addrs else None,
+                        None))
+            cursor += INSTRUCTION_BYTES
+        self._seg_idx = seg_idx
+        self._seg_off = seg_off
 
     def _is_cond(self, addr: int) -> bool:
-        located = self._lookup_block(addr)
-        if located is None:
-            return False
-        lb, _ = located
-        return lb.branch_addr == addr and lb.kind is BranchKind.COND
+        return addr in self._cond_addrs
 
     def _finish_if_done(
         self, request: FetchRequest, descriptor: TraceDescriptor
@@ -405,7 +432,7 @@ class TraceCacheFetchEngine(FetchEngine):
     # -- secondary path: BTB-guided build fetch --------------------------------
     def _build_fetch_stage(self, now: int) -> Optional[List[FetchedInstr]]:
         addr = self.predict_addr
-        if self._lookup_block(addr) is None:
+        if not self._on_image(addr):
             self._waiting_resolve = True
             return None
         if not self._fetch_line(now, addr):
@@ -419,14 +446,15 @@ class TraceCacheFetchEngine(FetchEngine):
 
         bundle: List[FetchedInstr] = []
         cursor = addr
-        next_fetch: Optional[int] = addr + window * INSTRUCTION_BYTES
+        ib = INSTRUCTION_BYTES
+        next_fetch: Optional[int] = addr + window * ib
         stalled = False
         conds = 0
         terminal_taken = False
         for baddr, lb in controls:
-            while cursor < baddr:
-                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
-                cursor += INSTRUCTION_BYTES
+            if cursor < baddr:
+                bundle += self._seq_run(cursor, baddr)
+                cursor = baddr
             kind = lb.kind
             entry = self.btb.lookup(baddr)
             ckpt = (self.ras.checkpoint(), tuple(self.history.spec))
@@ -484,10 +512,9 @@ class TraceCacheFetchEngine(FetchEngine):
             break
 
         if cursor is not None:
-            end = addr + window * INSTRUCTION_BYTES
-            while cursor < end:
-                bundle.append((cursor, cursor + INSTRUCTION_BYTES, None, None))
-                cursor += INSTRUCTION_BYTES
+            end = addr + window * ib
+            if cursor < end:
+                bundle += self._seq_run(cursor, end)
         if not stalled:
             assert next_fetch is not None
             self.predict_addr = next_fetch
@@ -495,8 +522,8 @@ class TraceCacheFetchEngine(FetchEngine):
                 len(bundle), conds, next_fetch, terminal_taken
             )
         self.stats.add("build_cycles")
-        self.stats.add("fetch_cycles")
-        self.stats.add("fetched_instructions", len(bundle))
+        self.fetch_cycles += 1
+        self.fetched_instructions += len(bundle)
         return bundle
 
     # ------------------------------------------------------------------
@@ -522,7 +549,7 @@ class TraceCacheFetchEngine(FetchEngine):
         self, dyn: DynBlock, payload: object, mispredicted: bool
     ) -> None:
         kind = dyn.kind
-        if kind.is_control:
+        if kind is not BranchKind.NONE:
             target = dyn.next_addr if dyn.taken else 0
             self.btb.update(dyn.lb.branch_addr, target, kind, dyn.taken)
 
@@ -541,7 +568,7 @@ class TraceCacheFetchEngine(FetchEngine):
             fill.add_run(addr, take)
             addr += take * INSTRUCTION_BYTES
             remaining -= take
-        is_last_chunk_branch = kind.is_control and remaining == 0
+        is_last_chunk_branch = kind is not BranchKind.NONE and remaining == 0
         if not is_last_chunk_branch:
             return
 
@@ -573,5 +600,5 @@ class TraceCacheFetchEngine(FetchEngine):
         if descriptor.interior_taken or not self.selective_storage:
             self.trace_cache.insert(descriptor)
         else:
-            self.trace_cache.stats.add("selective_skips")
+            self.trace_cache.selective_skips += 1
         self.stats.add("traces_committed")

@@ -108,6 +108,8 @@ class _TraceTable:
 
     def lookup(self, index: int, tag: int) -> Optional[_Entry]:
         ways = self._sets[index & (self.sets - 1)]
+        if ways and ways[0].tag == tag:  # MRU fast path
+            return ways[0]
         for i, entry in enumerate(ways):
             if entry.tag == tag:
                 if i:
@@ -162,14 +164,32 @@ class NextTracePredictor:
         self._t2 = _TraceTable(cfg.second_sets, cfg.second_assoc)
         self._t1_bits = cfg.first_sets.bit_length() - 1
         self._hasher = DolcHasher(cfg.dolc, cfg.second_sets.bit_length() - 1)
-        self.stats = CounterBag()
+        # Hot-path event counters as plain ints; see the stats property.
+        self.lookups = 0
+        self.misses = 0
+        self.path_hits = 0
+        self.address_hits = 0
+        self.alias_rejects = 0
+        self.updates = 0
+
+    @property
+    def stats(self) -> CounterBag:
+        """Counters in mergeable CounterBag form (built on demand)."""
+        return CounterBag({
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "path_hits": self.path_hits,
+            "address_hits": self.address_hits,
+            "alias_rejects": self.alias_rejects,
+            "updates": self.updates,
+        })
 
     def _t1_index_tag(self, addr: int) -> Tuple[int, int]:
         word = addr >> 2
         return fold_xor(word, self._t1_bits), word >> self._t1_bits
 
     def _t2_index_tag(self, history: Sequence[int], addr: int) -> Tuple[int, int]:
-        return self._hasher.index(history, addr), self._hasher.tag(history, addr)
+        return self._hasher.index_tag(history, addr)
 
     # ------------------------------------------------------------------
     def predict(
@@ -180,19 +200,19 @@ class NextTracePredictor:
         e1 = self._t1.lookup(i1, t1)
         i2, t2 = self._t2_index_tag(history, fetch_addr)
         e2 = self._t2.lookup(i2, t2)
-        self.stats.add("lookups")
+        self.lookups += 1
         entry = e2 or e1
         if entry is None:
-            self.stats.add("misses")
+            self.misses += 1
             return None
         if entry.descriptor.start != fetch_addr:
             # Aliased entry describing a different location: unusable.
-            self.stats.add("alias_rejects")
+            self.alias_rejects += 1
             return None
         if e2 is not None:
-            self.stats.add("path_hits")
+            self.path_hits += 1
         else:
-            self.stats.add("address_hits")
+            self.address_hits += 1
         return entry.descriptor
 
     # ------------------------------------------------------------------
@@ -211,4 +231,4 @@ class NextTracePredictor:
         self._t1.update(i1, t1, descriptor, allow_allocate=True)
         allow_t2 = in_t2 or first_appearance or mispredicted
         self._t2.update(i2, t2, descriptor, allow_allocate=allow_t2)
-        self.stats.add("updates")
+        self.updates += 1

@@ -43,6 +43,7 @@ class LinearBlock:
         "taken_means_true",
         "ind_target_addrs",
         "_meta",
+        "_slot_keys",
     )
 
     def __init__(
@@ -63,7 +64,8 @@ class LinearBlock:
         self.origin = origin  # CFG bid, or None for a layout stub
         self.taken_means_true = taken_means_true
         self.ind_target_addrs: Optional[List[int]] = None
-        self._meta: Optional[List[InstrMeta]] = None
+        self._meta: Optional[Tuple[InstrMeta, ...]] = None
+        self._slot_keys: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def fallthrough_addr(self) -> int:
@@ -109,6 +111,17 @@ class Program:
         self.seed = seed
         self._starts = [lb.addr for lb in linear_blocks]
         self._by_start = {lb.addr: lb for lb in linear_blocks}
+        self._end_address = linear_blocks[-1].end_addr if linear_blocks else base_address
+        #: Memoized pre-decode scans, filled by repro.fetch.base.scan_run.
+        self._scan_cache: Dict[Tuple[int, int], tuple] = {}
+        #: Addresses of all conditional branch instructions — an O(1)
+        #: pre-decode surface for fetch engines that need to know "is
+        #: there a conditional here?" on their per-instruction path.
+        self.cond_branch_addrs = frozenset(
+            lb.addr + (lb.size - 1) * INSTRUCTION_BYTES
+            for lb in linear_blocks
+            if lb.kind is BranchKind.COND
+        )
 
     # ------------------------------------------------------------------
     # address queries
@@ -120,8 +133,7 @@ class Program:
 
     @property
     def end_address(self) -> int:
-        last = self.linear_blocks[-1]
-        return last.end_addr
+        return self._end_address
 
     @property
     def code_bytes(self) -> int:
@@ -136,7 +148,7 @@ class Program:
         Raises ``ValueError`` for addresses outside the image — fetch
         engines must never wander off the program, so this is loud.
         """
-        if not self.base_address <= addr < self.end_address:
+        if not self.base_address <= addr < self._end_address:
             raise ValueError(f"address {addr:#x} outside program image")
         pos = bisect.bisect_right(self._starts, addr) - 1
         lb = self.linear_blocks[pos]
@@ -154,11 +166,30 @@ class Program:
     # ------------------------------------------------------------------
     # instruction metadata (back-end model)
     # ------------------------------------------------------------------
-    def instr_meta(self, lb: LinearBlock) -> List[InstrMeta]:
+    def instr_meta(self, lb: LinearBlock) -> Tuple[InstrMeta, ...]:
         """Deterministic per-slot metadata for a linear block (cached)."""
         if lb._meta is None:
-            lb._meta = _synthesize_meta(lb, self.cfg.ilp, self.seed)
+            lb._meta = tuple(_synthesize_meta(lb, self.cfg.ilp, self.seed))
         return lb._meta
+
+    def block_meta(
+        self, lb: LinearBlock
+    ) -> Tuple[Tuple[InstrMeta, ...], Tuple[Tuple[int, int], ...]]:
+        """All per-block decode artifacts the hot dispatch loop needs.
+
+        Returns ``(instr_meta, slot_keys)``, both computed at most once
+        per block and interned on it: the processor's run loop consumes
+        one element of each per instruction, so building them per
+        instruction (as a naive loop would) dominates the profile.
+        """
+        meta = lb._meta
+        if meta is None:
+            meta = lb._meta = tuple(_synthesize_meta(lb, self.cfg.ilp, self.seed))
+        keys = lb._slot_keys
+        if keys is None:
+            addr = lb.addr
+            keys = lb._slot_keys = tuple((addr, i) for i in range(lb.size))
+        return meta, keys
 
     # ------------------------------------------------------------------
     # reporting helpers

@@ -27,26 +27,25 @@ from repro.isa.program import LinearBlock, Program
 
 
 class DynBlock:
-    """One dynamic basic-block execution in the trace."""
+    """One dynamic basic-block execution in the trace.
 
-    __slots__ = ("lb", "taken", "next_addr")
+    Immutable once constructed.  ``addr``/``size``/``kind`` are copied
+    out of the linear block at construction: the simulator reads them
+    once or more per instruction, so they are plain slot attributes
+    rather than properties.  Because instances are immutable, walkers
+    intern and re-emit one object per distinct (block, taken, next)
+    triple instead of allocating a fresh record per dynamic block.
+    """
+
+    __slots__ = ("lb", "taken", "next_addr", "addr", "size", "kind")
 
     def __init__(self, lb: LinearBlock, taken: bool, next_addr: int) -> None:
         self.lb = lb
         self.taken = taken
         self.next_addr = next_addr
-
-    @property
-    def addr(self) -> int:
-        return self.lb.addr
-
-    @property
-    def size(self) -> int:
-        return self.lb.size
-
-    @property
-    def kind(self) -> BranchKind:
-        return self.lb.kind
+        self.addr = lb.addr
+        self.size = lb.size
+        self.kind = lb.kind
 
     @property
     def target_addr(self) -> int:
@@ -115,6 +114,12 @@ class TraceWalker:
             raise ValueError("program entry address does not start a block")
         self.blocks_walked = 0
         self.instructions_walked = 0
+        # Interned DynBlocks: traces revisit the same (block, taken,
+        # next) triples millions of times, and DynBlock is immutable, so
+        # one record per distinct triple serves every occurrence without
+        # a per-block allocation.
+        self._interned: Dict[Tuple[int, bool, int], DynBlock] = {}
+        self._block_at = program.block_starting_at
 
     def __iter__(self) -> Iterator[DynBlock]:
         return self
@@ -124,7 +129,7 @@ class TraceWalker:
         if lb is None:
             raise StopIteration
         record = self._step(lb)
-        nxt = self.program.block_starting_at(record.next_addr)
+        nxt = self._block_at(record.next_addr)
         if nxt is None:
             raise RuntimeError(
                 f"control transfer to non-block address {record.next_addr:#x}"
@@ -134,6 +139,13 @@ class TraceWalker:
         self.instructions_walked += lb.size
         return record
 
+    def _emit(self, lb: LinearBlock, taken: bool, next_addr: int) -> DynBlock:
+        key = (lb.addr, taken, next_addr)
+        dyn = self._interned.get(key)
+        if dyn is None:
+            dyn = self._interned[key] = DynBlock(lb, taken, next_addr)
+        return dyn
+
     def _step(self, lb: LinearBlock) -> DynBlock:
         program = self.program
         ctx = self.ctx
@@ -142,22 +154,22 @@ class TraceWalker:
             ctx.record_block(lb.origin)
 
         if kind is BranchKind.NONE:
-            return DynBlock(lb, False, lb.fallthrough_addr)
+            return self._emit(lb, False, lb.fallthrough_addr)
         if kind is BranchKind.JUMP:
-            return DynBlock(lb, True, lb.target_addr)
+            return self._emit(lb, True, lb.target_addr)
         if kind is BranchKind.CALL:
             self.stack.append(lb.fallthrough_addr)
-            return DynBlock(lb, True, lb.target_addr)
+            return self._emit(lb, True, lb.target_addr)
         if kind is BranchKind.RET:
             if self.stack:
                 target = self.stack.pop()
             else:
                 target = program.entry_address
-            return DynBlock(lb, True, target)
+            return self._emit(lb, True, target)
         if kind is BranchKind.IND:
             block = program.cfg.block(lb.origin)
             slot = block.ind_chooser.choose(ctx, block.bid)
-            return DynBlock(lb, True, lb.ind_target_addrs[slot])
+            return self._emit(lb, True, lb.ind_target_addrs[slot])
 
         # Conditional: behaviour decides the CFG successor; the layout
         # decides whether reaching it is an ISA taken or a fall-through.
@@ -166,4 +178,4 @@ class TraceWalker:
         ctx.record_outcome(cond)
         taken = cond if lb.taken_means_true else not cond
         next_addr = lb.target_addr if taken else lb.fallthrough_addr
-        return DynBlock(lb, taken, next_addr)
+        return self._emit(lb, taken, next_addr)

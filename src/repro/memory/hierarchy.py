@@ -17,11 +17,19 @@ from repro.memory.cache import Cache
 class MemoryHierarchy:
     """Owns the caches and answers latency queries."""
 
+    __slots__ = ("params", "il1", "dl1", "l2",
+                 "_il1_hit", "_dl1_hit", "_l2_lat", "_mem_lat")
+
     def __init__(self, params: MemoryParams) -> None:
         self.params = params
         self.il1 = Cache(params.il1, "L1I")
         self.dl1 = Cache(params.dl1, "L1D")
         self.l2 = Cache(params.l2, "L2")
+        # Latency constants, hoisted out of the per-access paths.
+        self._il1_hit = params.il1.hit_latency
+        self._dl1_hit = params.dl1.hit_latency
+        self._l2_lat = params.l2_latency
+        self._mem_lat = params.memory_latency
 
     # ------------------------------------------------------------------
     # instruction side
@@ -29,20 +37,22 @@ class MemoryHierarchy:
     def fetch_line(self, addr: int) -> int:
         """Fetch the L1I line containing ``addr``; returns latency."""
         if self.il1.access(addr):
-            return self.params.il1.hit_latency
-        return self.params.il1.hit_latency + self._fill_from_l2_instr(addr)
+            return self._il1_hit
+        return self._il1_hit + self._fill_from_l2_instr(addr)
 
     def _fill_from_l2_instr(self, addr: int) -> int:
         il1_line = self.params.il1.line_bytes
         l2_line = self.params.l2.line_bytes
         start = addr - (addr % il1_line)
         worst = 0
+        l2_access = self.l2.access
         for chunk in range(start, start + il1_line, l2_line):
-            if self.l2.access(chunk):
-                latency = self.params.l2_latency
+            if l2_access(chunk):
+                latency = self._l2_lat
             else:
-                latency = self.params.l2_latency + self.params.memory_latency
-            worst = max(worst, latency)
+                latency = self._l2_lat + self._mem_lat
+            if latency > worst:
+                worst = latency
         return worst
 
     def instruction_prefetch(self, addr: int) -> None:
@@ -65,24 +75,22 @@ class MemoryHierarchy:
     def data_access(self, addr: int, is_store: bool = False) -> int:
         """Load/store latency through L1D -> L2 -> memory."""
         if self.dl1.access(addr):
-            return self.params.dl1.hit_latency
-        latency = self.params.dl1.hit_latency
+            return self._dl1_hit
         if self.l2.access(addr):
-            latency += self.params.l2_latency
-        else:
-            latency += self.params.l2_latency + self.params.memory_latency
-        return latency
+            return self._dl1_hit + self._l2_lat
+        return self._dl1_hit + self._l2_lat + self._mem_lat
 
     # ------------------------------------------------------------------
     def stats_summary(self) -> dict:
+        il1, dl1, l2 = self.il1, self.dl1, self.l2
         return {
-            "il1_accesses": self.il1.stats["accesses"],
-            "il1_misses": self.il1.stats["misses"],
-            "il1_miss_rate": self.il1.miss_rate,
-            "dl1_accesses": self.dl1.stats["accesses"],
-            "dl1_misses": self.dl1.stats["misses"],
-            "dl1_miss_rate": self.dl1.miss_rate,
-            "l2_accesses": self.l2.stats["accesses"],
-            "l2_misses": self.l2.stats["misses"],
-            "l2_miss_rate": self.l2.miss_rate,
+            "il1_accesses": il1.accesses,
+            "il1_misses": il1.misses,
+            "il1_miss_rate": il1.miss_rate,
+            "dl1_accesses": dl1.accesses,
+            "dl1_misses": dl1.misses,
+            "dl1_miss_rate": dl1.miss_rate,
+            "l2_accesses": l2.accesses,
+            "l2_misses": l2.misses,
+            "l2_miss_rate": l2.miss_rate,
         }

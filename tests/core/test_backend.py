@@ -116,3 +116,44 @@ class TestWindowModel:
             be.dispatch(alu(d1=d1, d2=d2), (0, i), i // 4)
             n += 1
         assert n / max(be.last_commit_cycle, 1) <= 4.0 + 1e-9
+
+
+class TestDispatchProcessorParity:
+    """Pin Processor.run's inlined dispatch to the canonical model.
+
+    ``Processor.run`` hand-inlines ``DataflowBackend.dispatch`` (and the
+    L1D fast path) for speed; ``_reference_dispatch=True`` routes every
+    instruction through the real method instead.  The two paths must
+    produce identical results, so a semantic edit to one copy without
+    the other fails here.
+    """
+
+    def _run(self, arch, reference):
+        import dataclasses
+
+        from repro.common.params import default_machine
+        from repro.core.processor import Processor
+        from repro.experiments.configs import build_engine
+        from repro.isa.trace import TraceWalker
+        from repro.isa.workloads import prepare_program, ref_trace_seed
+        from repro.memory.hierarchy import MemoryHierarchy
+
+        program = prepare_program("gzip", optimized=False, scale=0.3)
+        machine = default_machine(8)
+        mem = MemoryHierarchy(machine.memory)
+        engine = build_engine(arch, program, machine, mem)
+        walker = TraceWalker(program, seed=ref_trace_seed("gzip"))
+        processor = Processor(engine, walker, machine, mem)
+        result = processor.run(8000, warmup=2000,
+                               _reference_dispatch=reference)
+        return dataclasses.asdict(result), processor.backend
+
+    @pytest.mark.parametrize("arch", ["ev8", "stream"])
+    def test_inline_matches_reference(self, arch):
+        fast, fast_backend = self._run(arch, reference=False)
+        ref, ref_backend = self._run(arch, reference=True)
+        assert fast == ref
+        assert fast_backend.instructions == ref_backend.instructions
+        assert fast_backend.last_commit_cycle == ref_backend.last_commit_cycle
+        assert fast_backend.load_accesses == ref_backend.load_accesses
+        assert fast_backend.store_accesses == ref_backend.store_accesses

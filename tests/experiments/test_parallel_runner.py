@@ -1,0 +1,62 @@
+"""Serial vs parallel ``run_matrix`` equivalence.
+
+The parallel path shards (benchmark, layout) groups across worker
+processes; every simulation is deterministic given its RunSpec, so the
+two paths must produce *bit-identical* results — same counters, same
+engine stats, same memory stats — not merely statistically similar.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import RunSpec, run_matrix
+
+BENCHES = ("gzip", "twolf")
+KWARGS = dict(widths=(8,), instructions=12_000, warmup=4_000, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix(BENCHES, **KWARGS)
+
+
+@pytest.fixture(scope="module")
+def parallel_matrix():
+    return run_matrix(BENCHES, **KWARGS, jobs=2)
+
+
+class TestParallelEquivalence:
+    def test_same_specs(self, serial_matrix, parallel_matrix):
+        assert set(serial_matrix.results) == set(parallel_matrix.results)
+        assert len(serial_matrix.results) == 2 * 2 * 4  # bench x layout x arch
+
+    def test_results_bit_identical(self, serial_matrix, parallel_matrix):
+        for spec, serial in serial_matrix.results.items():
+            parallel = parallel_matrix.results[spec]
+            assert dataclasses.asdict(serial) == dataclasses.asdict(parallel), (
+                f"serial/parallel divergence at {spec}"
+            )
+
+    def test_every_counter_field(self, serial_matrix, parallel_matrix):
+        """Field-by-field check so a divergence names the counter."""
+        spec = RunSpec("stream", "gzip", 8, True)
+        serial = serial_matrix.results[spec]
+        parallel = parallel_matrix.results[spec]
+        for field in dataclasses.fields(serial):
+            assert getattr(serial, field.name) == getattr(parallel, field.name), (
+                f"field {field.name} differs between serial and parallel"
+            )
+
+    def test_result_ordering_matches(self, serial_matrix, parallel_matrix):
+        """The parallel path inserts results in the serial order."""
+        assert list(serial_matrix.results) == list(parallel_matrix.results)
+
+    def test_progress_called_per_result(self):
+        seen = []
+        run_matrix(("gzip",), widths=(8,), instructions=5_000,
+                   warmup=1_000, scale=0.3, jobs=2,
+                   progress=lambda r: seen.append((r.benchmark, r.engine,
+                                                   r.optimized)))
+        assert len(seen) == 8  # 1 bench x 2 layouts x 4 archs
+        assert len(set(seen)) == 8

@@ -121,3 +121,60 @@ def test_property_resident_lines_bounded(addresses):
     for addr in addresses:
         c.access(addr)
     assert c.resident_lines() <= 16
+
+
+class TestFastCounters:
+    """The hot-path counters are plain ints; stats is a derived view."""
+
+    def test_int_attributes_track_events(self):
+        c = small_cache(assoc=2, sets=1)
+        c.access(0x000)           # miss
+        c.access(0x000)           # hit
+        c.access(0x040)           # miss
+        c.access(0x080)           # miss + eviction
+        assert c.accesses == 4
+        assert c.misses == 3
+        assert c.evictions == 1
+
+    def test_stats_view_matches_ints(self):
+        c = small_cache()
+        for i in range(20):
+            c.access((i % 6) * 64)
+        stats = c.stats
+        assert stats["accesses"] == c.accesses == 20
+        assert stats["misses"] == c.misses
+        assert stats["evictions"] == c.evictions
+
+    def test_fill_counts_evictions_only(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0x000)
+        c.fill(0x040)
+        c.fill(0x080)  # evicts
+        assert c.accesses == 0
+        assert c.misses == 0
+        assert c.evictions == 1
+
+    def test_probe_touches_nothing(self):
+        c = small_cache()
+        c.probe(0x1000)
+        assert c.accesses == 0
+        assert c.misses == 0
+
+    def test_miss_rate_from_ints(self):
+        c = small_cache()
+        assert c.miss_rate == 0.0
+        c.access(0x1000)
+        c.access(0x1000)
+        c.access(0x1000)
+        assert c.miss_rate == pytest.approx(1 / 3)
+
+    def test_mru_fast_path_preserves_lru(self):
+        """Repeated MRU touches must not disturb the LRU order."""
+        c = small_cache(assoc=2, sets=1)
+        c.access(0x000)   # A
+        c.access(0x040)   # B (MRU)
+        c.access(0x040)   # B again via the fast path
+        c.access(0x040)   # and again
+        c.access(0x080)   # C evicts A (the true LRU), not B
+        assert c.probe(0x040) is True
+        assert c.probe(0x000) is False

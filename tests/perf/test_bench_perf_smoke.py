@@ -1,0 +1,38 @@
+"""Tier-1 perf smoke: run ``bench_perf.py --quick`` and fail loudly on
+a >30% regression against the committed ``BENCH_perf.json`` baseline.
+
+The quick mode measures a few hundred milliseconds of simulation per
+engine (best-of-3, so scheduler noise is filtered) — cheap enough for
+every test run, sensitive enough to catch a real hot-path regression.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+BENCH_PERF = os.path.join(REPO_ROOT, "benchmarks", "bench_perf.py")
+
+
+def test_quick_perf_smoke():
+    if os.environ.get("REPRO_SKIP_PERF_SMOKE"):
+        # The committed BENCH_perf.json baseline is machine-specific;
+        # on hardware much slower than the reference container the
+        # absolute-ips gate would fail without any code regression.
+        pytest.skip("REPRO_SKIP_PERF_SMOKE set (foreign/slow host)")
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, BENCH_PERF, "--quick"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        "bench_perf --quick reported a perf regression:\n"
+        + proc.stdout + proc.stderr
+    )
