@@ -60,6 +60,12 @@ class PerceptronPredictor:
         # update(): lets predict() visit only the *set* history bits
         # (y = bias - wsum + 2 * sum of weights at set bits).
         self._wsum: List[int] = [0] * cfg.num_perceptrons
+        # Memoized dot products: the output for a given input vector is
+        # fixed until the perceptron trains, so (perceptron, training
+        # epoch, inputs) -> y is exact.  Loopy codes re-see the same
+        # history vectors constantly between trainings.
+        self._epoch: List[int] = [0] * cfg.num_perceptrons
+        self._y_memo: dict = {}
 
     # ------------------------------------------------------------------
     def _inputs(self, pc: int, global_history: int) -> Tuple[int, int, int]:
@@ -72,19 +78,26 @@ class PerceptronPredictor:
 
     def predict(self, pc: int, global_history: int) -> Tuple[bool, PredictionInfo]:
         pidx, lidx, bits = self._inputs(pc, global_history)
-        weights = self._weights[pidx]
-        # Dot product over +1/-1 inputs, visiting only the set bits:
-        # y = bias + sum(w_i for set i) - sum(w_i for clear i)
-        #   = bias - wsum + 2 * sum(w_i for set i).
-        s = 0
-        x = bits
-        i = 1
-        while x:
-            if x & 1:
-                s += weights[i]
-            x >>= 1
-            i += 1
-        y = weights[0] - self._wsum[pidx] + 2 * s
+        memo = self._y_memo
+        key = (pidx, self._epoch[pidx], bits)
+        y = memo.get(key)
+        if y is None:
+            weights = self._weights[pidx]
+            # Dot product over +1/-1 inputs, visiting only the set bits:
+            # y = bias + sum(w_i for set i) - sum(w_i for clear i)
+            #   = bias - wsum + 2 * sum(w_i for set i).
+            s = 0
+            x = bits
+            i = 1
+            while x:
+                if x & 1:
+                    s += weights[i]
+                x >>= 1
+                i += 1
+            y = weights[0] - self._wsum[pidx] + 2 * s
+            if len(memo) > (1 << 16):  # deterministic bound
+                memo.clear()
+            memo[key] = y
         return y >= 0, (pidx, lidx, bits, y)
 
     # ------------------------------------------------------------------
@@ -102,8 +115,10 @@ class PerceptronPredictor:
                 xi = 1 if x & 1 else -1
                 weights[i] = _saturate(weights[i] + t * xi, cfg)
                 x >>= 1
-            # Refresh the cached non-bias weight sum (see predict()).
+            # Refresh the cached non-bias weight sum (see predict()) and
+            # advance the training epoch so memoized outputs expire.
             self._wsum[pidx] = sum(weights) - weights[0]
+            self._epoch[pidx] += 1
         # Local history is maintained non-speculatively (commit order).
         self._local[lidx] = ((self._local[lidx] << 1) | int(taken)) & self._local_mask
 

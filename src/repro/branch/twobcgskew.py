@@ -50,59 +50,66 @@ class TwoBcGskew:
         self._meta = CounterTable(entries, init=2)  # slight e-gskew bias
         self._index_bits = entries.bit_length() - 1
         self._fold_limit = 1 << (4 * self._index_bits)
+        # Direct references to the banks' counter lists: predict/update
+        # run once per conditional branch and the CounterTable method
+        # hops are measurable there.  Indices are already bank-masked.
+        self._bim_c = self._bim._counters
+        self._g0_c = self._g0._counters
+        self._g1_c = self._g1._counters
+        self._meta_c = self._meta._counters
+        self._h0_mask = (1 << self.config.short_history_bits) - 1
+        self._h1_mask = (1 << self.config.history_bits) - 1
 
     # ------------------------------------------------------------------
-    def _indices(self, pc: int, history: int) -> Tuple[int, int, int, int]:
+    def predict(self, pc: int, history: int) -> Tuple[bool, PredictionInfo]:
+        """Predict the direction; returns (taken?, info-for-update).
+
+        The four bank indices are computed inline (this runs once per
+        fetched conditional): fold_xor is unrolled to four fold windows,
+        identical to the loop for any operand below 2^(4*index_bits) —
+        which covers every realistic program address — and each bank
+        uses a distinct skewing function so one aliasing collision does
+        not strike all banks at once.
+        """
         word = pc >> 2
-        cfg = self.config
-        h0 = history & ((1 << cfg.short_history_bits) - 1)
-        h1 = history & ((1 << cfg.history_bits) - 1)
         bits = self._index_bits
+        b2 = 2 * bits
+        b3 = 3 * bits
         mask = (1 << bits) - 1
         limit = self._fold_limit
-        # fold_xor unrolled to four fold windows: identical to the loop
-        # for any operand below 2^(4*bits), which covers every realistic
-        # program address; larger operands take the general path.
         v = word
         if v < limit:
-            bim_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+            bim_i = (v ^ (v >> bits) ^ (v >> b2) ^ (v >> b3)) & mask
         else:  # pragma: no cover - beyond any simulated image
             bim_i = fold_xor(v, bits)
-        # Distinct skewing functions per bank: rotate the pc contribution
-        # so one aliasing collision does not strike all banks at once.
-        v = word ^ (h0 << 5) ^ (word << 2)
+        v = word ^ ((history & self._h0_mask) << 5) ^ (word << 2)
         if v < limit:
-            g0_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+            g0_i = (v ^ (v >> bits) ^ (v >> b2) ^ (v >> b3)) & mask
         else:  # pragma: no cover
             g0_i = fold_xor(v, bits)
+        h1 = history & self._h1_mask
         v = word ^ (h1 << 3) ^ (word << 7)
         if v < limit:
-            g1_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+            g1_i = (v ^ (v >> bits) ^ (v >> b2) ^ (v >> b3)) & mask
         else:  # pragma: no cover
             g1_i = fold_xor(v, bits)
         v = word ^ (h1 << 9) ^ (word << 4)
         if v < limit:
-            meta_i = (v ^ (v >> bits) ^ (v >> 2 * bits) ^ (v >> 3 * bits)) & mask
+            meta_i = (v ^ (v >> bits) ^ (v >> b2) ^ (v >> b3)) & mask
         else:  # pragma: no cover
             meta_i = fold_xor(v, bits)
-        return bim_i, g0_i, g1_i, meta_i
 
-    # ------------------------------------------------------------------
-    def predict(self, pc: int, history: int) -> Tuple[bool, PredictionInfo]:
-        """Predict the direction; returns (taken?, info-for-update)."""
-        bim_i, g0_i, g1_i, meta_i = self._indices(pc, history)
-        p_bim = self._bim.predict(bim_i)
-        p_g0 = self._g0.predict(g0_i)
-        p_g1 = self._g1.predict(g1_i)
+        p_bim = self._bim_c[bim_i] >= 2
+        p_g0 = self._g0_c[g0_i] >= 2
+        p_g1 = self._g1_c[g1_i] >= 2
         p_eskew = (p_bim + p_g0 + p_g1) >= 2
-        use_eskew = self._meta.predict(meta_i)
-        prediction = p_eskew if use_eskew else p_bim
+        prediction = p_eskew if self._meta_c[meta_i] >= 2 else p_bim
         return prediction, (bim_i, g0_i, g1_i, meta_i, p_bim, p_eskew)
 
     def update(self, info: PredictionInfo, taken: bool) -> None:
         """Commit-time update with the EV8 partial-update policy."""
         bim_i, g0_i, g1_i, meta_i, p_bim, p_eskew = info
-        use_eskew = self._meta.predict(meta_i)
+        use_eskew = self._meta_c[meta_i] >= 2
         prediction = p_eskew if use_eskew else p_bim
 
         if prediction == taken:
@@ -113,9 +120,9 @@ class TwoBcGskew:
             if p_bim == taken:
                 self._bim.strengthen(bim_i, taken)
             if use_eskew or p_bim != taken:
-                if self._g0.predict(g0_i) == taken:
+                if (self._g0_c[g0_i] >= 2) == taken:
                     self._g0.strengthen(g0_i, taken)
-                if self._g1.predict(g1_i) == taken:
+                if (self._g1_c[g1_i] >= 2) == taken:
                     self._g1.strengthen(g1_i, taken)
             return
 

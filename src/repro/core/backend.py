@@ -19,15 +19,42 @@ The model is evaluated incrementally at dispatch time: because issue and
 commit times depend only on *older* instructions, each instruction's
 timing is final the moment it enters — which is what lets the processor
 know a branch's resolution cycle as soon as it is fetched.
+
+Block-batched scheduling
+------------------------
+
+The processor dispatches whole straight-line *segments* (a run of slots
+inside one linear block, all sharing a dispatch cycle) through the
+backend's **segment scheduler**.  Because the per-slot metadata is
+static, the schedule of a segment is a pure function of the *relative
+entry state*: the completion times of the (few) older instructions its
+dependences reach, the issue-slot occupancy at cycles the segment can
+still touch, the commit-chain position, and — for loads — which level of
+the data hierarchy each access hit.  The scheduler normalizes that
+state relative to the dispatch cycle, memoizes the resulting *schedule
+template* (per-slot completion deltas plus the exit state), and replays
+it on every recurrence; the D-cache is still probed per memory access
+(those probes are stateful), and any entry state outside the template
+preconditions falls back to a per-slot loop with identical semantics.
+
+The scheduler is implemented as a *persistent generator* so all of its
+mutable state lives in one frame's locals for the lifetime of a run —
+the Python-level equivalent of keeping the machine state in registers —
+instead of being re-read from the object per call.  The attribute view
+(``_count``, ``_last_commit``, ...) is refreshed by :meth:`_sync`,
+which the canonical :meth:`dispatch` entry point and the public
+inspection properties call automatically.  Either path produces
+bit-identical timings to calling :meth:`dispatch` once per instruction
+— ``tests/core/test_backend.py`` pins that parity.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common.params import MachineParams
 from repro.common.types import InstrClass
-from repro.isa.program import InstrMeta
+from repro.isa.program import InstrMeta, LinearBlock, segment_plan
 from repro.memory.hierarchy import MemoryHierarchy
 
 #: Ring size for completion-time lookback; must exceed the largest
@@ -39,15 +66,63 @@ _RING = 128
 _LOAD = int(InstrClass.LOAD)
 _STORE = int(InstrClass.STORE)
 
+#: Issue-occupancy ring size (slots, power of two).  The ring covers the
+#: window of cycles a dispatch can still probe; cycles that would alias a
+#: still-live entry spill into a dict (rare — it takes a dependence chain
+#: booking issue slots ``_IU_SIZE`` cycles ahead).
+_IU_SIZE = 8192
+_IU_MASK = _IU_SIZE - 1
+
+#: Occupancy-table compaction: when more than ``_IU_LIMIT`` distinct
+#: issue cycles are tracked, entries older than ``issue - _IU_LAG`` are
+#: dropped and the issue floor advances.  These values are semantics
+#: (the floor clamps future issue searches), not just tuning: they must
+#: match the seed model exactly.
+_IU_LIMIT = 4096
+_IU_LAG = 256
+
+#: Template preconditions: relative entry-state components larger than
+#: these fall back to the slow path rather than polluting the template
+#: cache with one-off keys (a draining load-miss backlog produces a new
+#: key every cycle).
+_TPL_MAX_DELTA = 64
+_TPL_MAX_TAIL = 16
+_TPL_CACHE_LIMIT = 1 << 16
+
+
+def _pack_tail(tail: Optional[tuple]) -> Optional[int]:
+    """Prefix-coded int encoding of an occupancy tail, or None.
+
+    The encoding is ``len``, then each ``(delta, n)`` pair in order —
+    injective because the length prefix fixes the parse and each field
+    is strictly bounded (``n`` is per-cycle issue usage, at most the
+    machine width, and widths up to 16 are supported).  Tails that are
+    unknown, too long, or out of those bounds encode as None (the
+    template path skips them).
+    """
+    if tail is None or len(tail) > _TPL_MAX_TAIL:
+        return None
+    packed = len(tail)
+    for dc, n in tail:
+        if dc > 63 or n > 16:
+            return None
+        packed = (packed * 64 + dc) * 17 + n
+    return packed
+
 
 class DataflowBackend:
     """Incremental timing model for the out-of-order core."""
 
     __slots__ = (
         "machine", "mem", "width", "_completions", "_count",
-        "_issue_used", "_issue_floor", "_last_commit",
+        "_issue_floor", "_last_commit",
         "_commits_in_cycle", "_load_counters",
         "load_accesses", "store_accesses",
+        # Issue-occupancy table: stamped modulo ring + overflow dict.
+        "_iu_vals", "_iu_stamps", "_iu_spill", "_iu_entries",
+        # Block-batched scheduling state.
+        "_templates", "_tail", "_tail_cycle", "_max_issue", "_lvl_lat",
+        "_dl1_access", "_l2_access", "_sched", "_sched_send",
     )
 
     def __init__(self, machine: MachineParams, mem: MemoryHierarchy) -> None:
@@ -56,13 +131,136 @@ class DataflowBackend:
         self.width = machine.core.width
         self._completions = [0] * _RING
         self._count = 0
-        self._issue_used: Dict[int, int] = {}
         self._issue_floor = 0
         self._last_commit = 0
         self._commits_in_cycle = 0
         self._load_counters: Dict[Tuple[int, int], int] = {}
         self.load_accesses = 0
         self.store_accesses = 0
+        # Issue occupancy: cycle c lives at ring slot c & _IU_MASK when
+        # the stamp matches; -1 stamps are free slots; aliasing cycles
+        # live in the spill dict.  ``_iu_entries`` tracks the number of
+        # distinct cycles exactly like ``len()`` of the dict it replaces,
+        # so compaction triggers at identical moments.
+        self._iu_vals = [0] * _IU_SIZE
+        self._iu_stamps = [-1] * _IU_SIZE
+        self._iu_spill: Dict[int, int] = {}
+        self._iu_entries = 0
+        # Schedule templates, keyed on (segment identity, relative entry
+        # state); see the module docstring.
+        self._templates: dict = {}
+        #: Exact issue occupancy at cycles > ``_tail_cycle`` as sorted
+        #: (cycle - dispatch, count) pairs, or None when unknown.
+        self._tail: Optional[tuple] = ()
+        self._tail_cycle = 0
+        #: Highest cycle any instruction has ever issued at.
+        self._max_issue = 0
+        hit = mem._dl1_hit
+        l2 = mem._l2_lat
+        self._lvl_lat = (hit - 1, hit + l2 - 1, hit + l2 + mem._mem_lat - 1)
+        self._dl1_access = mem.dl1.access
+        self._l2_access = mem.l2.access
+        self._sched = None
+        self._sched_send = None
+
+    # ------------------------------------------------------------------
+    # scheduler lifecycle
+    # ------------------------------------------------------------------
+    def scheduler_send(self):
+        """The bound ``send`` of the persistent segment scheduler.
+
+        The processor calls this once per run and then sends one
+        ``(lb, start, count, dispatch_cycle)`` tuple per dispatched
+        segment, receiving the terminal slot's ``(complete, commit)``.
+        Sending ``None`` parks the scheduler: its frame-local state is
+        published back to the backend's attributes (see :meth:`_sync`).
+        """
+        send = self._sched_send
+        if send is None:
+            self._sched = self._scheduler()
+            next(self._sched)
+            send = self._sched_send = self._sched.send
+        return send
+
+    def _sync(self) -> None:
+        """Publish scheduler-local state back to the attribute view.
+
+        Idempotent and cheap when the scheduler is already parked (or
+        was never started); required before reading or mutating the
+        scheduling state through the object (canonical :meth:`dispatch`,
+        the inspection properties, tests poking at internals).
+        """
+        send = self._sched_send
+        if send is not None:
+            send(None)
+
+    def dispatch_segment(
+        self, lb: LinearBlock, start: int, count: int, dispatch_cycle: int
+    ) -> Tuple[int, int]:
+        """Schedule ``count`` slots of ``lb`` beginning at ``start``.
+
+        All slots share ``dispatch_cycle`` (they were fetched in one
+        bundle).  Returns the (complete, commit) cycles of the *last*
+        slot — the only per-slot timings the processor consumes (branch
+        resolution and block commit are terminal-slot properties).
+        Equivalent to ``count`` calls of :meth:`dispatch`.
+        """
+        send = self._sched_send
+        if send is None:
+            send = self.scheduler_send()
+        return send((lb, start, count, dispatch_cycle))
+
+    # ------------------------------------------------------------------
+    # issue-occupancy table helpers (the scheduler inlines these)
+    # ------------------------------------------------------------------
+    def _iu_get(self, cycle: int) -> int:
+        if self._iu_stamps[cycle & _IU_MASK] == cycle:
+            return self._iu_vals[cycle & _IU_MASK]
+        if self._iu_spill:
+            return self._iu_spill.get(cycle, 0)
+        return 0
+
+    def _iu_add(self, cycle: int, n: int) -> None:
+        """Add ``n`` uses at ``cycle``; maintains the distinct-cycle count."""
+        slot = cycle & _IU_MASK
+        stamps = self._iu_stamps
+        if stamps[slot] == cycle:
+            self._iu_vals[slot] += n
+            return
+        spill = self._iu_spill
+        if spill and cycle in spill:
+            spill[cycle] += n
+            return
+        if stamps[slot] == -1:
+            stamps[slot] = cycle
+            self._iu_vals[slot] = n
+        else:
+            spill[cycle] = n
+        self._iu_entries += 1
+
+    def _iu_compact(self, issue: int) -> None:
+        """Drop occupancy entries older than ``issue - _IU_LAG``.
+
+        Mirrors the dict model exactly: entries below the raw floor are
+        forgotten, the distinct-cycle count is recounted over the
+        survivors, and the issue floor only ever advances.
+        """
+        floor = issue - _IU_LAG
+        stamps = self._iu_stamps
+        live = 0
+        for slot in range(_IU_SIZE):
+            stamp = stamps[slot]
+            if stamp >= floor:
+                live += 1
+            elif stamp != -1:
+                stamps[slot] = -1
+        spill = self._iu_spill
+        if spill:
+            spill = {c: n for c, n in spill.items() if c >= floor}
+            self._iu_spill = spill
+        self._iu_entries = live + len(spill)
+        if floor > self._issue_floor:
+            self._issue_floor = floor
 
     # ------------------------------------------------------------------
     def dispatch(
@@ -70,13 +268,12 @@ class DataflowBackend:
     ) -> Tuple[int, int]:
         """Schedule one instruction; returns (complete, commit) cycles.
 
-        This is the canonical dispatch model.  ``Processor.run`` carries
-        a hand-inlined copy of this body (plus the L1D fast path of
-        ``MemoryHierarchy.data_access``) for speed — any semantic change
-        here must be mirrored there, and
+        This is the canonical dispatch model; the segment scheduler is
+        the batched equivalent the processor uses, and
         ``tests/core/test_backend.py::TestDispatchProcessorParity``
-        cross-checks the two.
+        cross-checks the two over full simulations.
         """
+        self._sync()
         cls, latency, d1, d2, mem_base, mem_stride, mem_span = meta
         completions = self._completions
         index = self._count
@@ -91,21 +288,18 @@ class DataflowBackend:
                 ready = dep
 
         # Issue-slot allocation: earliest cycle >= ready with spare
-        # issue bandwidth (inlined; this runs once per instruction and
-        # the call overhead is measurable).
+        # issue bandwidth.
         width = self.width
         floor = self._issue_floor
         issue = ready if ready > floor else floor
-        used = self._issue_used
-        used_get = used.get
-        while used_get(issue, 0) >= width:
+        while self._iu_get(issue) >= width:
             issue += 1
-        used[issue] = used_get(issue, 0) + 1
-        if len(used) > 4096:
-            floor = issue - 256
-            self._issue_used = {c: n for c, n in used.items() if c >= floor}
-            if floor > self._issue_floor:
-                self._issue_floor = floor
+        self._iu_add(issue, 1)
+        if issue > self._max_issue:
+            self._max_issue = issue
+        self._tail = None  # per-instruction path: occupancy tail unknown
+        if self._iu_entries > _IU_LIMIT:
+            self._iu_compact(issue)
 
         if cls == _LOAD:
             latency += self._memory_latency(slot_key, mem_base, mem_stride,
@@ -138,6 +332,405 @@ class DataflowBackend:
         return complete, commit
 
     # ------------------------------------------------------------------
+    def _scheduler(self):
+        """Persistent batched segment scheduler (see module docstring).
+
+        Protocol: ``send((lb, start, count, D))`` schedules one segment
+        and yields its terminal ``(complete, commit)``; ``send(None)``
+        parks the scheduler, publishing all frame-local state back to
+        the backend attributes, and yields an acknowledgement.  On the
+        next real send the state is re-hoisted from the attributes, so
+        interleaving with the canonical per-instruction path stays
+        coherent.
+
+        Both internal paths — template replay and the per-slot loop —
+        implement exactly the scheduling rules of :meth:`dispatch`; the
+        parity test drives full simulations down both routes.
+        """
+        width = self.width
+        lvl0, lvl1, lvl2 = self._lvl_lat
+        dl1 = self._dl1_access
+        l2 = self._l2_access
+        counters = self._load_counters
+        completions = self._completions
+        iu_vals = self._iu_vals
+        iu_stamps = self._iu_stamps
+        templates = self._templates
+        counters_get = counters.get
+        templates_get = templates.get
+        # Module-level constants and helpers as frame locals: these are
+        # read once or more per segment.
+        iu_mask = _IU_MASK
+        iu_limit = _IU_LIMIT
+        max_delta = _TPL_MAX_DELTA
+        max_tail = _TPL_MAX_TAIL
+        cache_limit = _TPL_CACHE_LIMIT
+        make_plan = segment_plan
+
+        result = None
+        while True:
+            args = yield result
+            if args is None:
+                result = None  # parked with nothing hoisted: plain ack
+                continue
+            # -- hoist the mutable scheduling state --------------------
+            iu_spill = self._iu_spill
+            entries = self._iu_entries
+            floor = self._issue_floor
+            cnt = self._count
+            last = self._last_commit
+            cic = self._commits_in_cycle
+            max_issue = self._max_issue
+            tail = self._tail
+            tail_cycle = self._tail_cycle
+            loads = self.load_accesses
+            stores = self.store_accesses
+            tail_k = _pack_tail(tail)
+
+            while args is not None:
+                lb, start, count, D = args
+
+                # -- shift / re-establish the occupancy tail -----------
+                # ``tail_k`` is the prefix-coded int encoding of the
+                # tail (length, then (delta, n) pairs) used in template
+                # keys; None when the tail is unknown or unencodable.
+                if tail_cycle != D:
+                    if tail:
+                        shift = D - tail_cycle
+                        tail = tuple([
+                            (dc - shift, n) for dc, n in tail if dc > shift
+                        ])
+                        tail_k = _pack_tail(tail)
+                    elif tail is None:
+                        if max_issue <= D:
+                            # Nothing is booked past the dispatch
+                            # frontier: occupancy is exactly empty.
+                            tail = ()
+                            tail_k = 0
+                        elif max_issue - D <= max_tail:
+                            # Shallow backlog: reconstruct the exact
+                            # occupancy at the few reachable booked
+                            # cycles — re-arms the template path right
+                            # after a slow-path blip.
+                            t = []
+                            for c in range(D + 1, max_issue + 1):
+                                s = c & iu_mask
+                                if iu_stamps[s] == c:
+                                    n = iu_vals[s]
+                                elif iu_spill:
+                                    n = iu_spill.get(c, 0)
+                                else:
+                                    n = 0
+                                if n:
+                                    t.append((c - D, n))
+                            tail = tuple(t)
+                            tail_k = _pack_tail(tail)
+                        else:
+                            tail_k = None
+                    else:
+                        tail_k = 0  # empty tail shifts to empty
+                    tail_cycle = D
+
+                # -- template preconditions ----------------------------
+                tpl = None
+                if tail_k is not None:
+                    dlc = last - D
+                    if dlc <= 2:
+                        K = 0
+                    elif dlc <= max_delta:
+                        # Packed (last-commit delta, commits-in-cycle).
+                        K = dlc * 64 + cic
+                    else:
+                        K = -1
+                    if (
+                        K >= 0
+                        and floor <= D + 1
+                        and entries + count <= iu_limit
+                    ):
+                        # Segments are at most ``width`` (<= 8) slots,
+                        # so (start, count) packs into one int.
+                        skey = start * 32 + count
+                        plan = lb._seg_plans.get(skey)
+                        if plan is None:
+                            plan = make_plan(lb, start, count)
+                        offsets, mem_plan, lvl_span = plan
+                        ok = True
+                        if offsets:
+                            base = D + 1
+                            for o in offsets:
+                                v = completions[(cnt + o) & 127] - base
+                                if v <= 0:
+                                    K = K * 65
+                                elif v <= max_delta:
+                                    K = K * 65 + v
+                                else:
+                                    ok = False
+                                    break
+                        if ok:
+                            # Memory probes: the stateful work both
+                            # paths must do, probed in program order.
+                            levels = 0
+                            if mem_plan:
+                                for (slot_key, is_load, base_a, stride,
+                                     span) in mem_plan:
+                                    k = counters_get(slot_key, 0)
+                                    counters[slot_key] = k + 1
+                                    a = base_a + (k * stride) % span
+                                    if dl1(a):
+                                        lvl = 1
+                                    elif l2(a):
+                                        lvl = 2
+                                    else:
+                                        lvl = 3
+                                    if is_load:
+                                        levels = levels * 4 + lvl
+                                        loads += 1
+                                    else:
+                                        stores += 1
+                            key = (lb.addr, skey, K * lvl_span + levels,
+                                   tail_k)
+                            tpl = templates_get(key)
+                            if tpl is None:
+                                # -- record a new template -------------
+                                # Run the canonical per-slot rules once
+                                # (load latencies injected from the
+                                # probe levels above), collecting the
+                                # outputs; entry components outside the
+                                # key are provably schedule-neutral, so
+                                # the recording is valid for every
+                                # recurrence of the key.
+                                lvls = []
+                                lv = levels
+                                while lv:
+                                    lvls.append(lv % 4 - 1)
+                                    lv //= 4
+                                lvls.reverse()
+                                lvl_lat = (lvl0, lvl1, lvl2)
+                                meta = lb._meta
+                                bk: Dict[int, int] = {}
+                                rec_completes = []
+                                lvl_i = 0
+                                seg_max = 0
+                                for i in range(start, start + count):
+                                    (cls, latency, d1, d2, _mb, _ms,
+                                     _msp) = meta[i]
+                                    ready = D + 1
+                                    if d1:
+                                        dep = completions[(cnt - d1) & 127]
+                                        if dep > ready:
+                                            ready = dep
+                                    if d2:
+                                        dep = completions[(cnt - d2) & 127]
+                                        if dep > ready:
+                                            ready = dep
+                                    issue = ready  # floor <= D+1 <= ready
+                                    while True:
+                                        s = issue & iu_mask
+                                        if iu_stamps[s] == issue:
+                                            used = iu_vals[s]
+                                        elif iu_spill:
+                                            used = iu_spill.get(issue, 0)
+                                        else:
+                                            used = 0
+                                        if used < width:
+                                            break
+                                        issue += 1
+                                    s = issue & iu_mask
+                                    if iu_stamps[s] == issue:
+                                        iu_vals[s] += 1
+                                    elif iu_spill and issue in iu_spill:
+                                        iu_spill[issue] += 1
+                                    else:
+                                        if iu_stamps[s] == -1:
+                                            iu_stamps[s] = issue
+                                            iu_vals[s] = 1
+                                        else:
+                                            iu_spill[issue] = 1
+                                        entries += 1
+                                    bk[issue] = bk.get(issue, 0) + 1
+                                    if issue > max_issue:
+                                        max_issue = issue
+                                    if issue > seg_max:
+                                        seg_max = issue
+                                    if cls == _LOAD:
+                                        latency += lvl_lat[lvls[lvl_i]]
+                                        lvl_i += 1
+                                    complete = issue + latency
+                                    rec_completes.append(complete)
+                                    completions[cnt & 127] = complete
+                                    cnt += 1
+                                    earliest = complete + 1
+                                    commit = (earliest if earliest > last
+                                              else last)
+                                    if commit == last:
+                                        if cic >= width:
+                                            commit += 1
+                                            cic = 1
+                                        else:
+                                            cic += 1
+                                    else:
+                                        cic = 1
+                                    last = commit
+                                merged = dict(tail)
+                                for c, n in bk.items():
+                                    dc = c - D
+                                    merged[dc] = merged.get(dc, 0) + n
+                                exit_tail = tuple(sorted(merged.items()))
+                                tail = exit_tail
+                                tail_k = _pack_tail(exit_tail)
+                                tpl = (
+                                    tuple([c - D for c in rec_completes]),
+                                    last - D,
+                                    cic,
+                                    exit_tail,
+                                    tail_k,
+                                    tuple(sorted(
+                                        (c - D, n) for c, n in bk.items()
+                                    )),
+                                    seg_max - D,
+                                )
+                                if len(templates) > cache_limit:
+                                    templates.clear()
+                                templates[key] = tpl
+                                args = yield (complete, last)
+                                continue
+
+                if tpl is not None:
+                    # -- replay a memoized schedule template -----------
+                    (completes, exit_lc, exit_cic, exit_tail, exit_tail_k,
+                     bookings, max_issue_d) = tpl
+                    for cd in completes:
+                        completions[cnt & 127] = D + cd
+                        cnt += 1
+                    for dc, n in bookings:
+                        c = D + dc
+                        s = c & iu_mask
+                        if iu_stamps[s] == c:
+                            iu_vals[s] += n
+                        elif iu_spill and c in iu_spill:
+                            iu_spill[c] += n
+                        elif iu_stamps[s] == -1:
+                            iu_stamps[s] = c
+                            iu_vals[s] = n
+                            entries += 1
+                        else:
+                            iu_spill[c] = n
+                            entries += 1
+                    mi = D + max_issue_d
+                    if mi > max_issue:
+                        max_issue = mi
+                    tail = exit_tail
+                    tail_k = exit_tail_k
+                    last = D + exit_lc
+                    cic = exit_cic
+                    args = yield (D + completes[-1], last)
+                    continue
+
+                # -- per-slot loop (canonical rules, local state) ------
+                tail = None  # occupancy tail no longer tracked exactly
+                tail_k = None
+                meta = lb._meta
+                keys = lb._slot_keys
+                ready_base = D + 1
+                complete = commit = 0
+                for i in range(start, start + count):
+                    (cls, latency, d1, d2, mem_base, mem_stride,
+                     mem_span) = meta[i]
+                    ready = ready_base
+                    if d1:
+                        dep = completions[(cnt - d1) & 127]
+                        if dep > ready:
+                            ready = dep
+                    if d2:
+                        dep = completions[(cnt - d2) & 127]
+                        if dep > ready:
+                            ready = dep
+                    issue = ready if ready > floor else floor
+                    while True:
+                        s = issue & iu_mask
+                        if iu_stamps[s] == issue:
+                            used = iu_vals[s]
+                        elif iu_spill:
+                            used = iu_spill.get(issue, 0)
+                        else:
+                            used = 0
+                        if used < width:
+                            break
+                        issue += 1
+                    s = issue & iu_mask
+                    if iu_stamps[s] == issue:
+                        iu_vals[s] += 1
+                    elif iu_spill and issue in iu_spill:
+                        iu_spill[issue] += 1
+                    else:
+                        if iu_stamps[s] == -1:
+                            iu_stamps[s] = issue
+                            iu_vals[s] = 1
+                        else:
+                            iu_spill[issue] = 1
+                        entries += 1
+                    if entries > iu_limit:
+                        # The dict model checked its size after *every*
+                        # insert, so an over-full table keeps compacting
+                        # (and advancing the floor) until it shrinks.
+                        self._iu_entries = entries
+                        self._iu_compact(issue)
+                        entries = self._iu_entries
+                        iu_spill = self._iu_spill
+                        floor = self._issue_floor
+                    if issue > max_issue:
+                        max_issue = issue
+
+                    if cls == _LOAD or cls == _STORE:
+                        slot_key = keys[i]
+                        k = counters_get(slot_key, 0)
+                        counters[slot_key] = k + 1
+                        a = mem_base + (k * mem_stride) % (
+                            mem_span if mem_span > 0 else 1
+                        )
+                        if dl1(a):
+                            dlat = lvl0
+                        elif l2(a):
+                            dlat = lvl1
+                        else:
+                            dlat = lvl2
+                        if cls == _LOAD:
+                            latency += dlat
+                            loads += 1
+                        else:
+                            stores += 1
+
+                    complete = issue + latency
+                    completions[cnt & 127] = complete
+                    cnt += 1
+
+                    earliest = complete + 1
+                    commit = earliest if earliest > last else last
+                    if commit == last:
+                        if cic >= width:
+                            commit += 1
+                            cic = 1
+                        else:
+                            cic += 1
+                    else:
+                        cic = 1
+                    last = commit
+                args = yield (complete, commit)
+
+            # -- park: publish the frame-local state -------------------
+            self._iu_entries = entries
+            self._issue_floor = floor
+            self._count = cnt
+            self._last_commit = last
+            self._commits_in_cycle = cic
+            self._max_issue = max_issue
+            self._tail = tail
+            self._tail_cycle = tail_cycle
+            self.load_accesses = loads
+            self.store_accesses = stores
+            result = None
+
+    # ------------------------------------------------------------------
     def _memory_latency(
         self,
         slot_key: Tuple[int, int],
@@ -162,8 +755,10 @@ class DataflowBackend:
     # ------------------------------------------------------------------
     @property
     def instructions(self) -> int:
+        self._sync()
         return self._count
 
     @property
     def last_commit_cycle(self) -> int:
+        self._sync()
         return self._last_commit

@@ -15,9 +15,11 @@ Per cycle:
 2. Redirect — if the oldest unresolved misprediction resolves this
    cycle, the engine is redirected to the correct path and recovers its
    speculative state.
-3. Fetch — unless the ROB is full, the engine fetches a bundle.
-   Correct-path instructions are dispatched into the dataflow back-end
-   (which fixes their completion/commit cycles immediately); every
+3. Fetch — unless the ROB is full, the engine fetches a bundle of
+   straight-line *fragments* (see :mod:`repro.fetch.base`).
+   Correct-path fragments are split at basic-block boundaries and each
+   segment is dispatched into the dataflow back-end in one batched call
+   (which fixes its completion/commit cycles immediately); every
    branch's predicted successor is verified against the trace, and the
    first divergence arms a resolution-time redirect.  Instructions
    fetched beyond the divergence are wrong-path: they cost fetch
@@ -32,7 +34,7 @@ from typing import Deque, Optional, Tuple
 
 from repro.common.params import MachineParams
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.core.backend import _LOAD, _RING, _STORE, DataflowBackend
+from repro.core.backend import DataflowBackend
 from repro.core.results import SimulationResult
 from repro.fetch.base import FetchEngine
 from repro.isa.trace import DynBlock, TraceWalker
@@ -122,10 +124,10 @@ class Processor:
         fast-forwarding to a representative segment before measuring.
 
         ``_reference_dispatch`` routes every instruction through the
-        canonical :meth:`DataflowBackend.dispatch` instead of the
-        hand-inlined copy below.  It exists for the parity test that
-        pins the two implementations together; results must be
-        identical either way.
+        canonical :meth:`DataflowBackend.dispatch` — one call per slot —
+        instead of the batched :meth:`DataflowBackend.dispatch_segment`.
+        It exists for the parity test that pins the two implementations
+        together; results must be identical either way.
         """
         core = self.machine.core
         engine = self.engine
@@ -156,47 +158,27 @@ class Processor:
         inflight_head = _NEVER
         dispatch_depth = core.dispatch_depth
         rob_size = core.rob_size
+        ib = INSTRUCTION_BYTES
 
         # Hot-path locals: every name below is read once or more per
-        # simulated instruction, so the attribute walks are paid here
-        # instead of inside the loop.
+        # fragment, so the attribute walks are paid here instead of
+        # inside the loop.
         engine_cycle = engine.cycle
         note_commit = engine.note_commit
-        block_meta = engine.program.block_meta
+        # The scheduler is a persistent generator: one send per segment,
+        # with the backend state held in its frame locals for the whole
+        # run (parked/republished via backend._sync when needed).
         dispatch_ref = backend.dispatch if _reference_dispatch else None
+        dispatch_seg = None if _reference_dispatch else backend.scheduler_send()
         commit_pop = commit_queue.popleft
         commit_push = commit_queue.append
         inflight_pop = inflight.popleft
         inflight_push = inflight.append
         walker_next = cursor._walker.__next__
-        # Per-block decode artifacts for the block the cursor is in.
+        account_block = self._account_block
+        account_mispredict = self._account_mispredict
         cur_dyn = cursor.dyn
         cur_off = cursor.offset
-        cur_meta: Tuple = ()
-        cur_keys: Tuple = ()
-        cur_lb = None
-
-        # Inlined DataflowBackend.dispatch state (the canonical
-        # implementation lives in backend.py; the dispatch block in the
-        # bundle loop below must stay equivalent to it).  The scalars
-        # live in locals for the duration of the run and are written
-        # back to the backend after the loop.
-        completions = backend._completions
-        issue_used = backend._issue_used
-        issue_floor = backend._issue_floor
-        bk_count = backend._count
-        last_commit = backend._last_commit
-        commits_in_cycle = backend._commits_in_cycle
-        load_counters = backend._load_counters
-        load_accesses = backend.load_accesses
-        store_accesses = backend.store_accesses
-        bk_width = backend.width
-        mem = self.mem
-        dl1_access = mem.dl1.access
-        l2_access = mem.l2.access
-        dl1_hit = mem._dl1_hit
-        l2_lat = mem._l2_lat
-        mem_lat = mem._mem_lat
 
         # Hard safety net: a front-end deadlock (an engine stalling with
         # no pending redirect) must fail loudly, not spin forever.
@@ -242,143 +224,116 @@ class Processor:
                 # The whole bundle is wrong-path speculative fetch: it
                 # cost bandwidth and polluted caches inside the engine,
                 # but nothing dispatches.
-                result.wrong_path_instructions += len(bundle)
+                for frag in bundle:
+                    result.wrong_path_instructions += frag[1]
                 continue
 
+            dispatch_cycle = now + dispatch_depth
             block_instrs = 0
             block_commit = 0
             correct_in_bundle = 0
-            bundle_len = len(bundle)
-            for idx, (addr, pred_next, ckpt, payload) in enumerate(bundle):
-                correct_in_bundle += 1
+            n_frags = len(bundle)
+            for fi in range(n_frags):
+                start, count, pred_next, ckpt, payload = bundle[fi]
                 dyn = cur_dyn
-                lb = dyn.lb
-                assert addr == dyn.addr + cur_off * INSTRUCTION_BYTES, (
-                    f"engine fetched {addr:#x}, trace expects "
-                    f"{dyn.addr + cur_off * INSTRUCTION_BYTES:#x} at cycle {now}"
+                assert start == dyn.addr + cur_off * ib, (
+                    f"engine fetched {start:#x}, trace expects "
+                    f"{dyn.addr + cur_off * ib:#x} at cycle {now}"
                 )
-                if lb is not cur_lb:
-                    cur_meta, cur_keys = block_meta(lb)
-                    cur_lb = lb
-
-                if dispatch_ref is not None:
-                    # Parity-test path: the canonical
-                    # implementation in backend.py.
-                    complete, commit = dispatch_ref(
-                        cur_meta[cur_off], cur_keys[cur_off],
-                        now + dispatch_depth,
-                    )
-                else:
-                    # -- dispatch, inlined from DataflowBackend.dispatch --
-                    (cls, latency, d1, d2,
-                     mem_base, mem_stride, mem_span) = cur_meta[cur_off]
-                    ready = now + dispatch_depth + 1
-                    if d1:
-                        dep = completions[(bk_count - d1) % _RING]
-                        if dep > ready:
-                            ready = dep
-                    if d2:
-                        dep = completions[(bk_count - d2) % _RING]
-                        if dep > ready:
-                            ready = dep
-                    issue = ready if ready > issue_floor else issue_floor
-                    used_get = issue_used.get
-                    while used_get(issue, 0) >= bk_width:
-                        issue += 1
-                    issue_used[issue] = used_get(issue, 0) + 1
-                    if len(issue_used) > 4096:
-                        floor = issue - 256
-                        issue_used = {
-                            c: n for c, n in issue_used.items() if c >= floor
-                        }
-                        if floor > issue_floor:
-                            issue_floor = floor
-                    if cls == _LOAD or cls == _STORE:
-                        slot_key = cur_keys[cur_off]
-                        k = load_counters.get(slot_key, 0)
-                        load_counters[slot_key] = k + 1
-                        maddr = mem_base + (k * mem_stride) % (
-                            mem_span if mem_span > 0 else 1
+                remaining = count
+                while remaining:
+                    dyn = cur_dyn
+                    size = dyn.size
+                    take = size - cur_off
+                    if take > remaining:
+                        take = remaining
+                    if dispatch_ref is None:
+                        complete, commit = dispatch_seg(
+                            (dyn.lb, cur_off, take, dispatch_cycle)
                         )
-                        if dl1_access(maddr):
-                            dlat = dl1_hit - 1
-                        elif l2_access(maddr):
-                            dlat = dl1_hit + l2_lat - 1
-                        else:
-                            dlat = dl1_hit + l2_lat + mem_lat - 1
-                        if cls == _LOAD:
-                            latency += dlat
-                            load_accesses += 1
-                        else:
-                            # Stores retire through the store buffer; the
-                            # access happens for its side effects only.
-                            store_accesses += 1
-                    complete = issue + latency
-                    completions[bk_count % _RING] = complete
-                    bk_count += 1
-                    earliest = complete + 1
-                    commit = earliest if earliest > last_commit else last_commit
-                    if commit == last_commit:
-                        if commits_in_cycle >= bk_width:
-                            commit += 1
-                            commits_in_cycle = 1
-                        else:
-                            commits_in_cycle += 1
                     else:
-                        commits_in_cycle = 1
-                    last_commit = commit
-                    # -- end inlined dispatch --
+                        # Parity-test path: the canonical per-slot model.
+                        meta = dyn.meta
+                        keys = dyn.keys
+                        for i in range(cur_off, cur_off + take):
+                            complete, commit = dispatch_ref(
+                                meta[i], keys[i], dispatch_cycle
+                            )
+                    scheduled += take
+                    correct_in_bundle += take
+                    remaining -= take
 
-                scheduled += 1
-                block_instrs += 1
-                block_commit = commit
+                    if cur_off + take == size:
+                        # Block boundary: verify the prediction for the
+                        # terminal instruction.  Fragment interiors are
+                        # implicitly sequential, so interior block ends
+                        # predict the fall-through with no checkpoint.
+                        if remaining:
+                            pred = dyn.addr + size * ib
+                            ck = None
+                            pl = None
+                        else:
+                            pred = pred_next
+                            ck = ckpt
+                            pl = payload
+                        actual_next = dyn.next_addr
+                        account_block(result, dyn)
+                        mispredicted = False
+                        if pred is None:
+                            # The engine has no target (indirect without
+                            # a BTB entry): it stalls until resolution.
+                            result.indirect_resolutions += 1
+                            pending = (complete + 1, actual_next, ck,
+                                       False, dyn)
+                            diverged = True
+                        elif pred != actual_next:
+                            mispredicted = True
+                            account_mispredict(result, dyn)
+                            pending = (complete + 1, actual_next, ck,
+                                       True, dyn)
+                            diverged = True
+                        commit_push((commit, dyn, pl, mispredicted))
+                        if commit < commit_head:
+                            commit_head = commit
+                        inflight_push((commit, block_instrs + take))
+                        if commit < inflight_head:
+                            inflight_head = commit
+                        inflight_count += block_instrs + take
+                        block_instrs = 0
+                        try:
+                            cur_dyn = walker_next()
+                            cur_off = 0
+                        except StopIteration:  # pragma: no cover - infinite
+                            cur_dyn = None
+                            cur_off = 0
+                            break
+                        if diverged:
+                            break
+                    else:
+                        # Fragment ends mid-block (bundle boundary).
+                        cur_off += take
+                        block_instrs += take
+                        block_commit = commit
+                        if pred_next is not None:
+                            last_next = start + count * ib
+                            if pred_next != last_next:
+                                # Defensive: a mid-block divergence means
+                                # the engine predicted a jump out of a
+                                # straight-line run.
+                                pending = (complete + 1, last_next, ckpt,
+                                           True, dyn)
+                                result.mispredictions += 1
+                                diverged = True
+                        break  # remaining is 0 here by construction
 
-                at_end = cur_off == dyn.size - 1
-                actual_next = (
-                    dyn.next_addr if at_end else addr + INSTRUCTION_BYTES
-                )
-                if at_end:
-                    self._account_block(result, dyn)
-                    mispredicted = False
-                    if pred_next is None:
-                        # The engine has no target (indirect without a
-                        # BTB entry): it stalls until resolution.
-                        result.indirect_resolutions += 1
-                        pending = (complete + 1, actual_next, ckpt, False, dyn)
-                        diverged = True
-                    elif pred_next != actual_next:
-                        mispredicted = True
-                        self._account_mispredict(result, dyn)
-                        pending = (complete + 1, actual_next, ckpt, True, dyn)
-                        diverged = True
-                    commit_push((commit, dyn, payload, mispredicted))
-                    if commit < commit_head:
-                        commit_head = commit
-                    inflight_push((commit, block_instrs))
-                    if commit < inflight_head:
-                        inflight_head = commit
-                    inflight_count += block_instrs
-                    block_instrs = 0
-                elif pred_next is not None and pred_next != actual_next:
-                    # Defensive: a mid-block divergence means the engine
-                    # predicted a jump out of a straight-line run.
-                    pending = (complete + 1, actual_next, ckpt, True, dyn)
-                    result.mispredictions += 1
-                    diverged = True
-                # Advance the trace cursor (inlined _TraceCursor.advance).
-                if at_end:
-                    try:
-                        cur_dyn = walker_next()
-                        cur_off = 0
-                    except StopIteration:  # pragma: no cover - infinite
-                        cur_dyn = None
-                        cur_off = 0
-                        break
-                else:
-                    cur_off += 1
+                if cur_dyn is None:  # pragma: no cover - walkers are infinite
+                    break
                 if diverged:
                     # Everything past the divergence is wrong-path.
-                    result.wrong_path_instructions += bundle_len - idx - 1
+                    wrong = remaining
+                    for fj in range(fi + 1, n_frags):
+                        wrong += bundle[fj][1]
+                    result.wrong_path_instructions += wrong
                     break
 
             if block_instrs:
@@ -405,24 +360,11 @@ class Processor:
             if scheduled >= max_instructions:
                 break
 
-        # Publish the inlined cursor state back to the cursor object so
-        # the processor can be inspected (or resumed) after the run.
+        # Publish the loop-local cursor state back to the cursor object
+        # so the processor can be inspected (or resumed) after the run.
         cursor.dyn = cur_dyn
         cursor.offset = cur_off
         cursor.exhausted = cur_dyn is None
-
-        if dispatch_ref is None:
-            # Publish the inlined backend state back (see the dispatch
-            # block above; the deques and dicts were mutated in place).
-            # In reference mode the backend mutated itself and these
-            # locals are stale.
-            backend._issue_used = issue_used
-            backend._issue_floor = issue_floor
-            backend._count = bk_count
-            backend._last_commit = last_commit
-            backend._commits_in_cycle = commits_in_cycle
-            backend.load_accesses = load_accesses
-            backend.store_accesses = store_accesses
 
         result.instructions = scheduled
         result.cycles = max(now, backend.last_commit_cycle)

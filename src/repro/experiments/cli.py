@@ -7,11 +7,20 @@ Examples::
     repro-experiments table1
     repro-experiments table3
     repro-experiments ablations --benchmark gzip
+    repro-experiments fig9 --profile stream   # cProfile one cell
+
+``--profile [ARCH]`` short-circuits the command: instead of the full
+matrix it runs one representative cell (the first requested benchmark,
+optimized layout, the first requested width) under :mod:`cProfile` and
+prints the top-20 functions by cumulative time — so performance PRs can
+cite before/after profiles instead of guessing.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 import time
 from typing import List
@@ -34,6 +43,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the simulation matrix "
                              "(results are identical to --jobs 1)")
+    parser.add_argument("--profile", nargs="?", const="stream",
+                        metavar="ARCH", default=None,
+                        help="profile one cell (ARCH, first benchmark, "
+                             "optimized layout) under cProfile and print "
+                             "the top-20 cumulative entries instead of "
+                             "running the command")
     parser.add_argument("--quiet", action="store_true")
 
 
@@ -64,6 +79,16 @@ def main(argv: List[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     t0 = time.time()
+
+    if args.profile is not None:
+        return _profile_cell(args)
+
+    if args.command in ("table1", "ablations") and args.jobs > 1:
+        # These commands drive their own serial simulation loops rather
+        # than a run_matrix cross product; don't let the flag silently
+        # promise parallelism it does not deliver.
+        print(f"note: --jobs is ignored by {args.command} "
+              f"(serial simulation sweep)", file=sys.stderr)
 
     def progress(result) -> None:
         if not args.quiet:
@@ -107,6 +132,35 @@ def main(argv: List[str] | None = None) -> int:
             args.benchmark, instructions=args.instructions,
             scale=args.scale))
     print(f"(elapsed {time.time() - t0:.0f}s)", file=sys.stderr)
+    return 0
+
+
+def _profile_cell(args) -> int:
+    """Run one representative cell under cProfile; print top-20 by
+    cumulative time."""
+    from repro.experiments.configs import ARCHITECTURES, build_processor
+    from repro.isa.workloads import prepare_program, ref_trace_seed
+
+    arch = args.profile
+    if arch not in ARCHITECTURES:
+        print(f"unknown architecture {arch!r}; choose from "
+              f"{', '.join(ARCHITECTURES)}", file=sys.stderr)
+        return 2
+    benchmark = args.benchmarks[0]
+    width = getattr(args, "widths", [8])[0] if hasattr(args, "widths") else 8
+    program = prepare_program(benchmark, optimized=True, scale=args.scale)
+    processor = build_processor(
+        arch, program, width,
+        benchmark=benchmark, optimized=True,
+        trace_seed=ref_trace_seed(benchmark),
+    )
+    print(f"profiling {arch}/{benchmark}/w{width} for "
+          f"{args.instructions} instructions", file=sys.stderr)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    processor.run(args.instructions)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     return 0
 
 

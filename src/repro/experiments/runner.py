@@ -2,18 +2,26 @@
 
 The harness amortizes program generation: each (benchmark, layout) image
 is linked once and shared across architectures and widths, exactly like
-the paper simulating the same binaries on every fetch engine.
+the paper simulating the same binaries on every fetch engine.  The
+memoized trace record on each image does the same for the dynamic trace.
 
 ``run_matrix`` can shard the cross product across worker processes
-(``jobs > 1``).  Work is grouped by (benchmark, layout) so each worker
-links its program image exactly once — the same amortization the serial
-path gets from :class:`ProgramCache`.  Every simulation is fully
-deterministic given its :class:`RunSpec`, so the parallel path produces
-bit-identical :class:`SimulationResult`\\ s to the serial path.
+(``jobs > 1``) at **cell** granularity: each (arch, benchmark, width,
+layout) cell is one unit of work pulled from the pool's shared queue,
+which load-balances far better than group sharding when the matrix is
+uneven (one benchmark, many widths/architectures).  Program images are
+amortized fork-server style: the parent pre-links every (benchmark,
+layout) image into a module-level cache *before* the pool starts, so on
+fork-capable platforms every worker inherits the warm cache and never
+links at all; on spawn platforms each worker lazily links each image at
+most once.  Every simulation is fully deterministic given its
+:class:`RunSpec`, so the parallel path produces bit-identical
+:class:`SimulationResult`\\ s to the serial path, in the same order.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -42,6 +50,33 @@ class RunMatrixResult:
     instructions: int
     scale: float
     results: Dict[RunSpec, SimulationResult] = field(default_factory=dict)
+    #: Per-axis indexes over ``results`` (value -> specs in insertion
+    #: order), maintained by :meth:`add` and rebuilt lazily when
+    #: ``results`` was populated directly.
+    _axes: Dict[str, Dict[object, List[RunSpec]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed: int = field(default=0, repr=False, compare=False)
+
+    def add(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Insert one result, maintaining the per-axis indexes."""
+        self.results[spec] = result
+        if self._indexed == len(self.results) - 1:
+            self._index_one(spec)
+            self._indexed += 1
+
+    def _index_one(self, spec: RunSpec) -> None:
+        axes = self._axes
+        if not axes:
+            axes.update(arch={}, benchmark={}, width={}, optimized={})
+        for axis in ("arch", "benchmark", "width", "optimized"):
+            axes[axis].setdefault(getattr(spec, axis), []).append(spec)
+
+    def _reindex(self) -> None:
+        self._axes.clear()
+        for spec in self.results:
+            self._index_one(spec)
+        self._indexed = len(self.results)
 
     def get(
         self, arch: str, benchmark: str, width: int, optimized: bool
@@ -55,17 +90,37 @@ class RunMatrixResult:
         width: Optional[int] = None,
         optimized: Optional[bool] = None,
     ) -> List[SimulationResult]:
+        """All results matching the given axes, in insertion order.
+
+        Served from per-axis indexes: the narrowest matching axis list
+        is scanned and filtered on the remaining criteria, so figure and
+        table generation is O(matching cells), not O(all cells) per
+        query.
+        """
+        if self._indexed != len(self.results):
+            self._reindex()
+        criteria = [
+            (axis, value)
+            for axis, value in (
+                ("arch", arch), ("benchmark", benchmark),
+                ("width", width), ("optimized", optimized),
+            )
+            if value is not None
+        ]
+        if not criteria:
+            return list(self.results.values())
+        candidate_lists = [
+            self._axes[axis].get(value, []) for axis, value in criteria
+        ]
+        smallest = min(candidate_lists, key=len)
+        results = self.results
         out = []
-        for spec, result in self.results.items():
-            if arch is not None and spec.arch != arch:
-                continue
-            if benchmark is not None and spec.benchmark != benchmark:
-                continue
-            if width is not None and spec.width != width:
-                continue
-            if optimized is not None and spec.optimized != optimized:
-                continue
-            out.append(result)
+        for spec in smallest:
+            for axis, value in criteria:
+                if getattr(spec, axis) != value:
+                    break
+            else:
+                out.append(results[spec])
         return out
 
 
@@ -102,28 +157,38 @@ def _run_cell(
     return processor.run(instructions, warmup=warmup)
 
 
-def _run_group(
-    benchmark: str,
-    optimized: bool,
-    widths: Sequence[int],
-    archs: Sequence[str],
-    instructions: int,
-    warmup: int,
-    scale: float,
-) -> List[Tuple[RunSpec, SimulationResult]]:
-    """Worker entry point: all cells of one (benchmark, layout) image.
+#: Fork-server image cache: primed in the parent before the pool forks
+#: (so workers inherit every linked image), or filled lazily per worker
+#: under spawn.  Module-level on purpose — it must survive across the
+#: tasks a worker executes, and repeated ``run_matrix`` calls in one
+#: process (a long-lived experiment server, the perf harness) reuse the
+#: linked images and their memoized trace records instead of relinking.
+_WORKER_CACHE: Optional[ProgramCache] = None
 
-    Links the image once, then runs every (width, arch) cell on it —
-    mirroring the serial path's iteration order within the group.
-    """
-    program = prepare_program(benchmark, optimized=optimized, scale=scale)
-    out: List[Tuple[RunSpec, SimulationResult]] = []
-    for width in widths:
-        for arch in archs:
-            result = _run_cell(program, benchmark, optimized, width, arch,
-                               instructions, warmup)
-            out.append((RunSpec(arch, benchmark, width, optimized), result))
-    return out
+
+def _default_cache() -> ProgramCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ProgramCache()
+    return _WORKER_CACHE
+
+
+def _worker_init() -> None:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ProgramCache()
+
+
+def _run_cell_worker(
+    spec: RunSpec, instructions: int, warmup: int, scale: float
+) -> SimulationResult:
+    """Pool entry point: one (arch, benchmark, width, layout) cell."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:  # pragma: no cover - initializer always ran
+        _WORKER_CACHE = ProgramCache()
+    program = _WORKER_CACHE.get(spec.benchmark, spec.optimized, scale)
+    return _run_cell(program, spec.benchmark, spec.optimized, spec.width,
+                     spec.arch, instructions, warmup)
 
 
 def run_matrix(
@@ -144,51 +209,65 @@ def run_matrix(
     predictors and caches train during it, and it is excluded from the
     reported metrics (the paper's fast-forward equivalent).
 
-    ``jobs > 1`` shards the (benchmark, layout) groups across a process
-    pool.  ``jobs`` is a cap: the effective worker count is
-    ``min(jobs, cpu_count, groups)`` — oversubscribing a core only adds
-    scheduler thrash, so a 1-CPU host runs the pool with one worker.
-    Results are bit-identical to the serial path (every cell is an
-    isolated deterministic simulation); only wall-clock changes.
-    ``progress`` is still invoked in the main process, per result, in
-    the same deterministic order as the serial path.
+    ``jobs > 1`` shards individual cells across a process pool (see the
+    module docstring for the fork-server image amortization).  ``jobs``
+    is a cap: the effective worker count is ``min(jobs, cpu_count,
+    cells)`` — oversubscribing a core only adds scheduler thrash, so a
+    1-CPU host runs the pool with one worker.  Results are bit-identical
+    to the serial path (every cell is an isolated deterministic
+    simulation); only wall-clock changes.  ``progress`` is still invoked
+    in the main process, per result, in the same deterministic order as
+    the serial path.
 
     An explicitly provided ``program_cache`` forces the serial path:
     the caller asked for shared already-linked images, which worker
-    processes cannot see (they relink per group).
+    processes cannot see.
     """
     if warmup is None:
         warmup = instructions // 3
     out = RunMatrixResult(instructions=instructions, scale=scale)
 
-    groups = [(benchmark, optimized)
-              for benchmark in benchmarks for optimized in layouts]
+    specs = [
+        RunSpec(arch, benchmark, width, optimized)
+        for benchmark in benchmarks
+        for optimized in layouts
+        for width in widths
+        for arch in archs
+    ]
 
-    if jobs > 1 and len(groups) > 1 and program_cache is None:
-        max_workers = max(1, min(jobs, len(groups), os.cpu_count() or 1))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    if jobs > 1 and len(specs) > 1 and program_cache is None:
+        max_workers = max(1, min(jobs, len(specs), os.cpu_count() or 1))
+        if multiprocessing.get_start_method() == "fork":
+            # Fork server: link every image once in the parent; forked
+            # workers inherit the warm cache and pull cells from the
+            # shared queue without ever linking.
+            cache = _default_cache()
+            for benchmark in benchmarks:
+                for optimized in layouts:
+                    cache.get(benchmark, optimized, scale)
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_worker_init
+        ) as pool:
             futures = [
-                pool.submit(_run_group, benchmark, optimized, tuple(widths),
-                            tuple(archs), instructions, warmup, scale)
-                for benchmark, optimized in groups
+                pool.submit(_run_cell_worker, spec, instructions, warmup,
+                            scale)
+                for spec in specs
             ]
             # Collect in submission order so results and progress
             # callbacks land exactly like the serial path.
-            for future in futures:
-                for spec, result in future.result():
-                    out.results[spec] = result
-                    if progress is not None:
-                        progress(result)
-        return out
-
-    cache = program_cache or ProgramCache()
-    for benchmark, optimized in groups:
-        program = cache.get(benchmark, optimized, scale)
-        for width in widths:
-            for arch in archs:
-                result = _run_cell(program, benchmark, optimized, width,
-                                   arch, instructions, warmup)
-                out.results[RunSpec(arch, benchmark, width, optimized)] = result
+            for spec, future in zip(specs, futures):
+                result = future.result()
+                out.add(spec, result)
                 if progress is not None:
                     progress(result)
+        return out
+
+    cache = program_cache or _default_cache()
+    for spec in specs:
+        program = cache.get(spec.benchmark, spec.optimized, scale)
+        result = _run_cell(program, spec.benchmark, spec.optimized,
+                           spec.width, spec.arch, instructions, warmup)
+        out.add(spec, result)
+        if progress is not None:
+            progress(result)
     return out

@@ -10,7 +10,7 @@
   with a cascaded next trace predictor and selective trace storage.
 """
 
-from repro.fetch.base import FetchEngine, FetchedInstr
+from repro.fetch.base import FetchEngine, FetchFragment
 from repro.fetch.ftq import FetchTargetQueue, FetchRequest
 from repro.fetch.ev8 import EV8FetchEngine
 from repro.fetch.ftb import FTBFetchEngine
@@ -21,7 +21,7 @@ from repro.fetch.trace_predictor import NextTracePredictor, TracePredictorConfig
 
 __all__ = [
     "FetchEngine",
-    "FetchedInstr",
+    "FetchFragment",
     "FetchTargetQueue",
     "FetchRequest",
     "EV8FetchEngine",

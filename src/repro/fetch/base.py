@@ -6,24 +6,36 @@ Engine / processor contract
 Each cycle the processor calls :meth:`FetchEngine.cycle`, which returns
 either ``None`` (front-end stalled: I-cache miss in progress, decode
 bubble, empty FTQ, or waiting for a branch to resolve) or a *bundle* —
-a list of at most ``width`` :class:`FetchedInstr` tuples
-``(addr, pred_next, ckpt, payload)``:
+a list of :class:`FetchFragment` tuples
+``(start, count, pred_next, ckpt, payload)`` covering at most ``width``
+instructions in total.  A fragment is one straight-line run of
+``count`` instructions at ``start, start+4, ...``:
 
-* ``addr`` — instruction address;
-* ``pred_next`` — the engine's prediction of the next instruction
-  address in program order after this one (``addr + 4`` in the common
-  case; the predicted target at branches; ``None`` means the engine has
-  no target and stalls until the processor redirects it);
-* ``ckpt`` — recovery checkpoint (RAS shadow state) attached to control
-  instructions, handed back via :meth:`FetchEngine.redirect`;
-* ``payload`` — opaque prediction bookkeeping returned to the engine at
-  commit (e.g. 2bcgskew bank indices) so tables can be trained with the
-  exact state used at prediction time.
+* every *interior* instruction is implicitly predicted sequential
+  (successor ``addr + 4``) and carries no checkpoint or payload —
+  engines must end a fragment at every control instruction they
+  recognised, so fragment interiors never contain one;
+* ``pred_next`` is the engine's prediction for the successor of the
+  fragment's *last* instruction (``start + 4*count`` for a plain
+  sequential run; the predicted target at branches; ``None`` means the
+  engine has no target and stalls until the processor redirects it);
+* ``ckpt`` — recovery checkpoint (RAS shadow state) attached to the
+  final instruction, handed back via :meth:`FetchEngine.redirect`;
+* ``payload`` — opaque prediction bookkeeping for the final
+  instruction, returned to the engine at commit (e.g. 2bcgskew bank
+  indices) so tables can be trained with the exact state used at
+  prediction time.
 
-The processor verifies ``pred_next`` against its trace oracle.  On a
-divergence it keeps calling ``cycle`` so the engine fetches down its own
-(wrong) speculative path — polluting caches and speculative history —
-until the branch resolves, then calls :meth:`FetchEngine.redirect`.
+Handing off whole runs instead of per-instruction tuples is what lets
+the processor dispatch a fragment's block segments through the
+back-end's batched scheduler in one call each, and it makes bundle
+construction O(fragments) instead of O(instructions) in the engines.
+
+The processor verifies the prediction chain against its trace oracle.
+On a divergence it keeps calling ``cycle`` so the engine fetches down
+its own (wrong) speculative path — polluting caches and speculative
+history — until the branch resolves, then calls
+:meth:`FetchEngine.redirect`.
 
 Commit feedback: the processor calls :meth:`FetchEngine.note_commit`
 once per *correct-path* dynamic block, in commit order, with the payload
@@ -49,8 +61,8 @@ from repro.isa.program import LinearBlock, Program
 from repro.isa.trace import DynBlock
 from repro.memory.hierarchy import MemoryHierarchy
 
-#: (addr, pred_next, ckpt, payload)
-FetchedInstr = Tuple[int, Optional[int], object, object]
+#: (start, count, pred_next, ckpt, payload) — one straight-line run.
+FetchFragment = Tuple[int, int, Optional[int], object, object]
 
 
 class FetchEngine(ABC):
@@ -85,14 +97,12 @@ class FetchEngine(ABC):
         # comparison is equivalent to the bisect lookup and much cheaper.
         self._image_start = program.base_address
         self._image_end = program.end_address
-        # Interned sequential-run bundle fragments (see _seq_run).
-        self._seq_runs: dict = {}
 
     # ------------------------------------------------------------------
     # the processor-facing API
     # ------------------------------------------------------------------
     @abstractmethod
-    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+    def cycle(self, now: int) -> Optional[List[FetchFragment]]:
         """Advance one cycle; return a fetched bundle or ``None``."""
 
     @abstractmethod
@@ -132,23 +142,6 @@ class FetchEngine(ABC):
     def _instrs_to_line_end(self, addr: int) -> int:
         offset = addr & (self.line_bytes - 1)
         return (self.line_bytes - offset) // INSTRUCTION_BYTES
-
-    def _seq_run(self, start: int, end: int) -> list:
-        """The bundle fragment for a straight sequential run.
-
-        ``(addr, addr + 4, None, None)`` tuples are immutable and a
-        pure function of the address, so each distinct run is built once
-        and re-served by reference: fetch loops (and wrong-path replays)
-        revisit the same runs constantly.
-        """
-        key = (start, end)
-        run = self._seq_runs.get(key)
-        if run is None:
-            ib = INSTRUCTION_BYTES
-            run = self._seq_runs[key] = [
-                (c, c + ib, None, None) for c in range(start, end, ib)
-            ]
-        return run
 
     def _fetch_line(self, now: int, addr: int) -> bool:
         """Access the I-cache; on a miss, stall and return False."""

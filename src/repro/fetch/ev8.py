@@ -23,7 +23,7 @@ from repro.branch.ras import ReturnAddressStack
 from repro.branch.twobcgskew import GskewConfig, TwoBcGskew
 from repro.common.params import MachineParams
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.base import FetchEngine, FetchFragment, scan_run
 from repro.isa.program import Program
 from repro.isa.trace import DynBlock
 from repro.memory.hierarchy import MemoryHierarchy
@@ -54,7 +54,7 @@ class EV8FetchEngine(FetchEngine):
         self.fetch_addr = program.entry_address
 
     # ------------------------------------------------------------------
-    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+    def cycle(self, now: int) -> Optional[List[FetchFragment]]:
         if self._is_busy(now):
             return None
         addr = self.fetch_addr
@@ -77,16 +77,16 @@ class EV8FetchEngine(FetchEngine):
             return None
         window = avail
 
-        bundle: List[FetchedInstr] = []
+        bundle: List[FetchFragment] = []
+        append = bundle.append
         cursor = addr
         ib = INSTRUCTION_BYTES
         next_fetch: Optional[int] = addr + window * ib
         stalled = False
+        emitted = 0
 
         for baddr, lb in controls:
-            if cursor < baddr:
-                bundle += self._seq_run(cursor, baddr)
-                cursor = baddr
+            run = (baddr - cursor) // ib + 1  # through the control instr
             kind = lb.kind
             if kind is BranchKind.COND:
                 hist_snap = self.history.spec
@@ -96,21 +96,22 @@ class EV8FetchEngine(FetchEngine):
                 self.stats.add("cond_predictions")
                 if pred:
                     target = self._taken_target(now, baddr, lb.target_addr)
-                    bundle.append((baddr, target, ckpt, ("cond", info)))
+                    append((cursor, run, target, ckpt, ("cond", info)))
+                    emitted += run
                     next_fetch = target
                     cursor = None
                     break
-                bundle.append(
-                    (baddr, baddr + INSTRUCTION_BYTES, ckpt, ("cond", info))
-                )
-                cursor = baddr + INSTRUCTION_BYTES
+                append((cursor, run, baddr + ib, ckpt, ("cond", info)))
+                emitted += run
+                cursor = baddr + ib
                 continue
             if kind in (BranchKind.JUMP, BranchKind.CALL):
                 target = self._taken_target(now, baddr, lb.target_addr)
                 if kind is BranchKind.CALL:
                     self.ras.push(baddr + INSTRUCTION_BYTES)
                 ckpt = (self.ras.checkpoint(), self.history.spec)
-                bundle.append((baddr, target, ckpt, None))
+                append((cursor, run, target, ckpt, None))
+                emitted += run
                 next_fetch = target
                 cursor = None
                 break
@@ -120,7 +121,8 @@ class EV8FetchEngine(FetchEngine):
                     self.stats.add("decode_redirects")
                 target = self.ras.pop()
                 ckpt = (self.ras.checkpoint(), self.history.spec)
-                bundle.append((baddr, target, ckpt, None))
+                append((cursor, run, target, ckpt, None))
+                emitted += run
                 next_fetch = target
                 cursor = None
                 break
@@ -128,26 +130,29 @@ class EV8FetchEngine(FetchEngine):
             entry = self.btb.lookup(baddr)
             ckpt = (self.ras.checkpoint(), self.history.spec)
             if entry is not None:
-                bundle.append((baddr, entry.target, ckpt, None))
+                append((cursor, run, entry.target, ckpt, None))
                 next_fetch = entry.target
             else:
-                bundle.append((baddr, None, ckpt, None))
+                append((cursor, run, None, ckpt, None))
                 self.stats.add("indirect_stalls")
                 self._waiting_resolve = True
                 stalled = True
+            emitted += run
             cursor = None
             break
 
         if cursor is not None:
             end = addr + window * ib
             if cursor < end:
-                bundle += self._seq_run(cursor, end)
+                run = (end - cursor) // ib
+                append((cursor, run, end, None, None))
+                emitted += run
 
         if not stalled:
             assert next_fetch is not None
             self.fetch_addr = next_fetch
         self.fetch_cycles += 1
-        self.fetched_instructions += len(bundle)
+        self.fetched_instructions += emitted
         return bundle
 
     def _taken_target(self, now: int, baddr: int, static_target: int) -> int:

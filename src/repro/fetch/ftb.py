@@ -24,7 +24,7 @@ from repro.branch.ras import ReturnAddressStack
 from repro.common.params import MachineParams
 from repro.common.stats import CounterBag
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.base import FetchEngine, FetchFragment, scan_run
 from repro.fetch.ftq import FetchRequest, FetchTargetQueue
 from repro.isa.program import Program
 from repro.isa.trace import DynBlock
@@ -146,7 +146,7 @@ class FTBFetchEngine(FetchEngine):
         self._c_len = 0
 
     # ------------------------------------------------------------------
-    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+    def cycle(self, now: int) -> Optional[List[FetchFragment]]:
         if self._waiting_resolve:
             return None
         # Snapshot the request visible to the cache stage *before* the
@@ -210,7 +210,7 @@ class FTBFetchEngine(FetchEngine):
     # -- instruction cache stage ------------------------------------------
     def _fetch_stage(
         self, now: int, request: FetchRequest
-    ) -> Optional[List[FetchedInstr]]:
+    ) -> Optional[List[FetchFragment]]:
         addr = request.start
         if not self._on_image(addr):
             self._waiting_resolve = True
@@ -225,41 +225,47 @@ class FTBFetchEngine(FetchEngine):
         n = min(n, avail)
         terminal_addr = request.terminal_addr if not request.is_fallback else None
 
-        # Walk control-to-control; straight-line runs are bulk-extended.
-        bundle: List[FetchedInstr] = []
-        cursor = addr
+        # Walk control-to-control, one fragment per run.
+        bundle: List[FetchFragment] = []
+        frag_start = addr
         ib = INSTRUCTION_BYTES
         end = addr + n * ib
         done_early = False
+        emitted = 0
         append = bundle.append
         ckpt_pre = request.ckpt_pre
 
         for baddr, lb in controls:
-            if cursor < baddr:
-                bundle += self._seq_run(cursor, baddr)
-                cursor = baddr
-            if cursor == terminal_addr:
+            run = (baddr - frag_start) // ib + 1
+            if baddr == terminal_addr:
                 # The predicted terminal branch of this fetch block.
                 # A stale kind field does not invalidate the target
                 # prediction; follow it and let resolution verify.
-                append(
-                    (cursor, request.pred_next, request.ckpt, request.payload)
-                )
+                append((frag_start, run, request.pred_next, request.ckpt,
+                        request.payload))
+                emitted += run
                 done_early = True
                 break
             if lb.kind is BranchKind.COND:
                 # Embedded conditional the FTB does not know: implicitly
                 # not taken (it has never been taken).
-                append((cursor, cursor + ib, ckpt_pre, None))
-                cursor += ib
+                append((frag_start, run, baddr + ib, ckpt_pre, None))
+                emitted += run
+                frag_start = baddr + ib
                 continue
             # Unpredicted unconditional control: decode fixup.
-            self._decode_fixup(now, bundle, cursor, lb)
+            if frag_start < baddr:
+                append((frag_start, run - 1, baddr, None, None))
+                emitted += run - 1
+            self._decode_fixup(now, bundle, baddr, lb)
+            emitted += 1
             done_early = True
             break
 
-        if not done_early and cursor < end:
-            bundle += self._seq_run(cursor, end)
+        if not done_early and frag_start < end:
+            run = (end - frag_start) // ib
+            append((frag_start, run, end, None, None))
+            emitted += run
 
         if done_early:
             # A decode fixup may already have flushed the queue.
@@ -269,11 +275,11 @@ class FTBFetchEngine(FetchEngine):
             self.ftq.pop()
 
         self.fetch_cycles += 1
-        self.fetched_instructions += len(bundle)
+        self.fetched_instructions += emitted
         return bundle
 
     def _decode_fixup(
-        self, now: int, bundle: List[FetchedInstr], cursor: int, lb
+        self, now: int, bundle: List[FetchFragment], cursor: int, lb
     ) -> None:
         """Fix an unpredicted JUMP/CALL/RET/IND at decode (bubble + flush)."""
         kind = lb.kind
@@ -287,7 +293,7 @@ class FTBFetchEngine(FetchEngine):
             target = self.ras.pop()
         else:  # IND with no prediction: stall until resolution
             bundle.append(
-                (cursor, None,
+                (cursor, 1, None,
                  (self.ras.checkpoint(), self.history.spec), None)
             )
             self.stats.add("indirect_stalls")
@@ -295,7 +301,7 @@ class FTBFetchEngine(FetchEngine):
             self.ftq.flush()
             return
         ckpt = (self.ras.checkpoint(), self.history.spec)
-        bundle.append((cursor, target, ckpt, None))
+        bundle.append((cursor, 1, target, ckpt, None))
         self.ftq.flush()
         self.predict_addr = target
         self._stall(now, self.decode_bubble)

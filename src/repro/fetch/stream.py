@@ -27,7 +27,7 @@ from repro.branch.history import PathHistory
 from repro.branch.ras import ReturnAddressStack
 from repro.common.params import MachineParams
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.base import FetchEngine, FetchFragment, scan_run
 from repro.fetch.ftq import FetchRequest, FetchTargetQueue
 from repro.fetch.stream_predictor import (
     MAX_STREAM_LENGTH,
@@ -94,7 +94,7 @@ class StreamFetchEngine(FetchEngine):
         self._repair_counter = 0
 
     # ------------------------------------------------------------------
-    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+    def cycle(self, now: int) -> Optional[List[FetchFragment]]:
         if self._waiting_resolve:
             return None
         queue = self.ftq._queue
@@ -159,7 +159,7 @@ class StreamFetchEngine(FetchEngine):
     # -- instruction cache stage --------------------------------------------
     def _fetch_stage(
         self, now: int, request: FetchRequest
-    ) -> Optional[List[FetchedInstr]]:
+    ) -> Optional[List[FetchFragment]]:
         addr = request.start
         if not self._on_image(addr):
             self._waiting_resolve = True
@@ -176,59 +176,64 @@ class StreamFetchEngine(FetchEngine):
             request.terminal_addr if request.terminal_kind is not None else None
         )
 
-        # The window is walked control-to-control: straight-line runs in
-        # between are emitted with one bulk extend instead of a dict
-        # probe per instruction.
-        bundle: List[FetchedInstr] = []
-        cursor = addr
+        # The window is walked control-to-control: one fragment per
+        # straight-line run, ending at each recognised control.
+        bundle: List[FetchFragment] = []
+        frag_start = addr
         ib = INSTRUCTION_BYTES
         end = addr + n * ib
         done_early = False
+        emitted = 0
         append = bundle.append
         ckpt_pre = request.ckpt_pre
 
         for baddr, lb in controls:
             if terminal_addr is not None and terminal_addr < baddr:
                 break  # stale-length terminal before the next control
-            if cursor < baddr:
-                bundle += self._seq_run(cursor, baddr)
-                cursor = baddr
-            if cursor == terminal_addr:
+            run = (baddr - frag_start) // ib + 1
+            if baddr == terminal_addr:
                 # The predicted stream terminal.  The stored branch-type
                 # field only drives RAS management; even if it is stale
                 # (kind mismatch), the engine follows its own next-stream
                 # prediction — a wrong target resolves as an ordinary
                 # misprediction.
-                append(
-                    (cursor, request.pred_next, request.ckpt, request.payload)
-                )
+                append((frag_start, run, request.pred_next, request.ckpt,
+                        request.payload))
+                emitted += run
                 done_early = True
                 break
             if lb.kind is BranchKind.COND:
                 # Intermediate branch: implicitly not taken.
-                append((cursor, cursor + ib, ckpt_pre, None))
-                cursor += ib
+                append((frag_start, run, baddr + ib, ckpt_pre, None))
+                emitted += run
+                frag_start = baddr + ib
                 continue
             # Unconditional control inside the (predicted or fallback)
             # stream: decode fixup.
-            self._decode_fixup(now, bundle, cursor, lb)
+            if frag_start < baddr:
+                append((frag_start, run - 1, baddr, None, None))
+                emitted += run - 1
+            self._decode_fixup(now, bundle, baddr, lb)
+            emitted += 1
             done_early = True
             break
 
         if not done_early:
-            if terminal_addr is not None and cursor <= terminal_addr < end:
+            if terminal_addr is not None and frag_start <= terminal_addr < end:
                 # Predicted stream length is stale: there is no branch
                 # at the predicted terminal.  Decode fixes this up —
                 # continue sequentially and resync the prediction
                 # pipeline.
-                if cursor < terminal_addr:
-                    bundle += self._seq_run(cursor, terminal_addr)
                 self.stats.add("length_misfetches")
-                append((terminal_addr, terminal_addr + ib, None, None))
+                run = (terminal_addr - frag_start) // ib + 1
+                append((frag_start, run, terminal_addr + ib, None, None))
+                emitted += run
                 self._resync(now, terminal_addr + ib)
                 done_early = True
-            elif cursor < end:
-                bundle += self._seq_run(cursor, end)
+            elif frag_start < end:
+                run = (end - frag_start) // ib
+                append((frag_start, run, end, None, None))
+                emitted += run
 
         if done_early:
             # A decode fixup may already have flushed the queue.
@@ -238,11 +243,11 @@ class StreamFetchEngine(FetchEngine):
             self.ftq.pop()
 
         self.fetch_cycles += 1
-        self.fetched_instructions += len(bundle)
+        self.fetched_instructions += emitted
         return bundle
 
     def _decode_fixup(
-        self, now: int, bundle: List[FetchedInstr], cursor: int, lb
+        self, now: int, bundle: List[FetchFragment], cursor: int, lb
     ) -> None:
         kind = lb.kind
         self.stats.add("decode_redirects")
@@ -255,7 +260,7 @@ class StreamFetchEngine(FetchEngine):
             target = self.ras.pop()
         else:  # IND: sequential fetching cannot guess the target
             bundle.append(
-                (cursor, None,
+                (cursor, 1, None,
                  (self.ras.checkpoint(), tuple(self.path.spec), None), None)
             )
             self.stats.add("indirect_stalls")
@@ -263,7 +268,7 @@ class StreamFetchEngine(FetchEngine):
             self.ftq.flush()
             return
         ckpt = (self.ras.checkpoint(), tuple(self.path.spec), None)
-        bundle.append((cursor, target, ckpt, None))
+        bundle.append((cursor, 1, target, ckpt, None))
         self._resync(now, target)
         self._stall(now, self.decode_bubble)
 

@@ -183,6 +183,7 @@ class NextStreamPredictor:
         self._t1 = _StreamTable(cfg.first_sets, cfg.first_assoc)
         self._t2 = _StreamTable(cfg.second_sets, cfg.second_assoc)
         self._t1_bits = cfg.first_sets.bit_length() - 1
+        self._t1_it_cache: dict = {}
         self._hasher = DolcHasher(cfg.dolc, cfg.second_sets.bit_length() - 1)
         # Hot-path event counters as plain ints; see the stats property.
         self.lookups = 0
@@ -206,8 +207,15 @@ class NextStreamPredictor:
         })
 
     def _t1_index_tag(self, addr: int) -> Tuple[int, int]:
-        word = addr >> 2
-        return fold_xor(word, self._t1_bits), word >> self._t1_bits
+        # Memoized per address: the fold is pure and the address
+        # population is bounded by the program image.
+        hit = self._t1_it_cache.get(addr)
+        if hit is None:
+            word = addr >> 2
+            hit = self._t1_it_cache[addr] = (
+                fold_xor(word, self._t1_bits), word >> self._t1_bits
+            )
+        return hit
 
     def _t2_index_tag(self, history: Sequence[int], addr: int) -> Tuple[int, int]:
         return self._hasher.index_tag(history, addr)

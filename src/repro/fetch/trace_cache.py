@@ -33,7 +33,7 @@ from repro.branch.ras import ReturnAddressStack
 from repro.common.params import MachineParams
 from repro.common.stats import CounterBag
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.fetch.base import FetchEngine, FetchedInstr, scan_run
+from repro.fetch.base import FetchEngine, FetchFragment, scan_run
 from repro.fetch.ftq import FetchRequest, FetchTargetQueue
 from repro.fetch.trace_predictor import (
     MAX_TRACE_BRANCHES,
@@ -226,7 +226,7 @@ class TraceCacheFetchEngine(FetchEngine):
         self._spec_fill_conds = 0
 
     # ------------------------------------------------------------------
-    def cycle(self, now: int) -> Optional[List[FetchedInstr]]:
+    def cycle(self, now: int) -> Optional[List[FetchFragment]]:
         if self._waiting_resolve:
             return None
         queue = self.ftq._queue
@@ -299,7 +299,7 @@ class TraceCacheFetchEngine(FetchEngine):
     # -- primary path: trace cache / descriptor-guided icache -----------------
     def _trace_fetch_stage(
         self, now: int, request: FetchRequest
-    ) -> Optional[List[FetchedInstr]]:
+    ) -> Optional[List[FetchFragment]]:
         if request is not self._cur_req:
             self._cur_req = request
             self._seg_idx = 0
@@ -324,24 +324,26 @@ class TraceCacheFetchEngine(FetchEngine):
 
         descriptor = request.descriptor
         if self._tc_hit or self._prefix_left > 0:
-            bundle = self._deliver_from_trace_cache(request, descriptor)
+            bundle, emitted = self._deliver_from_trace_cache(request, descriptor)
         else:
-            bundle = self._deliver_from_icache(now, request, descriptor)
-            if bundle is None:
+            delivered = self._deliver_from_icache(now, request, descriptor)
+            if delivered is None:
                 return None
+            bundle, emitted = delivered
         if not bundle:
             return None
         self.fetch_cycles += 1
-        self.fetched_instructions += len(bundle)
+        self.fetched_instructions += emitted
         return bundle
 
     def _deliver_from_trace_cache(
         self, request: FetchRequest, descriptor: TraceDescriptor
-    ) -> List[FetchedInstr]:
+    ) -> Tuple[List[FetchFragment], int]:
         """A trace cache (or partial-match prefix) hit: up to ``width``
         instructions, crossing taken branches freely, no instruction
         cache involvement."""
-        bundle: List[FetchedInstr] = []
+        bundle: List[FetchFragment] = []
+        emitted = 0
         budget = self.width
         if not self._tc_hit:
             budget = min(budget, self._prefix_left)
@@ -350,15 +352,16 @@ class TraceCacheFetchEngine(FetchEngine):
             addr = seg_addr + self._seg_off * INSTRUCTION_BYTES
             take = min(budget, seg_len - self._seg_off)
             self._emit_run(bundle, request, descriptor, addr, take)
+            emitted += take
             budget -= take
             if not self._tc_hit:
                 self._prefix_left -= take
         self._finish_if_done(request, descriptor)
-        return bundle
+        return bundle, emitted
 
     def _deliver_from_icache(
         self, now: int, request: FetchRequest, descriptor: TraceDescriptor
-    ) -> Optional[List[FetchedInstr]]:
+    ) -> Optional[Tuple[List[FetchFragment], int]]:
         """Trace cache miss: rebuild the predicted trace from the
         instruction cache, one segment chunk per cycle."""
         seg_addr, seg_len = descriptor.segments[self._seg_idx]
@@ -373,50 +376,58 @@ class TraceCacheFetchEngine(FetchEngine):
             self._instrs_to_line_end(addr),
             seg_len - self._seg_off,
         )
-        bundle: List[FetchedInstr] = []
+        bundle: List[FetchFragment] = []
         self._emit_run(bundle, request, descriptor, addr, take)
         self._finish_if_done(request, descriptor)
-        return bundle
+        return bundle, take
 
     def _emit_run(
         self,
-        bundle: List[FetchedInstr],
+        bundle: List[FetchFragment],
         request: FetchRequest,
         descriptor: TraceDescriptor,
         addr: int,
         count: int,
     ) -> None:
         """Append ``count`` instructions from the current segment
-        position, assigning per-instruction predicted successors from
-        the trace."""
+        position (never crossing a segment boundary), split into
+        fragments at interior conditional branches, with the final
+        prediction taken from the trace."""
         segments = descriptor.segments
         last_idx = len(segments) - 1
         seg_idx = self._seg_idx
         seg_off = self._seg_off
-        seg_len = segments[seg_idx][1]
-        cond_addrs = self._cond_addrs
+        ib = INSTRUCTION_BYTES
+        end = addr + count * ib
+        at_boundary = seg_off + count == segments[seg_idx][1]
+        # The segment-boundary slot takes its prediction from the trace,
+        # not from its (conditional) kind — skip it in the split loop.
+        skip_addr = end - ib if at_boundary else -1
         ckpt_pre = request.ckpt_pre
         append = bundle.append
-        cursor = addr
-        for _ in range(count):
-            seg_off += 1
-            if seg_off == seg_len:
-                if seg_idx == last_idx:
-                    append((cursor, request.pred_next, request.ckpt,
-                            request.payload))
-                else:
-                    append((cursor, segments[seg_idx + 1][0], ckpt_pre, None))
-                seg_idx += 1
-                seg_off = 0
-                if seg_idx <= last_idx:
-                    seg_len = segments[seg_idx][1]
+        frag_start = addr
+        controls, _ = scan_run(self.program, addr, count)
+        for baddr, lb in controls:
+            if baddr != skip_addr and lb.kind is BranchKind.COND:
+                # Interior conditional: implicitly not taken.
+                run = (baddr - frag_start) // ib + 1
+                append((frag_start, run, baddr + ib, ckpt_pre, None))
+                frag_start = baddr + ib
+        if at_boundary:
+            run = (end - frag_start) // ib
+            if seg_idx == last_idx:
+                append((frag_start, run, request.pred_next, request.ckpt,
+                        request.payload))
             else:
-                append((cursor, cursor + INSTRUCTION_BYTES,
-                        ckpt_pre if cursor in cond_addrs else None,
-                        None))
-            cursor += INSTRUCTION_BYTES
-        self._seg_idx = seg_idx
-        self._seg_off = seg_off
+                append((frag_start, run, segments[seg_idx + 1][0],
+                        ckpt_pre, None))
+            self._seg_idx = seg_idx + 1
+            self._seg_off = 0
+        else:
+            if frag_start < end:
+                append((frag_start, (end - frag_start) // ib, end,
+                        None, None))
+            self._seg_off = seg_off + count
 
     def _is_cond(self, addr: int) -> bool:
         return addr in self._cond_addrs
@@ -430,7 +441,7 @@ class TraceCacheFetchEngine(FetchEngine):
             self._tc_hit = None
 
     # -- secondary path: BTB-guided build fetch --------------------------------
-    def _build_fetch_stage(self, now: int) -> Optional[List[FetchedInstr]]:
+    def _build_fetch_stage(self, now: int) -> Optional[List[FetchFragment]]:
         addr = self.predict_addr
         if not self._on_image(addr):
             self._waiting_resolve = True
@@ -444,17 +455,17 @@ class TraceCacheFetchEngine(FetchEngine):
             return None
         window = avail
 
-        bundle: List[FetchedInstr] = []
-        cursor = addr
+        bundle: List[FetchFragment] = []
+        append = bundle.append
+        frag_start = addr
         ib = INSTRUCTION_BYTES
         next_fetch: Optional[int] = addr + window * ib
         stalled = False
+        emitted = 0
         conds = 0
         terminal_taken = False
         for baddr, lb in controls:
-            if cursor < baddr:
-                bundle += self._seq_run(cursor, baddr)
-                cursor = baddr
+            run = (baddr - frag_start) // ib + 1
             kind = lb.kind
             entry = self.btb.lookup(baddr)
             ckpt = (self.ras.checkpoint(), tuple(self.history.spec))
@@ -462,13 +473,15 @@ class TraceCacheFetchEngine(FetchEngine):
                 conds += 1
                 taken = entry is not None and entry.predict_taken
                 if taken:
-                    bundle.append((baddr, entry.target, ckpt, None))
+                    append((frag_start, run, entry.target, ckpt, None))
+                    emitted += run
                     next_fetch = entry.target
                     terminal_taken = True
-                    cursor = None
+                    frag_start = None
                     break
-                bundle.append((baddr, baddr + INSTRUCTION_BYTES, ckpt, None))
-                cursor = baddr + INSTRUCTION_BYTES
+                append((frag_start, run, baddr + ib, ckpt, None))
+                emitted += run
+                frag_start = baddr + ib
                 continue
             if kind in (BranchKind.JUMP, BranchKind.CALL):
                 if entry is None:
@@ -477,53 +490,54 @@ class TraceCacheFetchEngine(FetchEngine):
                 target = lb.target_addr
                 if kind is BranchKind.CALL:
                     self.ras.push(baddr + INSTRUCTION_BYTES)
-                bundle.append(
-                    (baddr, target,
-                     (self.ras.checkpoint(), ckpt[1]), None)
-                )
+                append((frag_start, run, target,
+                        (self.ras.checkpoint(), ckpt[1]), None))
+                emitted += run
                 next_fetch = target
                 terminal_taken = True
-                cursor = None
+                frag_start = None
                 break
             if kind is BranchKind.RET:
                 if entry is None:
                     self._stall(now, self.decode_bubble)
                     self.stats.add("decode_redirects")
                 target = self.ras.pop()
-                bundle.append(
-                    (baddr, target,
-                     (self.ras.checkpoint(), ckpt[1]), None)
-                )
+                append((frag_start, run, target,
+                        (self.ras.checkpoint(), ckpt[1]), None))
+                emitted += run
                 next_fetch = target
                 terminal_taken = True
-                cursor = None
+                frag_start = None
                 break
             # Indirect.
             if entry is not None:
-                bundle.append((baddr, entry.target, ckpt, None))
+                append((frag_start, run, entry.target, ckpt, None))
                 next_fetch = entry.target
                 terminal_taken = True
             else:
-                bundle.append((baddr, None, ckpt, None))
+                append((frag_start, run, None, ckpt, None))
                 self.stats.add("indirect_stalls")
                 self._waiting_resolve = True
                 stalled = True
-            cursor = None
+            emitted += run
+            frag_start = None
             break
 
-        if cursor is not None:
+        if frag_start is not None:
             end = addr + window * ib
-            if cursor < end:
-                bundle += self._seq_run(cursor, end)
+            if frag_start < end:
+                run = (end - frag_start) // ib
+                append((frag_start, run, end, None, None))
+                emitted += run
         if not stalled:
             assert next_fetch is not None
             self.predict_addr = next_fetch
             self._spec_fill_advance(
-                len(bundle), conds, next_fetch, terminal_taken
+                emitted, conds, next_fetch, terminal_taken
             )
         self.stats.add("build_cycles")
         self.fetch_cycles += 1
-        self.fetched_instructions += len(bundle)
+        self.fetched_instructions += emitted
         return bundle
 
     # ------------------------------------------------------------------

@@ -37,7 +37,8 @@ class DynBlock:
     triple instead of allocating a fresh record per dynamic block.
     """
 
-    __slots__ = ("lb", "taken", "next_addr", "addr", "size", "kind")
+    __slots__ = ("lb", "taken", "next_addr", "addr", "size", "kind",
+                 "meta", "keys")
 
     def __init__(self, lb: LinearBlock, taken: bool, next_addr: int) -> None:
         self.lb = lb
@@ -46,6 +47,10 @@ class DynBlock:
         self.addr = lb.addr
         self.size = lb.size
         self.kind = lb.kind
+        # Denormalized decode artifacts (filled by the interning walker):
+        # the processor reads them once per dispatched segment.
+        self.meta = lb._meta
+        self.keys = lb._slot_keys
 
     @property
     def target_addr(self) -> int:
@@ -93,15 +98,21 @@ def profile_edges(
     return dict(edges)
 
 
-class TraceWalker:
-    """Iterates the dynamic execution of a linked program.
+class TraceRecord:
+    """The memoized dynamic execution of one (program, seed) pair.
 
-    The walker is the simulator's oracle: it knows the true path.  The
-    call stack holds ISA return addresses, so returns land on whatever
-    the layout placed after the call (possibly a stub).  A return with an
-    empty stack restarts at the program entry — synthetic main functions
-    loop forever, so this only guards against malformed workloads.
+    The trace a :class:`TraceWalker` yields is a pure function of the
+    linked program and the walk seed — and ``run_matrix`` simulates the
+    same (benchmark, layout) image under every (width, architecture)
+    cell.  The record walks the behaviours once, appending the interned
+    :class:`DynBlock` stream to a shared list; every walker over the
+    same (program, seed) replays that list, paying a list index per
+    block instead of a behaviour sample.  Records are cached on the
+    :class:`~repro.isa.program.Program` (see :class:`TraceWalker`).
     """
+
+    #: How many blocks one extension step appends.
+    CHUNK = 4096
 
     def __init__(self, program: Program, seed: int) -> None:
         self.program = program
@@ -112,8 +123,8 @@ class TraceWalker:
         )
         if self._current is None:
             raise ValueError("program entry address does not start a block")
-        self.blocks_walked = 0
-        self.instructions_walked = 0
+        #: The materialized trace so far (append-only).
+        self.blocks: List[DynBlock] = []
         # Interned DynBlocks: traces revisit the same (block, taken,
         # next) triples millions of times, and DynBlock is immutable, so
         # one record per distinct triple serves every occurrence without
@@ -121,28 +132,33 @@ class TraceWalker:
         self._interned: Dict[Tuple[int, bool, int], DynBlock] = {}
         self._block_at = program.block_starting_at
 
-    def __iter__(self) -> Iterator[DynBlock]:
-        return self
-
-    def __next__(self) -> DynBlock:
+    def extend(self) -> None:
+        """Materialize the next :data:`CHUNK` blocks of the trace."""
+        append = self.blocks.append
+        block_at = self._block_at
+        step = self._step
         lb = self._current
-        if lb is None:
-            raise StopIteration
-        record = self._step(lb)
-        nxt = self._block_at(record.next_addr)
-        if nxt is None:
-            raise RuntimeError(
-                f"control transfer to non-block address {record.next_addr:#x}"
-            )
-        self._current = nxt
-        self.blocks_walked += 1
-        self.instructions_walked += lb.size
-        return record
+        for _ in range(self.CHUNK):
+            if lb is None:  # pragma: no cover - walks are infinite
+                break
+            record = step(lb)
+            lb = block_at(record.next_addr)
+            if lb is None:
+                raise RuntimeError(
+                    f"control transfer to non-block address "
+                    f"{record.next_addr:#x}"
+                )
+            append(record)
+        self._current = lb
 
     def _emit(self, lb: LinearBlock, taken: bool, next_addr: int) -> DynBlock:
         key = (lb.addr, taken, next_addr)
         dyn = self._interned.get(key)
         if dyn is None:
+            # Materialize the block's decode artifacts once, before the
+            # record is interned: the processor and the back-end's
+            # segment dispatch read them straight off the DynBlock.
+            self.program.block_meta(lb)
             dyn = self._interned[key] = DynBlock(lb, taken, next_addr)
         return dyn
 
@@ -179,3 +195,45 @@ class TraceWalker:
         taken = cond if lb.taken_means_true else not cond
         next_addr = lb.target_addr if taken else lb.fallthrough_addr
         return self._emit(lb, taken, next_addr)
+
+
+class TraceWalker:
+    """Iterates the dynamic execution of a linked program.
+
+    The walker is the simulator's oracle: it knows the true path.  The
+    call stack holds ISA return addresses, so returns land on whatever
+    the layout placed after the call (possibly a stub).  A return with an
+    empty stack restarts at the program entry — synthetic main functions
+    loop forever, so this only guards against malformed workloads.
+
+    Walkers over one (program, seed) pair share a memoized
+    :class:`TraceRecord`: the first drives the behaviour machinery, the
+    rest replay its interned block stream — which is what lets
+    ``run_matrix`` amortize trace generation across the (width,
+    architecture) cells of one image.
+    """
+
+    def __init__(self, program: Program, seed: int) -> None:
+        self.program = program
+        record = program._trace_records.get(seed)
+        if record is None:
+            record = program._trace_records[seed] = TraceRecord(program, seed)
+        self.record = record
+        self._pos = 0
+        self.blocks_walked = 0
+        self.instructions_walked = 0
+
+    def __iter__(self) -> Iterator[DynBlock]:
+        return self
+
+    def __next__(self) -> DynBlock:
+        record = self.record
+        blocks = record.blocks
+        pos = self._pos
+        if pos >= len(blocks):
+            record.extend()
+        dyn = blocks[pos]
+        self._pos = pos + 1
+        self.blocks_walked += 1
+        self.instructions_walked += dyn.size
+        return dyn

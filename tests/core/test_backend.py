@@ -119,16 +119,17 @@ class TestWindowModel:
 
 
 class TestDispatchProcessorParity:
-    """Pin Processor.run's inlined dispatch to the canonical model.
+    """Pin the batched segment scheduler to the canonical model.
 
-    ``Processor.run`` hand-inlines ``DataflowBackend.dispatch`` (and the
-    L1D fast path) for speed; ``_reference_dispatch=True`` routes every
-    instruction through the real method instead.  The two paths must
-    produce identical results, so a semantic edit to one copy without
-    the other fails here.
+    The processor dispatches whole segments through the backend's
+    persistent scheduler (template replay + per-slot fallback);
+    ``_reference_dispatch=True`` routes every instruction through the
+    canonical :meth:`DataflowBackend.dispatch` instead.  The two paths
+    must produce identical results, so a semantic edit to one
+    implementation without the other fails here.
     """
 
-    def _run(self, arch, reference):
+    def _run(self, arch, reference, width=8):
         import dataclasses
 
         from repro.common.params import default_machine
@@ -139,7 +140,7 @@ class TestDispatchProcessorParity:
         from repro.memory.hierarchy import MemoryHierarchy
 
         program = prepare_program("gzip", optimized=False, scale=0.3)
-        machine = default_machine(8)
+        machine = default_machine(width)
         mem = MemoryHierarchy(machine.memory)
         engine = build_engine(arch, program, machine, mem)
         walker = TraceWalker(program, seed=ref_trace_seed("gzip"))
@@ -148,8 +149,8 @@ class TestDispatchProcessorParity:
                                _reference_dispatch=reference)
         return dataclasses.asdict(result), processor.backend
 
-    @pytest.mark.parametrize("arch", ["ev8", "stream"])
-    def test_inline_matches_reference(self, arch):
+    @pytest.mark.parametrize("arch", ["ev8", "ftb", "stream", "trace"])
+    def test_batched_matches_reference(self, arch):
         fast, fast_backend = self._run(arch, reference=False)
         ref, ref_backend = self._run(arch, reference=True)
         assert fast == ref
@@ -157,3 +158,11 @@ class TestDispatchProcessorParity:
         assert fast_backend.last_commit_cycle == ref_backend.last_commit_cycle
         assert fast_backend.load_accesses == ref_backend.load_accesses
         assert fast_backend.store_accesses == ref_backend.store_accesses
+
+    @pytest.mark.parametrize("arch", ["ev8", "stream"])
+    def test_narrow_width_matches_reference(self, arch):
+        """Width 2 is back-end-bound: the per-slot fallback carries most
+        segments there, and must still match the canonical model."""
+        fast, _ = self._run(arch, reference=False, width=2)
+        ref, _ = self._run(arch, reference=True, width=2)
+        assert fast == ref

@@ -1,9 +1,10 @@
 """Serial vs parallel ``run_matrix`` equivalence.
 
-The parallel path shards (benchmark, layout) groups across worker
-processes; every simulation is deterministic given its RunSpec, so the
-two paths must produce *bit-identical* results — same counters, same
-engine stats, same memory stats — not merely statistically similar.
+The parallel path shards individual (arch, benchmark, width, layout)
+cells across worker processes with fork-server image amortization;
+every simulation is deterministic given its RunSpec, so the two paths
+must produce *bit-identical* results — same counters, same engine
+stats, same memory stats — not merely statistically similar.
 """
 
 import dataclasses
@@ -60,3 +61,71 @@ class TestParallelEquivalence:
                                                    r.optimized)))
         assert len(seen) == 8  # 1 bench x 2 layouts x 4 archs
         assert len(set(seen)) == 8
+
+
+class TestCellLevelSharding:
+    """Cell-granularity work units: uneven matrices the old
+    (benchmark, layout) group sharding could not balance."""
+
+    UNEVEN = dict(benchmarks=("gzip",), widths=(2, 4, 8), layouts=(True,),
+                  instructions=6_000, warmup=2_000, scale=0.3)
+
+    def test_single_group_many_cells_bit_identical(self):
+        """1 benchmark x 1 layout is a single group but 12 cells; the
+        cell-sharded pool must still match the serial path exactly."""
+        serial = run_matrix(**self.UNEVEN)
+        parallel = run_matrix(**self.UNEVEN, jobs=3)
+        assert list(serial.results) == list(parallel.results)
+        assert len(serial.results) == 3 * 4  # widths x archs
+        for spec, expect in serial.results.items():
+            got = parallel.results[spec]
+            assert dataclasses.asdict(expect) == dataclasses.asdict(got), (
+                f"serial/parallel divergence at {spec}"
+            )
+
+    def test_more_jobs_than_cells(self):
+        serial = run_matrix(("gzip",), widths=(8,), archs=("ev8",),
+                            layouts=(True,), instructions=4_000,
+                            warmup=1_000, scale=0.3)
+        parallel = run_matrix(("gzip",), widths=(8,), archs=("ev8",),
+                              layouts=(True,), instructions=4_000,
+                              warmup=1_000, scale=0.3, jobs=16)
+        spec = RunSpec("ev8", "gzip", 8, True)
+        assert dataclasses.asdict(serial.results[spec]) == \
+            dataclasses.asdict(parallel.results[spec])
+
+
+class TestSelectIndexes:
+    """RunMatrixResult.select is served from per-axis indexes."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_matrix(("gzip",), widths=(2, 8), instructions=4_000,
+                          warmup=1_000, scale=0.3)
+
+    def test_select_matches_brute_force(self, matrix):
+        for kwargs in (
+            dict(arch="stream"),
+            dict(width=2),
+            dict(optimized=True),
+            dict(arch="ev8", width=8),
+            dict(arch="trace", benchmark="gzip", width=2, optimized=False),
+            dict(),
+        ):
+            expected = [
+                r for spec, r in matrix.results.items()
+                if all(getattr(spec, k) == v for k, v in kwargs.items())
+            ]
+            assert matrix.select(**kwargs) == expected
+
+    def test_select_no_match(self, matrix):
+        assert matrix.select(benchmark="nosuch") == []
+
+    def test_select_after_direct_mutation(self, matrix):
+        """Directly populated results still select correctly (the
+        indexes rebuild lazily)."""
+        from repro.experiments.runner import RunMatrixResult
+        clone = RunMatrixResult(instructions=1, scale=1.0)
+        for spec, r in matrix.results.items():
+            clone.results[spec] = r  # bypasses add()
+        assert clone.select(arch="ftb") == matrix.select(arch="ftb")
