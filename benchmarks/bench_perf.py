@@ -20,11 +20,19 @@ measurement compared against the committed baseline's ``quick_engines``
 section.  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on
 any engine fails loudly (exit code 1) without slowing the test suite.
 
+``--store DIR`` additionally measures the artifact-store warm-vs-cold
+matrix (a cold populate run into a fresh store under DIR, then warm
+re-runs served from it) and reports the cache-hit speedup alongside
+engine throughput.  The cold serial/parallel numbers above remain the
+committed baseline, and the ``--quick`` gate never touches a store —
+the regression gate always measures cold simulation.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py            # full run
     PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_perf.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_perf.py --store /tmp/bench-store
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 import time
 
@@ -166,7 +175,46 @@ def measure_matrix(jobs: int, reps: int = 3) -> dict:
     }
 
 
-def full_run(jobs: int, output: str) -> dict:
+def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
+    """Warm-vs-cold wall-clock of the default matrix via the store.
+
+    The cold run populates a *fresh* store (the ``bench-store``
+    subdirectory of ``store_dir`` is wiped first) and pays the
+    serialization cost on top of simulation; the warm runs are pure
+    cache-hit replays.  Results stay bit-identical either way — this
+    measures the artifact store's payoff, it does not feed the
+    regression gate.
+    """
+    from repro.experiments.runner import reset_program_cache
+    from repro.store import ArtifactStore
+
+    root = os.path.join(os.path.abspath(store_dir), "bench-store")
+    shutil.rmtree(root, ignore_errors=True)
+    kwargs = dict(
+        benchmarks=MATRIX_BENCHMARKS, widths=(8,),
+        instructions=MATRIX_INSTRUCTIONS, scale=MATRIX_SCALE,
+        store=root,
+    )
+    # Drop the in-process image/trace cache warmed by the earlier
+    # matrix measurements, so "cold" genuinely pays program generation,
+    # linking and the trace walk — what a fresh process would pay.
+    reset_program_cache()
+    t0 = time.perf_counter()
+    run_matrix(**kwargs)
+    cold_seconds = time.perf_counter() - t0
+    warm_seconds = _best_of(reps, lambda: run_matrix(**kwargs))
+    stats = ArtifactStore(root).stats()
+    return {
+        "root": root,
+        "cold_seconds": round(cold_seconds, 2),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_speedup": round(cold_seconds / warm_seconds, 1),
+        "objects": stats["objects"],
+        "object_bytes": stats["object_bytes"],
+    }
+
+
+def full_run(jobs: int, output: str, store_dir=None) -> dict:
     calibration = measure_calibration()
     engines = measure_engine_ips(ENGINE_INSTRUCTIONS)
     quick_engines = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3)
@@ -215,6 +263,18 @@ def full_run(jobs: int, output: str) -> dict:
           f"({report['speedups']['single_process_vs_seed']:.2f}x seed)")
     print(f"  matrix jobs={jobs}   {matrix['parallel_seconds']:6.2f}s "
           f"({report['speedups']['parallel_vs_seed']:.2f}x seed)")
+    if store_dir:
+        # Measured and reported after the JSON above was written:
+        # `output` defaults to the committed baseline, and store timings
+        # (plus a host-local root path) are a measurement, not a
+        # baseline — see "Artifact store" in benchmarks/README.md.  The
+        # row still lands on the returned dict for programmatic callers.
+        row = measure_store_matrix(store_dir)
+        report["store"] = row
+        print(f"  store cold      {row['cold_seconds']:6.2f}s -> warm "
+              f"{row['warm_seconds']:6.3f}s "
+              f"({row['warm_speedup']:.0f}x cache-hit speedup, "
+              f"{row['objects']} objects, {row['object_bytes']:,d} bytes)")
     return report
 
 
@@ -294,10 +354,16 @@ def main(argv=None) -> int:
                         help="where the full run writes its JSON report")
     parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
                         help="baseline JSON the --quick mode compares to")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="also measure the warm-vs-cold artifact-store "
+                             "matrix under DIR (full runs only; the --quick "
+                             "gate always measures cold simulation)")
     args = parser.parse_args(argv)
     if args.quick:
+        # The regression gate stays store-free on purpose: a cache hit
+        # would mask a real engine regression.
         return quick_run(args.baseline)
-    full_run(args.jobs, args.output)
+    full_run(args.jobs, args.output, store_dir=args.store)
     return 0
 
 

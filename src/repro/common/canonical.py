@@ -1,0 +1,44 @@
+"""Canonical plain-data encoding of parameter objects.
+
+Reduces dataclasses, enums and containers to a JSON-encodable form with
+deterministic structure — the representation the artifact store's
+fingerprints hash (see :mod:`repro.store.fingerprint`), kept down in
+``repro.common`` so low-level parameter modules can produce canonical
+payloads without depending upward on the store subsystem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-encodable canonical form.
+
+    Dataclasses and enums carry their module-qualified class name so
+    two parameter types with the same field values (or two same-named
+    enum members) cannot collide, even same-named types from different
+    modules; dict keys are stringified and sorted at encode time.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            **fields,
+        }
+    if isinstance(obj, enum.Enum):
+        cls = type(obj)
+        return [f"{cls.__module__}.{cls.__qualname__}", obj.name]
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for fingerprint")

@@ -85,6 +85,20 @@ class MachineParams:
     def width(self) -> int:
         return self.core.width
 
+    def key_payload(self) -> dict:
+        """Every parameter as plain data, for artifact-store fingerprints.
+
+        Generated from the dataclass fields (via the store's
+        canonicalizer, which tags each dataclass with its class name)
+        so a new knob automatically becomes part of the cache key and
+        two parameter types with equal fields cannot collide —
+        forgetting to invalidate on a parameter change is not an
+        available mistake.
+        """
+        from repro.common.canonical import canonical
+
+        return canonical(self)
+
 
 def default_memory(width: int) -> MemoryParams:
     """Table 2 memory hierarchy; the I-cache line is 4x the pipe width."""

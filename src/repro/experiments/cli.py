@@ -9,6 +9,20 @@ Examples::
     repro-experiments ablations --benchmark gzip
     repro-experiments fig9 --profile stream   # cProfile one cell
 
+    repro-experiments fig8 --store ~/.repro-store   # incremental runs
+    repro-experiments cache stats                   # store maintenance
+    repro-experiments cache verify
+    repro-experiments cache gc --max-bytes 500000000
+
+``--store DIR`` (default: the ``REPRO_STORE`` environment variable)
+points every matrix-driven command at a persistent artifact store:
+cells whose fingerprints resolve are served from disk, only misses are
+simulated, and fresh programs / traces / results are written back — so
+re-rendering a figure against a warm store takes seconds, not minutes.
+The ``cache`` subcommand inspects (``stats``), integrity-checks
+(``verify`` — re-hashes every object) and prunes (``gc`` — drops
+orphans, optionally enforces a size cap) that store.
+
 ``--profile [ARCH]`` short-circuits the command: instead of the full
 matrix it runs one representative cell (the first requested benchmark,
 optimized layout, the first requested width) under :mod:`cProfile` and
@@ -30,6 +44,17 @@ from repro.experiments.figures import figure8_text, figure9_text
 from repro.experiments.runner import run_matrix
 from repro.experiments.tables import table1_text, table3_text
 from repro.isa.workloads import SPEC_BENCHMARKS
+from repro.store.store import STORE_ENV, ArtifactStore, default_store_root
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    # Default None so an explicit flag is distinguishable from the
+    # $REPRO_STORE fallback (filled in after parsing).
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="artifact store directory for incremental runs "
+             f"(default: ${STORE_ENV})",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +68,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the simulation matrix "
                              "(results are identical to --jobs 1)")
+    _add_store(parser)
     parser.add_argument("--profile", nargs="?", const="stream",
                         metavar="ARCH", default=None,
                         help="profile one cell (ARCH, first benchmark, "
@@ -77,18 +103,44 @@ def main(argv: List[str] | None = None) -> int:
     p_abl.add_argument("--benchmark", default="gzip")
     _add_common(p_abl)
 
+    p_cache = sub.add_parser(
+        "cache", help="artifact store maintenance (stats/verify/gc)"
+    )
+    p_cache.add_argument("action", choices=("stats", "verify", "gc"))
+    _add_store(p_cache)
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="gc: evict least-recently-written entries "
+                              "until live objects fit this many bytes")
+    p_cache.add_argument("--dry-run", action="store_true",
+                         help="gc: report what would be deleted, delete "
+                              "nothing")
+
     args = parser.parse_args(argv)
+    store_flag_given = args.store is not None
+    if args.store is None:
+        args.store = default_store_root()
     t0 = time.time()
 
+    if args.command == "cache":
+        return _cache_command(args)
+
     if args.profile is not None:
+        if store_flag_given:
+            print("note: --store is ignored by --profile "
+                  "(single-cell profiling run)", file=sys.stderr)
         return _profile_cell(args)
 
-    if args.command in ("table1", "ablations") and args.jobs > 1:
+    if args.command in ("table1", "ablations"):
         # These commands drive their own serial simulation loops rather
-        # than a run_matrix cross product; don't let the flag silently
-        # promise parallelism it does not deliver.
-        print(f"note: --jobs is ignored by {args.command} "
-              f"(serial simulation sweep)", file=sys.stderr)
+        # than a run_matrix cross product; don't let the flags silently
+        # promise parallelism or caching they do not deliver.  (Only an
+        # *explicit* --store warns: a mere $REPRO_STORE in the
+        # environment is not a request these commands are declining.)
+        for flag, value in (("--jobs", args.jobs > 1),
+                            ("--store", store_flag_given)):
+            if value:
+                print(f"note: {flag} is ignored by {args.command} "
+                      f"(serial simulation sweep)", file=sys.stderr)
 
     def progress(result) -> None:
         if not args.quiet:
@@ -99,13 +151,13 @@ def main(argv: List[str] | None = None) -> int:
         matrix = run_matrix(args.benchmarks, widths=tuple(args.widths),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
-                            jobs=args.jobs)
+                            jobs=args.jobs, store=args.store)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
-                            jobs=args.jobs)
+                            jobs=args.jobs, store=args.store)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
@@ -113,7 +165,7 @@ def main(argv: List[str] | None = None) -> int:
         matrix = run_matrix(args.benchmarks, widths=(8,),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
-                            jobs=args.jobs)
+                            jobs=args.jobs, store=args.store)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(
@@ -132,6 +184,59 @@ def main(argv: List[str] | None = None) -> int:
             args.benchmark, instructions=args.instructions,
             scale=args.scale))
     print(f"(elapsed {time.time() - t0:.0f}s)", file=sys.stderr)
+    return 0
+
+
+def _cache_command(args) -> int:
+    """``cache stats|verify|gc`` against the configured store."""
+    if not args.store:
+        print(f"no store configured: pass --store DIR or set ${STORE_ENV}",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']}")
+        for kind in ("program", "trace", "result"):
+            row = stats["kinds"].get(kind, {"entries": 0, "bytes": 0})
+            print(f"  {kind:8s} {row['entries']:6d} entries  "
+                  f"{row['bytes']:>12,d} bytes")
+        print(f"  objects  {stats['objects']:6d} files    "
+              f"{stats['object_bytes']:>12,d} bytes  "
+              f"({stats['orphan_objects']} orphans)")
+        if stats["bad_entries"]:
+            print(f"  WARNING: {stats['bad_entries']} unreadable index "
+                  f"entries (run gc)")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"checked {report['checked']} objects: "
+              f"{len(report['corrupt_objects'])} corrupt, "
+              f"{len(report['unreadable_objects'])} unreadable, "
+              f"{len(report['dangling_entries'])} dangling entries, "
+              f"{len(report['bad_entries'])} unreadable entries")
+        for oid in report["corrupt_objects"]:
+            print(f"  corrupt object {oid} (run gc to reclaim)")
+        for oid in report["unreadable_objects"]:
+            print(f"  unreadable object {oid} (possibly transient; "
+                  f"gc leaves it alone)")
+        for kind, fp in report["dangling_entries"]:
+            print(f"  dangling entry {kind}/{fp}")
+        for kind, fp in report["bad_entries"]:
+            print(f"  unreadable entry {kind}/{fp}")
+        ok = not (report["corrupt_objects"] or report["unreadable_objects"]
+                  or report["dangling_entries"] or report["bad_entries"])
+        if ok:
+            print("store is clean")
+        return 0 if ok else 1
+    # gc
+    report = store.gc(max_bytes=args.max_bytes, dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{verb} {report['deleted_objects']} objects "
+          f"({report['freed_bytes']:,d} bytes), evicted "
+          f"{report['evicted_entries']} index entries, removed "
+          f"{report['tmp_removed']} temp files; "
+          f"{report['live_bytes']:,d} live bytes remain")
     return 0
 
 

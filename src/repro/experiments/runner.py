@@ -17,6 +17,13 @@ links at all; on spawn platforms each worker lazily links each image at
 most once.  Every simulation is fully deterministic given its
 :class:`RunSpec`, so the parallel path produces bit-identical
 :class:`SimulationResult`\\ s to the serial path, in the same order.
+
+``store=`` extends the amortization *across processes and runs*: cells
+whose result fingerprint resolves in the on-disk artifact store (see
+:mod:`repro.store`) are served from it, only misses are simulated, and
+fresh results / images / traces are written back.  A warm run returns a
+:class:`RunMatrixResult` bit-identical to a cold one — the store is a
+shortcut, never an approximation.
 """
 
 from __future__ import annotations
@@ -25,12 +32,16 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.common.params import default_machine
 from repro.core.results import SimulationResult
 from repro.experiments.configs import ARCHITECTURES, build_processor
 from repro.isa.program import Program
 from repro.isa.workloads import prepare_program, ref_trace_seed
+from repro.store.cache import ArtifactCache, as_artifact_cache
+from repro.store.fingerprint import program_fingerprint, result_fingerprint
+from repro.store.store import ArtifactStore
 
 
 @dataclass(frozen=True)
@@ -125,17 +136,63 @@ class RunMatrixResult:
 
 
 class ProgramCache:
-    """Links each (benchmark, layout, scale) image at most once."""
+    """Links each distinct program image at most once.
 
-    def __init__(self) -> None:
-        self._cache: Dict[Tuple[str, bool, float], Program] = {}
+    Keyed on the **full workload fingerprint** — every input
+    :func:`~repro.isa.workloads.prepare_program` consumes (the complete
+    spec with its generator seed and ILP profile, scale, layout, base
+    address) plus the code version — not on the historical
+    ``(benchmark, optimized, scale)`` triple, so spec-bearing callers
+    can never alias two distinct programs that share a benchmark name.
 
-    def get(self, benchmark: str, optimized: bool, scale: float) -> Program:
-        key = (benchmark, optimized, scale)
+    When constructed with an :class:`~repro.store.cache.ArtifactCache`,
+    a miss consults the on-disk store before linking from scratch (and
+    populates it), which is how spawn-platform pool workers and warm
+    CLI re-runs skip program generation entirely.
+    """
+
+    def __init__(self, artifacts: Optional[ArtifactCache] = None) -> None:
+        self._cache: Dict[str, Program] = {}
+        self.artifacts = artifacts
+
+    def get(
+        self,
+        benchmark: str,
+        optimized: bool,
+        scale: float,
+        key: Optional[str] = None,
+        artifacts: Optional[ArtifactCache] = None,
+    ) -> Program:
+        """The image for a workload, via the store when one is bound.
+
+        ``key`` is the workload's program fingerprint when the caller
+        already computed it.  ``artifacts`` overrides the cache's own
+        store binding for this lookup — the parent ``run_matrix`` uses
+        a per-call store without attaching it to the shared
+        module-level cache.  With a store, a *hit* still backfills: an
+        already-linked image may pick up a stored trace, and the store
+        may still need the image (it was linked before this run had a
+        store).
+        """
+        if key is None:
+            key = program_fingerprint(benchmark, optimized, scale)
+        if artifacts is None:
+            artifacts = self.artifacts
         program = self._cache.get(key)
         if program is None:
-            program = prepare_program(benchmark, optimized=optimized, scale=scale)
+            if artifacts is not None:
+                program = artifacts.program(
+                    benchmark, optimized, scale, program_fp=key
+                )
+            else:
+                program = prepare_program(
+                    benchmark, optimized=optimized, scale=scale
+                )
             self._cache[key] = program
+        elif artifacts is not None:
+            artifacts.load_trace(program, key, ref_trace_seed(benchmark))
+            artifacts.ensure_program(program, key, benchmark, optimized,
+                                     scale)
         return program
 
 
@@ -173,22 +230,70 @@ def _default_cache() -> ProgramCache:
     return _WORKER_CACHE
 
 
-def _worker_init() -> None:
+def reset_program_cache() -> None:
+    """Drop the module-level image cache (fresh-process semantics).
+
+    For harnesses that need a genuinely cold measurement inside a warm
+    process — the next :func:`run_matrix` relinks (or store-loads)
+    every image instead of reusing in-memory ones.
+    """
+    global _WORKER_CACHE
+    _WORKER_CACHE = None
+
+
+def _worker_init(store_root: Optional[str] = None) -> None:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = ProgramCache()
+    if store_root is not None and _WORKER_CACHE.artifacts is None:
+        # Attach the store in the *worker* only: under fork this mutates
+        # the child's copy of the inherited cache, so the parent's
+        # module-level cache stays store-free for later storeless runs.
+        _WORKER_CACHE.artifacts = ArtifactCache(ArtifactStore(store_root))
 
 
 def _run_cell_worker(
-    spec: RunSpec, instructions: int, warmup: int, scale: float
+    spec: RunSpec,
+    instructions: int,
+    warmup: int,
+    scale: float,
+    program_key: Optional[str] = None,
 ) -> SimulationResult:
-    """Pool entry point: one (arch, benchmark, width, layout) cell."""
+    """Pool entry point: one (arch, benchmark, width, layout) cell.
+
+    ``program_key`` is the parent's precomputed program fingerprint
+    (None on storeless runs, where the worker keys its own cache).
+    """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:  # pragma: no cover - initializer always ran
         _WORKER_CACHE = ProgramCache()
-    program = _WORKER_CACHE.get(spec.benchmark, spec.optimized, scale)
-    return _run_cell(program, spec.benchmark, spec.optimized, spec.width,
-                     spec.arch, instructions, warmup)
+    cache = _WORKER_CACHE
+    key = program_key or program_fingerprint(
+        spec.benchmark, spec.optimized, scale
+    )
+    program = cache.get(spec.benchmark, spec.optimized, scale, key=key)
+    result = _run_cell(program, spec.benchmark, spec.optimized, spec.width,
+                       spec.arch, instructions, warmup)
+    if cache.artifacts is not None:
+        # Persist the (possibly grown) dynamic trace; racing writers on
+        # one key are safe — writes are atomic and any saved prefix
+        # extends deterministically.
+        cache.artifacts.save_traces(program, key)
+    return result
+
+
+def _result_meta(spec: RunSpec, instructions: int, warmup: int,
+                 scale: float) -> dict:
+    """Human-readable index metadata for one stored result."""
+    return {
+        "benchmark": spec.benchmark,
+        "arch": spec.arch,
+        "width": spec.width,
+        "optimized": spec.optimized,
+        "instructions": instructions,
+        "warmup": warmup,
+        "scale": scale,
+    }
 
 
 def run_matrix(
@@ -202,6 +307,7 @@ def run_matrix(
     program_cache: Optional[ProgramCache] = None,
     progress: Optional[Callable[[SimulationResult], None]] = None,
     jobs: int = 1,
+    store: Optional[Union[ArtifactCache, ArtifactStore, str]] = None,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
 
@@ -219,6 +325,15 @@ def run_matrix(
     in the main process, per result, in the same deterministic order as
     the serial path.
 
+    ``store`` (a directory path, :class:`~repro.store.store
+    .ArtifactStore`, or :class:`~repro.store.cache.ArtifactCache`)
+    enables the **incremental** path: each cell's result fingerprint is
+    looked up first, only misses are simulated (serially or across the
+    pool), and fresh results, images and traces are written back.  The
+    returned matrix is bit-identical to a storeless run, cached cells
+    included, and ``progress`` still fires once per cell in the
+    deterministic order.
+
     An explicitly provided ``program_cache`` forces the serial path:
     the caller asked for shared already-linked images, which worker
     processes cannot see.
@@ -235,39 +350,136 @@ def run_matrix(
         for arch in archs
     ]
 
-    if jobs > 1 and len(specs) > 1 and program_cache is None:
-        max_workers = max(1, min(jobs, len(specs), os.cpu_count() or 1))
-        if multiprocessing.get_start_method() == "fork":
-            # Fork server: link every image once in the parent; forked
-            # workers inherit the warm cache and pull cells from the
-            # shared queue without ever linking.
-            cache = _default_cache()
-            for benchmark in benchmarks:
-                for optimized in layouts:
-                    cache.get(benchmark, optimized, scale)
-        with ProcessPoolExecutor(
-            max_workers=max_workers, initializer=_worker_init
-        ) as pool:
-            futures = [
-                pool.submit(_run_cell_worker, spec, instructions, warmup,
-                            scale)
-                for spec in specs
-            ]
-            # Collect in submission order so results and progress
-            # callbacks land exactly like the serial path.
-            for spec, future in zip(specs, futures):
-                result = future.result()
-                out.add(spec, result)
-                if progress is not None:
-                    progress(result)
-        return out
+    artifacts: Optional[ArtifactCache] = None
+    cached: Dict[RunSpec, SimulationResult] = {}
+    result_fps: Dict[RunSpec, str] = {}
+    # Computed once per image (not per cell): the fingerprint keys the
+    # in-process ProgramCache on storeless runs too.
+    program_fps: Dict[Tuple[str, bool], str] = {
+        (benchmark, optimized):
+            program_fingerprint(benchmark, optimized, scale)
+        for benchmark in benchmarks
+        for optimized in layouts
+    }
+    if store is not None:
+        artifacts = as_artifact_cache(store)
+        machines = {
+            width: default_machine(width).key_payload() for width in widths
+        }
+        for spec in specs:
+            fp = result_fingerprint(
+                program_fps[(spec.benchmark, spec.optimized)],
+                spec.arch, spec.width, instructions, warmup,
+                ref_trace_seed(spec.benchmark),
+                machine=machines[spec.width],
+            )
+            result_fps[spec] = fp
+            hit = artifacts.result(fp)
+            if hit is not None:
+                cached[spec] = hit
 
-    cache = program_cache or _default_cache()
-    for spec in specs:
-        program = cache.get(spec.benchmark, spec.optimized, scale)
-        result = _run_cell(program, spec.benchmark, spec.optimized,
-                           spec.width, spec.arch, instructions, warmup)
+    misses = [spec for spec in specs if spec not in cached]
+
+    def record(spec: RunSpec, result: SimulationResult) -> None:
         out.add(spec, result)
         if progress is not None:
             progress(result)
+
+    if jobs > 1 and len(misses) > 1 and program_cache is None:
+        max_workers = max(1, min(jobs, len(misses), os.cpu_count() or 1))
+        store_root = artifacts.store.root if artifacts is not None else None
+        if multiprocessing.get_start_method() == "fork":
+            # Fork server: link or load every missing image once in the
+            # parent; forked workers inherit the warm cache (stored
+            # traces included) and pull cells from the shared queue
+            # without ever linking.
+            cache = _default_cache()
+            needed = {(spec.benchmark, spec.optimized) for spec in misses}
+            for benchmark in benchmarks:
+                for optimized in layouts:
+                    if (benchmark, optimized) in needed:
+                        cache.get(benchmark, optimized, scale,
+                                  key=program_fps.get((benchmark, optimized)),
+                                  artifacts=artifacts)
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_worker_init,
+            initargs=(store_root,),
+        ) as pool:
+            futures = {
+                spec: pool.submit(
+                    _run_cell_worker, spec, instructions, warmup, scale,
+                    program_fps.get((spec.benchmark, spec.optimized)),
+                )
+                for spec in misses
+            }
+            # Collect in spec order so results and progress callbacks
+            # land exactly like the serial path; cached cells stream
+            # through without touching the pool.
+            persisted = set()
+            try:
+                for spec in specs:
+                    result = cached.get(spec)
+                    if result is None:
+                        result = futures[spec].result()
+                        if artifacts is not None:
+                            artifacts.put_result(
+                                result_fps[spec], result,
+                                meta=_result_meta(spec, instructions,
+                                                  warmup, scale),
+                            )
+                            persisted.add(spec)
+                    record(spec, result)
+            finally:
+                if artifacts is not None:
+                    # Workers pull cells out of order, so an interrupt
+                    # mid-collection can leave finished futures the
+                    # in-order loop never reached; persist them rather
+                    # than re-simulating next run.  Cancel what never
+                    # started, wait out cells already running (their
+                    # simulation time is spent either way), then
+                    # persist everything that completed.
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    for spec, future in futures.items():
+                        if spec in persisted or not future.done():
+                            continue
+                        try:
+                            result = future.result()
+                        except BaseException:
+                            continue  # failed/cancelled cell: nothing to save
+                        artifacts.put_result(
+                            result_fps[spec], result,
+                            meta=_result_meta(spec, instructions, warmup,
+                                              scale),
+                        )
+        return out
+
+    cache = program_cache or _default_cache()
+    used_programs: Dict[Tuple[str, bool], Program] = {}
+    try:
+        for spec in specs:
+            result = cached.get(spec)
+            if result is None:
+                image_key = (spec.benchmark, spec.optimized)
+                program = cache.get(spec.benchmark, spec.optimized, scale,
+                                    key=program_fps.get(image_key),
+                                    artifacts=artifacts)
+                result = _run_cell(program, spec.benchmark, spec.optimized,
+                                   spec.width, spec.arch, instructions,
+                                   warmup)
+                if artifacts is not None:
+                    artifacts.put_result(
+                        result_fps[spec], result,
+                        meta=_result_meta(spec, instructions, warmup, scale),
+                    )
+                    used_programs[image_key] = program
+            record(spec, result)
+    finally:
+        # Persist grown traces even when a long run is interrupted
+        # mid-matrix (per-cell results above are already durable);
+        # mirrors the per-cell save in _run_cell_worker.
+        if artifacts is not None:
+            for (benchmark, optimized), program in used_programs.items():
+                artifacts.save_traces(
+                    program, program_fps[(benchmark, optimized)]
+                )
     return out

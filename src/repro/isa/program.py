@@ -199,6 +199,24 @@ class Program:
         return meta, keys
 
     # ------------------------------------------------------------------
+    # serialization (artifact store)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle state for the on-disk artifact store.
+
+        The scan cache and the memoized trace records are dropped: scans
+        rebuild on demand, and traces are stored as separate artifacts
+        keyed by walk seed (they would otherwise drag walk-context RNG
+        state into the image object).  The deterministic per-block
+        decode artifacts (``_meta`` / ``_slot_keys`` / segment plans)
+        live on the blocks and ride along, so a loaded image is warm.
+        """
+        state = self.__dict__.copy()
+        state["_scan_cache"] = {}
+        state["_trace_records"] = {}
+        return state
+
+    # ------------------------------------------------------------------
     # reporting helpers
     # ------------------------------------------------------------------
     def describe(self) -> str:

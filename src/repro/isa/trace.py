@@ -116,6 +116,7 @@ class TraceRecord:
 
     def __init__(self, program: Program, seed: int) -> None:
         self.program = program
+        self.seed = seed
         self.ctx = WalkContext(seed)
         self.stack: List[int] = []
         self._current: Optional[LinearBlock] = program.block_starting_at(
@@ -150,6 +151,72 @@ class TraceRecord:
                 )
             append(record)
         self._current = lb
+
+    # ------------------------------------------------------------------
+    # serialization (artifact store)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Program-independent replay state for the on-disk store.
+
+        Captures the materialized step stream as (addr, taken, next)
+        triples plus the complete walk state — RNG, outcome register,
+        path register, per-branch private state, call stack, resume
+        address — so a loaded record replays bit-identically *and*
+        extends bit-identically past its saved end.
+        """
+        ctx = self.ctx
+        return {
+            "seed": self.seed,
+            "steps": [(d.addr, d.taken, d.next_addr) for d in self.blocks],
+            "rng": ctx.rng.getstate(),
+            "global_history": ctx.global_history,
+            "path_history": list(ctx.path_history),
+            "branch_states": {k: dict(v) for k, v in ctx._states.items()},
+            "stack": list(self.stack),
+            "current_addr": None if self._current is None
+            else self._current.addr,
+        }
+
+    @classmethod
+    def from_state(
+        cls, program: Program, seed: int, state: dict
+    ) -> "TraceRecord":
+        """Rebind exported state to a (freshly linked or loaded) program.
+
+        Replays the step stream through the interning emitter, so the
+        rebuilt record is indistinguishable from one that walked the
+        behaviours itself.  Raises on any inconsistency (wrong seed, a
+        step addressing no block) — callers treat that as a cache miss.
+        """
+        if state.get("seed") != seed:
+            raise ValueError(
+                f"trace state for seed {state.get('seed')!r}, wanted {seed}"
+            )
+        record = cls(program, seed)
+        ctx = record.ctx
+        ctx.rng.setstate(state["rng"])
+        ctx.global_history = state["global_history"]
+        ctx.path_history.extend(state["path_history"])
+        ctx._states = {key: dict(val)
+                       for key, val in state["branch_states"].items()}
+        record.stack = list(state["stack"])
+        block_at = program.block_starting_at
+        emit = record._emit
+        append = record.blocks.append
+        for addr, taken, next_addr in state["steps"]:
+            lb = block_at(addr)
+            if lb is None:
+                raise ValueError(f"trace step at non-block address {addr:#x}")
+            append(emit(lb, taken, next_addr))
+        current_addr = state["current_addr"]
+        record._current = (
+            None if current_addr is None else block_at(current_addr)
+        )
+        if current_addr is not None and record._current is None:
+            raise ValueError(
+                f"trace resumes at non-block address {current_addr:#x}"
+            )
+        return record
 
     def _emit(self, lb: LinearBlock, taken: bool, next_addr: int) -> DynBlock:
         key = (lb.addr, taken, next_addr)

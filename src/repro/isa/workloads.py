@@ -51,6 +51,10 @@ from repro.isa.trace import profile_edges
 TRAIN_SALT = 0x7E57
 #: Seed salt for the evaluation trace (the paper's "ref" input).
 REF_SALT = 0x0E0F
+#: Where images are linked unless a caller says otherwise.  Shared by
+#: :func:`prepare_program` and the artifact-store fingerprinting so the
+#: built image and its cache key can never disagree about the default.
+DEFAULT_BASE_ADDRESS = 0x10000
 
 
 @dataclass(frozen=True)
@@ -643,7 +647,7 @@ def prepare_program(
     name: str,
     optimized: bool,
     scale: float = 1.0,
-    base_address: int = 0x10000,
+    base_address: int = DEFAULT_BASE_ADDRESS,
     profile_blocks: Optional[int] = None,
 ) -> Program:
     """Build and link one benchmark in the requested layout.
@@ -668,3 +672,31 @@ def prepare_program(
 def ref_trace_seed(name: str) -> int:
     """The evaluation ("ref" input) trace seed for a benchmark."""
     return benchmark_spec(name).seed ^ REF_SALT
+
+
+def program_fingerprint_inputs(
+    name: str,
+    optimized: bool,
+    scale: float = 1.0,
+    base_address: int = DEFAULT_BASE_ADDRESS,
+    profile_blocks: Optional[int] = None,
+) -> Dict[str, object]:
+    """Every input :func:`prepare_program` consumes, as plain data.
+
+    This is the keying surface of the artifact store's program
+    fingerprints (see :mod:`repro.store.fingerprint`): the *full*
+    workload spec — knobs, generator seed, ILP profile — not just the
+    benchmark name, so two distinct specs sharing a name can never
+    alias one image.  The spec rides along as its dataclass so the
+    fingerprint canonicalizer tags it with its class name (two
+    parameter types with equal fields cannot collide).  Kept next to
+    :func:`prepare_program` so the two evolve together.
+    """
+    return {
+        "spec": benchmark_spec(name),
+        "scale": scale,
+        "optimized": optimized,
+        "base_address": base_address,
+        "profile_blocks": profile_blocks,
+        "train_salt": TRAIN_SALT,
+    }

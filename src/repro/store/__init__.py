@@ -1,0 +1,50 @@
+"""Persistent content-addressed artifact store + incremental runs.
+
+The experiment matrix is a pure function of its inputs: every
+(arch, benchmark, width, layout) cell is a deterministic simulation of
+a deterministically generated program.  This package persists the three
+artifact classes that make re-running that function expensive —
+
+* linked :class:`~repro.isa.program.Program` images (generation +
+  profile-driven layout + linking),
+* :class:`~repro.isa.trace.TraceRecord` dynamic traces (the behaviour
+  walk), and
+* per-cell :class:`~repro.core.results.SimulationResult`\\ s (the
+  simulation itself)
+
+— under content-addressed objects on disk, keyed by fingerprints of
+*every input that can change the result* plus a code-version salt, so a
+warm store turns repeated figure/table reproduction into cache hits and
+a stale store self-invalidates when the simulator changes.
+
+Layout of a store rooted at ``<root>``::
+
+    <root>/objects/<aa>/<rest-of-sha256>   # artifact bytes, named by hash
+    <root>/index/<kind>/<fingerprint>.json # fingerprint -> object + meta
+
+Writes are atomic (temp file + ``os.replace``), so concurrent readers
+and racing writers — the parallel ``run_matrix`` workers — are safe:
+readers never observe a partial object, and when two writers race on
+one key, one complete write wins.
+"""
+
+from repro.store.cache import ArtifactCache, as_artifact_cache
+from repro.store.fingerprint import (
+    code_version,
+    fingerprint,
+    program_fingerprint,
+    result_fingerprint,
+    trace_fingerprint,
+)
+from repro.store.store import ArtifactStore
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactStore",
+    "as_artifact_cache",
+    "code_version",
+    "fingerprint",
+    "program_fingerprint",
+    "result_fingerprint",
+    "trace_fingerprint",
+]

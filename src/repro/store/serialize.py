@@ -1,0 +1,107 @@
+"""(De)serialization of the three artifact classes.
+
+Every object file is a small ASCII header (store format + artifact
+kind, so a corrupt or foreign file is rejected before any decoding)
+followed by a zlib-compressed pickle of the artifact's value state:
+
+* **program** — the :class:`~repro.isa.program.Program` itself; its
+  transient caches (scan cache, memoized trace records) are dropped by
+  ``Program.__getstate__`` while the deterministic per-block decode
+  artifacts ride along, so a loaded image is immediately warm.
+* **trace** — the replay state of a :class:`~repro.isa.trace
+  .TraceRecord`: the (addr, taken, next) step stream plus the walk
+  context, *without* the program (traces are keyed to their image and
+  rebound to it at load time, re-interning the DynBlock stream).
+* **result** — the :class:`~repro.core.results.SimulationResult`
+  dataclass, counters and stat dicts intact, so a cache hit is
+  bit-identical to the simulation that produced it.
+
+Loaders raise :class:`ArtifactDecodeError` on *any* malformed input;
+callers treat that as a cache miss and recompute — a damaged store can
+cost time, never correctness.  (Objects are pickles: a store is a local
+cache, not an interchange format — do not load stores you don't trust.)
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Any
+
+from repro.core.results import SimulationResult
+from repro.isa.program import Program
+from repro.isa.trace import TraceRecord
+from repro.store.fingerprint import FORMAT_VERSION
+
+#: Leading bytes of every object file; tracks FORMAT_VERSION
+#: structurally so the two can never drift apart.
+HEADER = f"repro-store:{FORMAT_VERSION}\n".encode("ascii")
+
+_KINDS = ("program", "trace", "result")
+
+
+class ArtifactDecodeError(Exception):
+    """An object's bytes could not be decoded as the expected artifact."""
+
+
+def dumps(kind: str, payload: Any) -> bytes:
+    """Encode one artifact payload as object-file bytes."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown artifact kind {kind!r}")
+    body = zlib.compress(pickle.dumps(payload, protocol=4), 6)
+    return HEADER + kind.encode("ascii") + b"\n" + body
+
+
+def loads(kind: str, data: bytes) -> Any:
+    """Decode object-file bytes, checking header and kind."""
+    prefix = HEADER + kind.encode("ascii") + b"\n"
+    if not data.startswith(prefix):
+        raise ArtifactDecodeError(f"bad header for {kind} object")
+    try:
+        return pickle.loads(zlib.decompress(data[len(prefix):]))
+    except Exception as exc:
+        raise ArtifactDecodeError(f"undecodable {kind} object: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# artifact-specific wrappers
+# ----------------------------------------------------------------------
+
+def dump_program(program: Program) -> bytes:
+    return dumps("program", program)
+
+
+def load_program(data: bytes) -> Program:
+    program = loads("program", data)
+    if not isinstance(program, Program):
+        raise ArtifactDecodeError(
+            f"program object decoded to {type(program).__name__}"
+        )
+    return program
+
+
+def dump_trace(record: TraceRecord) -> bytes:
+    return dumps("trace", record.export_state())
+
+
+def load_trace(data: bytes, program: Program, seed: int) -> TraceRecord:
+    state = loads("trace", data)
+    try:
+        return TraceRecord.from_state(program, seed, state)
+    except ArtifactDecodeError:
+        raise
+    except Exception as exc:
+        raise ArtifactDecodeError(f"trace replay failed: {exc}") from exc
+
+
+def dump_result(result: SimulationResult) -> bytes:
+    return dumps("result", result)
+
+
+def load_result(data: bytes) -> SimulationResult:
+    result = loads("result", data)
+    if not isinstance(result, SimulationResult):
+        raise ArtifactDecodeError(
+            f"result object decoded to {type(result).__name__}"
+        )
+    return result

@@ -18,6 +18,18 @@ from repro.isa.workloads import prepare_program  # noqa: E402
 from repro.memory.hierarchy import MemoryHierarchy  # noqa: E402
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(monkeypatch):
+    """Tier-1 tests must never read or write a user's artifact store.
+
+    Store-aware code paths only engage when a store is passed
+    explicitly; clearing ``REPRO_STORE`` guarantees the CLI's env
+    default cannot point tests at ``~``-level state.  Tests that want a
+    store use ``tmp_path``.
+    """
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
 @pytest.fixture
 def tiny_cfg():
     return build_tiny_cfg()

@@ -18,7 +18,7 @@ REPO_ROOT = os.path.abspath(
 BENCH_PERF = os.path.join(REPO_ROOT, "benchmarks", "bench_perf.py")
 
 
-def test_quick_perf_smoke():
+def test_quick_perf_smoke(tmp_path):
     if os.environ.get("REPRO_SKIP_PERF_SMOKE"):
         # The committed BENCH_perf.json baseline is machine-specific;
         # on hardware much slower than the reference container the
@@ -27,6 +27,11 @@ def test_quick_perf_smoke():
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    # The regression gate must measure *cold* simulation: even with an
+    # artifact store configured in the environment, --quick may not
+    # consult or populate one (a cache hit would mask a regression).
+    store = tmp_path / "quick-store"
+    env["REPRO_STORE"] = str(store)
     proc = subprocess.run(
         [sys.executable, BENCH_PERF, "--quick"],
         capture_output=True, text=True, env=env, cwd=REPO_ROOT,
@@ -35,4 +40,7 @@ def test_quick_perf_smoke():
     assert proc.returncode == 0, (
         "bench_perf --quick reported a perf regression:\n"
         + proc.stdout + proc.stderr
+    )
+    assert not store.exists(), (
+        "the quick perf gate touched the artifact store; it must run cold"
     )

@@ -1,0 +1,111 @@
+"""CLI surface: ``--store`` on matrix commands, the ``cache`` subcommand."""
+
+import os
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.store.store import ArtifactStore
+
+ARGS = ["--benchmarks", "gzip", "--instructions", "3000",
+        "--scale", "0.3", "--quiet"]
+
+
+class TestStoreFlag:
+    def test_fig9_warm_rerun_identical_output(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["fig9", *ARGS, "--store", store]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(["fig9", *ARGS, "--store", store]) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+        stats = ArtifactStore(store).stats()
+        assert stats["kinds"]["result"]["entries"] == 4
+        assert stats["kinds"]["program"]["entries"] == 1
+
+    def test_env_default(self, tmp_path, monkeypatch, capsys):
+        store = str(tmp_path / "envstore")
+        monkeypatch.setenv("REPRO_STORE", store)
+        assert main(["fig9", *ARGS]) == 0
+        capsys.readouterr()
+        assert os.path.isdir(store)
+        assert ArtifactStore(store).stats()["kinds"]["result"]["entries"] == 4
+
+    def test_no_store_by_default(self, tmp_path, capsys):
+        # REPRO_STORE is cleared by the suite-wide fixture: without the
+        # flag nothing may be written anywhere.
+        assert main(["fig9", *ARGS]) == 0
+        capsys.readouterr()
+
+    def test_ignored_by_serial_sweeps(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["ablations", "--benchmark", "gzip", "--instructions",
+                     "2000", "--scale", "0.3", "--quiet",
+                     "--store", store]) == 0
+        err = capsys.readouterr().err
+        assert "--store is ignored" in err
+        assert not os.path.exists(store)
+
+    def test_profile_warns_on_explicit_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["fig9", "--benchmarks", "gzip", "--instructions",
+                     "1500", "--scale", "0.3", "--profile", "stream",
+                     "--store", store]) == 0
+        assert "--store is ignored by --profile" in capsys.readouterr().err
+        assert not os.path.exists(store)
+
+    def test_env_store_does_not_warn_serial_sweeps(self, tmp_path,
+                                                   monkeypatch, capsys):
+        """$REPRO_STORE in the environment is not an explicit request;
+        table1/ablations must not nag about it."""
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        assert main(["ablations", "--benchmark", "gzip", "--instructions",
+                     "2000", "--scale", "0.3", "--quiet"]) == 0
+        assert "--store is ignored" not in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    @pytest.fixture
+    def populated(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["fig9", *ARGS, "--store", store])
+        capsys.readouterr()
+        return store
+
+    def test_requires_store(self, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert "no store configured" in capsys.readouterr().err
+
+    def test_stats(self, populated, capsys):
+        assert main(["cache", "stats", "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "result" in out and "program" in out and "objects" in out
+
+    def test_verify_clean(self, populated, capsys):
+        assert main(["cache", "verify", "--store", populated]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, populated, capsys):
+        store = ArtifactStore(populated)
+        oid, path = next(iter(store.iter_objects()))
+        with open(path, "wb") as fh:
+            fh.write(b"bad")
+        assert main(["cache", "verify", "--store", populated]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_gc_noop_on_clean_store(self, populated, capsys):
+        assert main(["cache", "gc", "--store", populated]) == 0
+        assert "deleted 0 objects" in capsys.readouterr().out
+
+    def test_gc_size_cap_then_recompute(self, populated, capsys):
+        """Evicting everything is safe: the next run just goes cold."""
+        assert main(["cache", "gc", "--store", populated,
+                     "--max-bytes", "0"]) == 0
+        capsys.readouterr()
+        stats = ArtifactStore(populated).stats()
+        assert stats["kinds"] == {}  # every entry evicted -> all keys cold
+        assert stats["objects"] == 0  # ...and their objects reclaimed
+        assert main(["fig9", *ARGS, "--store", populated]) == 0
+        capsys.readouterr()
+        assert ArtifactStore(populated).stats()[
+            "kinds"]["result"]["entries"] == 4

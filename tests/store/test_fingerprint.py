@@ -1,0 +1,135 @@
+"""Fingerprint determinism and sensitivity.
+
+A fingerprint must be stable for identical inputs and change for *any*
+input that can change a result — workload seed, scale, layout, width,
+machine parameter, instruction budget, trace seed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import default_machine
+from repro.store.fingerprint import (
+    canonical,
+    code_version,
+    fingerprint,
+    program_fingerprint,
+    result_fingerprint,
+    trace_fingerprint,
+)
+
+
+class TestCodeVersion:
+    def test_hex_and_memoized(self):
+        v = code_version()
+        assert len(v) == 64
+        int(v, 16)
+        assert code_version() == v
+
+
+class TestCanonical:
+    def test_dataclass_carries_qualified_class_name(self):
+        machine = default_machine(8)
+        payload = canonical(machine)
+        assert payload["__dataclass__"] == "repro.common.params.MachineParams"
+        assert payload["core"]["__dataclass__"] == \
+            "repro.common.params.CoreParams"
+
+    def test_same_named_dataclasses_do_not_collide(self):
+        import dataclasses as dc
+
+        def make(module):
+            @dc.dataclass
+            class Config:
+                x: int = 1
+            Config.__module__ = module
+            return Config()
+
+        a, b = make("mod_a"), make("mod_b")
+        assert fingerprint("result", a) != fingerprint("result", b)
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+    def test_enum_and_containers(self):
+        from repro.common.types import BranchKind
+        assert canonical(BranchKind.COND) == \
+            ["repro.common.types.BranchKind", "COND"]
+        assert canonical((1, [2.5, None])) == [1, [2.5, None]]
+
+
+class TestProgramFingerprint:
+    def test_stable(self):
+        assert program_fingerprint("gzip", True, 0.5) == \
+            program_fingerprint("gzip", True, 0.5)
+
+    @pytest.mark.parametrize("other", [
+        ("twolf", True, 0.5, 0x10000),    # different benchmark spec
+        ("gzip", False, 0.5, 0x10000),    # different layout
+        ("gzip", True, 0.4, 0x10000),     # different scale
+        ("gzip", True, 0.5, 0x20000),            # different base address
+        ("gzip", True, 0.5, 0x10000, 30_000),    # explicit profile blocks
+    ])
+    def test_sensitive(self, other):
+        base = program_fingerprint("gzip", True, 0.5, 0x10000)
+        assert program_fingerprint(*other) != base
+
+
+class TestTraceFingerprint:
+    def test_keyed_on_program_and_seed(self):
+        fp = program_fingerprint("gzip", True, 0.5)
+        assert trace_fingerprint(fp, 1) == trace_fingerprint(fp, 1)
+        assert trace_fingerprint(fp, 1) != trace_fingerprint(fp, 2)
+        other = program_fingerprint("gzip", False, 0.5)
+        assert trace_fingerprint(fp, 1) != trace_fingerprint(other, 1)
+
+
+class TestResultFingerprint:
+    BASE = dict(arch="stream", width=8, instructions=10_000, warmup=3_000,
+                trace_seed=42)
+
+    def _fp(self, **overrides):
+        kwargs = dict(self.BASE, **overrides)
+        program_fp = kwargs.pop("program_fp",
+                                program_fingerprint("gzip", True, 0.5))
+        return result_fingerprint(program_fp, **kwargs)
+
+    def test_stable(self):
+        assert self._fp() == self._fp()
+
+    @pytest.mark.parametrize("overrides", [
+        {"arch": "trace"},
+        {"width": 4},
+        {"instructions": 20_000},
+        {"warmup": 1_000},
+        {"trace_seed": 43},
+        {"program_fp": program_fingerprint("gzip", False, 0.5)},
+    ])
+    def test_sensitive_to_cell_axes(self, overrides):
+        assert self._fp(**overrides) != self._fp()
+
+    def test_sensitive_to_machine_params(self):
+        machine = default_machine(8)
+        tweaked = dataclasses.replace(
+            machine, memory=dataclasses.replace(machine.memory, l2_latency=20)
+        )
+        assert self._fp(machine=machine.key_payload()) != \
+            self._fp(machine=tweaked.key_payload())
+
+    def test_machine_defaults_to_table2(self):
+        assert self._fp() == self._fp(machine=default_machine(8).key_payload())
+
+
+class TestEnvelope:
+    def test_kind_separates_namespaces(self):
+        payload = {"x": 1}
+        assert fingerprint("program", payload) != fingerprint("trace", payload)
+
+    def test_code_version_is_in_envelope(self, monkeypatch):
+        import sys
+        fp_mod = sys.modules["repro.store.fingerprint"]
+        base = fingerprint("result", {"x": 1})
+        monkeypatch.setattr(fp_mod, "_CODE_VERSION", "0" * 64)
+        assert fingerprint("result", {"x": 1}) != base

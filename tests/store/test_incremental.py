@@ -1,0 +1,351 @@
+"""Incremental ``run_matrix``: warm == cold, bit for bit.
+
+The store is a shortcut, never an approximation: a warm run must return
+a RunMatrixResult identical to the cold/serial path (all counters, all
+stat dicts), skip simulation for cached cells, and fall back to
+recomputation — never a wrong result — when the store is damaged.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.runner import ProgramCache, run_matrix
+from repro.isa.trace import TraceRecord
+from repro.isa.workloads import prepare_program, ref_trace_seed
+from repro.store import ArtifactCache, ArtifactStore, serialize
+from repro.store.fingerprint import program_fingerprint, trace_fingerprint
+
+BENCHES = ("gzip",)
+KWARGS = dict(widths=(8,), instructions=8_000, warmup=2_000, scale=0.3)
+N_CELLS = 1 * 2 * 1 * 4  # bench x layout x width x arch
+
+
+def matrices_identical(a, b):
+    assert list(a.results) == list(b.results)
+    for spec in a.results:
+        assert dataclasses.asdict(a.results[spec]) == \
+            dataclasses.asdict(b.results[spec]), spec
+    return True
+
+
+@pytest.fixture(scope="module")
+def reference_matrix():
+    """The storeless serial path: the ground truth."""
+    return run_matrix(BENCHES, **KWARGS)
+
+
+@pytest.fixture
+def counted_run_cell(monkeypatch):
+    """Counts actual cell simulations (cache hits bypass _run_cell)."""
+    calls = []
+    original = runner_mod._run_cell
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "_run_cell", counting)
+    return calls
+
+
+class TestColdWarmBitIdentity:
+    def test_serial(self, tmp_path, reference_matrix, counted_run_cell):
+        store = str(tmp_path / "store")
+        cold = run_matrix(BENCHES, **KWARGS, store=store)
+        assert matrices_identical(reference_matrix, cold)
+        assert len(counted_run_cell) == N_CELLS
+
+        warm = run_matrix(BENCHES, **KWARGS, store=store)
+        assert matrices_identical(reference_matrix, warm)
+        # Every cell was a cache hit: zero new simulations.
+        assert len(counted_run_cell) == N_CELLS
+
+    def test_parallel(self, tmp_path, reference_matrix):
+        store = str(tmp_path / "store")
+        cold = run_matrix(BENCHES, **KWARGS, store=store, jobs=2)
+        assert matrices_identical(reference_matrix, cold)
+        warm = run_matrix(BENCHES, **KWARGS, store=store, jobs=2)
+        assert matrices_identical(reference_matrix, warm)
+
+    def test_serial_warm_after_parallel_cold(self, tmp_path,
+                                             reference_matrix,
+                                             counted_run_cell):
+        """The two paths share one cache: parallel populates, serial
+        hits (and vice versa)."""
+        store = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store, jobs=2)
+        warm = run_matrix(BENCHES, **KWARGS, store=store)
+        assert matrices_identical(reference_matrix, warm)
+        assert len(counted_run_cell) == 0
+
+    def test_progress_fires_in_serial_order_when_warm(self, tmp_path,
+                                                      reference_matrix):
+        store = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store)
+        seen = []
+        run_matrix(BENCHES, **KWARGS, store=store,
+                   progress=lambda r: seen.append((r.engine, r.optimized)))
+        expected = [(r.engine, r.optimized)
+                    for r in reference_matrix.results.values()]
+        assert seen == expected
+
+
+class TestFingerprintMisses:
+    def test_changed_budget_misses(self, tmp_path, counted_run_cell):
+        store = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store)
+        before = len(counted_run_cell)
+        changed = dict(KWARGS, instructions=12_000)
+        run_matrix(BENCHES, **changed, store=store)
+        assert len(counted_run_cell) == before + N_CELLS
+
+    def test_changed_warmup_misses(self, tmp_path, counted_run_cell):
+        store = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store)
+        before = len(counted_run_cell)
+        changed = dict(KWARGS, warmup=3_000)
+        run_matrix(BENCHES, **changed, store=store)
+        assert len(counted_run_cell) == before + N_CELLS
+
+    def test_changed_scale_misses(self, tmp_path, counted_run_cell):
+        store = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store)
+        before = len(counted_run_cell)
+        changed = dict(KWARGS, scale=0.4)
+        run_matrix(BENCHES, **changed, store=store)
+        assert len(counted_run_cell) == before + N_CELLS
+
+    def test_subset_hits(self, tmp_path, reference_matrix, counted_run_cell):
+        """A narrower matrix over the same cells is all hits."""
+        store = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store)
+        before = len(counted_run_cell)
+        sub = run_matrix(BENCHES, archs=("stream",), **KWARGS, store=store)
+        assert len(counted_run_cell) == before
+        for spec, result in sub.results.items():
+            assert dataclasses.asdict(result) == \
+                dataclasses.asdict(reference_matrix.results[spec])
+
+
+class TestCorruptionFallback:
+    def test_corrupt_result_recomputes_correctly(self, tmp_path,
+                                                 reference_matrix,
+                                                 counted_run_cell):
+        store_root = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store_root)
+        before = len(counted_run_cell)
+        # Truncate every result object.
+        store = ArtifactStore(store_root)
+        for kind, fp, entry in store.iter_index():
+            if kind != "result":
+                continue
+            path = store._object_path(entry["object"])
+            with open(path, "wb") as fh:
+                fh.write(b"truncated")
+        warm = run_matrix(BENCHES, **KWARGS, store=store_root)
+        assert matrices_identical(reference_matrix, warm)
+        assert len(counted_run_cell) == before + N_CELLS
+
+    def test_corrupt_program_recomputes_correctly(self, tmp_path,
+                                                  monkeypatch):
+        store_root = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store_root)
+        store = ArtifactStore(store_root)
+        for kind, fp, entry in store.iter_index():
+            if kind == "program":
+                path = store._object_path(entry["object"])
+                with open(path, "r+b") as fh:
+                    fh.seek(30)
+                    fh.write(b"XXXX")
+        # Fresh in-process cache, so the warm run actually reads (and
+        # rejects) the corrupt image; a changed budget forces the
+        # result cache to miss so the image is really needed.
+        monkeypatch.setattr(runner_mod, "_WORKER_CACHE", None)
+        changed = dict(KWARGS, instructions=10_000)
+        ref = run_matrix(BENCHES, **changed)
+        monkeypatch.setattr(runner_mod, "_WORKER_CACHE", None)
+        warm = run_matrix(BENCHES, **changed, store=store_root)
+        assert matrices_identical(ref, warm)
+
+    def test_corrupt_trace_recomputes_correctly(self, tmp_path, monkeypatch):
+        store_root = str(tmp_path / "store")
+        run_matrix(BENCHES, **KWARGS, store=store_root)
+        store = ArtifactStore(store_root)
+        for kind, fp, entry in store.iter_index():
+            if kind == "trace":
+                path = store._object_path(entry["object"])
+                with open(path, "wb") as fh:
+                    fh.write(b"not a trace")
+        monkeypatch.setattr(runner_mod, "_WORKER_CACHE", None)
+        changed = dict(KWARGS, instructions=10_000)
+        ref = run_matrix(BENCHES, **changed)
+        monkeypatch.setattr(runner_mod, "_WORKER_CACHE", None)
+        warm = run_matrix(BENCHES, **changed, store=store_root)
+        assert matrices_identical(ref, warm)
+
+
+class TestTraceArtifacts:
+    def test_loaded_trace_extends_bit_identically(self, gzip_programs):
+        """A record loaded from serialized state and extended past its
+        saved end must match a cold walk block for block."""
+        _, program = gzip_programs
+        seed = ref_trace_seed("gzip")
+        cold = TraceRecord(program, seed)
+        for _ in range(4):
+            cold.extend()
+
+        partial = TraceRecord(
+            serialize.load_program(serialize.dump_program(program)), seed
+        )
+        partial.extend()
+        data = serialize.dump_trace(partial)
+        fresh_image = serialize.load_program(serialize.dump_program(program))
+        loaded = serialize.load_trace(data, fresh_image, seed)
+        for _ in range(3):
+            loaded.extend()
+
+        assert len(cold.blocks) == len(loaded.blocks)
+        for a, b in zip(cold.blocks, loaded.blocks):
+            assert (a.addr, a.taken, a.next_addr) == \
+                (b.addr, b.taken, b.next_addr)
+
+    def test_wrong_seed_rejected(self, gzip_programs):
+        _, program = gzip_programs
+        record = TraceRecord(program, 123)
+        record.extend()
+        data = serialize.dump_trace(record)
+        with pytest.raises(serialize.ArtifactDecodeError):
+            serialize.load_trace(data, program, 456)
+
+    def test_corrupt_trace_object_heals_on_resave(self, tmp_path,
+                                                  gzip_programs):
+        """A rotted trace object must be rewritten by the process that
+        paid the re-walk — not skipped forever on its stale n_blocks
+        index metadata."""
+        _, program = gzip_programs
+        seed = ref_trace_seed("gzip")
+        fp = program_fingerprint("gzip", True, 0.4)
+        root = str(tmp_path / "store")
+        writer = ArtifactCache(root)
+        image = serialize.load_program(serialize.dump_program(program))
+        record = TraceRecord(image, seed)
+        record.extend()
+        image._trace_records[seed] = record
+        assert writer.save_traces(image, fp) == 1
+        # Rot the object bytes; the index entry (with n_blocks) survives.
+        entry = writer.store.get_entry("trace", trace_fingerprint(fp, seed))
+        with open(writer.store._object_path(entry["object"]), "wb") as fh:
+            fh.write(b"rot")
+        # A fresh process: load misses, re-walks, and the save heals.
+        reader = ArtifactCache(root)
+        fresh = serialize.load_program(serialize.dump_program(program))
+        assert reader.load_trace(fresh, fp, seed) is False
+        rewalked = TraceRecord(fresh, seed)
+        rewalked.extend()
+        fresh._trace_records[seed] = rewalked
+        assert reader.save_traces(fresh, fp) == 1
+        # The store is intact again for the next process.
+        final = ArtifactCache(root)
+        check = serialize.load_program(serialize.dump_program(program))
+        assert final.load_trace(check, fp, seed) is True
+
+    def test_undecodable_trace_object_heals_on_resave(self, tmp_path,
+                                                      gzip_programs):
+        """Hash-valid bytes that fail to decode must also heal: the
+        heal check compares object ids, not mere readability."""
+        _, program = gzip_programs
+        seed = ref_trace_seed("gzip")
+        fp = program_fingerprint("gzip", True, 0.4)
+        cache = ArtifactCache(str(tmp_path / "store"))
+        # Hash-valid (content-addressed) but undecodable object, with
+        # index meta claiming a long stored trace.
+        cache.store.put("trace", trace_fingerprint(fp, seed),
+                        b"not a trace artifact",
+                        meta={"seed": seed, "n_blocks": 10**9})
+        image = serialize.load_program(serialize.dump_program(program))
+        assert cache.load_trace(image, fp, seed) is False
+        record = TraceRecord(image, seed)
+        record.extend()
+        image._trace_records[seed] = record
+        assert cache.save_traces(image, fp) == 1
+        fresh = ArtifactCache(cache.store.root)
+        check = serialize.load_program(serialize.dump_program(program))
+        assert fresh.load_trace(check, fp, seed) is True
+
+    def test_save_traces_persists_longest(self, tmp_path, gzip_programs):
+        _, program = gzip_programs
+        fresh = serialize.load_program(serialize.dump_program(program))
+        cache = ArtifactCache(str(tmp_path / "store"))
+        fp = program_fingerprint("gzip", True, 0.4)
+        seed = ref_trace_seed("gzip")
+        record = TraceRecord(fresh, seed)
+        fresh._trace_records[seed] = record
+        record.extend()
+        assert cache.save_traces(fresh, fp) == 1
+        # Unchanged record: nothing new to write.
+        assert cache.save_traces(fresh, fp) == 0
+        # Grown record: rewritten.
+        record.extend()
+        assert cache.save_traces(fresh, fp) == 1
+        entry = cache.store.get_entry("trace", trace_fingerprint(fp, seed))
+        assert entry["meta"]["n_blocks"] == len(record.blocks)
+
+
+class TestWriteDegradation:
+    def test_unencodable_meta_warns_and_continues(self, tmp_path, capsys):
+        """Store writes may never abort a run: an unencodable artifact
+        or meta degrades to 'not cached' with a warning."""
+        from repro.core.results import SimulationResult
+        cache = ArtifactCache(str(tmp_path / "store"))
+        result = SimulationResult(benchmark="b", engine="e", width=8,
+                                  optimized=True, cycles=10, instructions=20)
+        cache.put_result("ab" * 32, result, meta={"bad": {1, 2}})  # no raise
+        assert "will not be cached" in capsys.readouterr().err
+        assert cache.store.get_entry("result", "ab" * 32) is None
+
+    def test_readonly_store_warns_once(self, tmp_path, capsys):
+        import os
+        import stat
+        root = tmp_path / "ro"
+        root.mkdir()
+        os.chmod(root, stat.S_IRUSR | stat.S_IXUSR)
+        if os.access(str(root / "x"), os.W_OK) or os.geteuid() == 0:
+            os.chmod(root, stat.S_IRWXU)
+            pytest.skip("running as root; chmod cannot make dir read-only")
+        from repro.core.results import SimulationResult
+        cache = ArtifactCache(str(root))
+        result = SimulationResult(benchmark="b", engine="e", width=8,
+                                  optimized=True, cycles=10, instructions=20)
+        try:
+            cache.put_result("ab" * 32, result)
+            cache.put_result("cd" * 32, result)
+        finally:
+            os.chmod(root, stat.S_IRWXU)
+        assert capsys.readouterr().err.count("will not be cached") == 1
+
+
+class TestProgramCacheKeying:
+    def test_keyed_on_full_fingerprint(self):
+        cache = ProgramCache()
+        a = cache.get("gzip", True, 0.3)
+        assert cache.get("gzip", True, 0.3) is a
+        assert cache._cache[program_fingerprint("gzip", True, 0.3)] is a
+        b = cache.get("gzip", True, 0.35)
+        assert b is not a
+
+    def test_store_backed_cache_loads_from_disk(self, tmp_path):
+        root = str(tmp_path / "store")
+        # Populate from one cache...
+        ArtifactCache(root).program("gzip", True, 0.3)
+        # ...load from another, through a ProgramCache.
+        artifacts = ArtifactCache(root)
+        cache = ProgramCache(artifacts=artifacts)
+        program = cache.get("gzip", True, 0.3)
+        assert artifacts.hits["program"] == 1
+        reference = prepare_program("gzip", optimized=True, scale=0.3)
+        assert [lb.addr for lb in program.linear_blocks] == \
+            [lb.addr for lb in reference.linear_blocks]
+        assert [lb.size for lb in program.linear_blocks] == \
+            [lb.size for lb in reference.linear_blocks]
