@@ -1,31 +1,37 @@
 #!/usr/bin/env python
 """Simulator performance benchmark: the repo's perf trajectory anchor.
 
-Measures two things:
+Measures three things:
 
 * **simulated instructions per second** for each fetch engine (gzip,
-  optimized layout, 8-wide), and
+  optimized layout, 8-wide) in both engine modes — ``accel`` (the
+  exec-compiled kernels of :mod:`repro.accel`) and ``interp`` (the
+  interpreted paths); results are bit-identical, only speed differs;
 * **matrix wall-clock** for the default ``run_matrix`` perf workload
   (gzip + twolf, both layouts, all four engines, 100k instructions),
-  through both the serial path and the ``jobs=2`` parallel path.
+  serial and — when this host has more than one CPU — parallel, plus
+  the **per-worker pool setup overhead** so "is jobs=N worth it here?"
+  can be answered from the report;
+* with ``--store DIR``, the artifact-store warm-vs-cold matrix.
 
 The full run writes ``BENCH_perf.json`` at the repo root; that file is
 committed and becomes the baseline every future PR is measured against.
-``SEED_BASELINE`` below pins the pre-optimization (seed) numbers
-measured on the reference container, so the report always states the
-cumulative speedup since the project started tracking performance.
+``SEED_BASELINE`` pins the pre-optimization (seed) numbers and
+``PR3_BASELINE`` the PR 3 (pre-accelerator) numbers measured on the
+reference container, so the report states both the cumulative speedup
+and the accelerator's contribution.  Reported speedups are normalized
+by the calibration workload's drift, comparing code against code
+rather than one machine epoch against another.
 
-``--quick`` is the CI smoke mode: a sub-2-second engine-only
-measurement compared against the committed baseline's ``quick_engines``
-section.  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on
-any engine fails loudly (exit code 1) without slowing the test suite.
+``--quick`` is the CI smoke mode: a few seconds of engine-only
+measurement **in both engine modes**, compared against the committed
+baseline's ``quick_engines`` (accel) and ``quick_engines_interp``
+sections.  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on
+any engine in either mode fails loudly (exit code 1).
 
-``--store DIR`` additionally measures the artifact-store warm-vs-cold
-matrix (a cold populate run into a fresh store under DIR, then warm
-re-runs served from it) and reports the cache-hit speedup alongside
-engine throughput.  The cold serial/parallel numbers above remain the
-committed baseline, and the ``--quick`` gate never touches a store —
-the regression gate always measures cold simulation.
+``--store DIR`` measurements never feed the regression gate, and the
+``--quick`` gate never touches a store — the gate always measures cold
+simulation.
 
 Usage::
 
@@ -71,13 +77,19 @@ QUICK_INSTRUCTIONS = 8_000
 #: Fail --quick when any engine drops below baseline/1.3 (>30% slower).
 REGRESSION_TOLERANCE = 1.30
 
+#: Default worker cap for the parallel matrix measurement.  Fork-server
+#: pool setup costs a few hundred milliseconds per measurement; beyond
+#: four workers the default matrix's per-worker share is too small for
+#: more processes to help, and on a single-CPU host a pool is pure
+#: overhead (run_matrix caps the effective worker count at cpu_count,
+#: so jobs=1 there and the parallel measurement is skipped).
+DEFAULT_JOBS = max(1, min(4, os.cpu_count() or 1))
+
 #: Performance of the seed (pre-optimization) tree on the reference
 #: container, measured with exactly the workloads and best-of-N
 #: protocol below, together with the calibration workload's duration
 #: in the same measurement epoch.  Pinned so the perf trajectory is
-#: always reported relative to where it started; reported speedups are
-#: normalized by calibration drift, so they compare code against code
-#: rather than one machine epoch against another.
+#: always reported relative to where it started.
 SEED_BASELINE = {
     "engine_ips": {
         "ev8": 117_479,
@@ -87,6 +99,19 @@ SEED_BASELINE = {
     },
     "matrix_serial_seconds": 19.9,
     "calibration_seconds": 0.0889,
+}
+
+#: The PR 3 tree (persistent store, pre-accelerator) on the reference
+#: container — the baseline the accelerator's ">= 1.5x engine
+#: throughput" target is measured against.
+PR3_BASELINE = {
+    "engine_ips": {
+        "ev8": 347_527,
+        "ftb": 254_631,
+        "stream": 292_124,
+        "trace": 176_833,
+    },
+    "calibration_seconds": 0.07972,
 }
 
 
@@ -124,12 +149,13 @@ def measure_calibration(reps: int = 3) -> float:
 
 
 def _measure_one_engine(program, arch: str, instructions: int,
-                        reps: int) -> dict:
+                        reps: int, engine_mode: str = "accel") -> dict:
     def run_once():
         processor = build_processor(
             arch, program, 8,
             benchmark=ENGINE_BENCHMARK, optimized=True,
             trace_seed=ref_trace_seed(ENGINE_BENCHMARK),
+            engine_mode=engine_mode,
         )
         processor.run(instructions)
     seconds = _best_of(reps, run_once)
@@ -140,21 +166,87 @@ def _measure_one_engine(program, arch: str, instructions: int,
     }
 
 
-def measure_engine_ips(instructions: int, reps: int = 2) -> dict:
+#: The one engine-measurement program image, linked lazily and shared
+#: by the warm pass and every engine measurement (full and quick, both
+#: modes).  Sharing one image matters beyond link time: the schedule-
+#: template store is keyed weakly by Program identity, so only
+#: measurements over the *same* image ride the same warm templates.
+_ENGINE_PROGRAM = None
+
+
+def _engine_program():
+    global _ENGINE_PROGRAM
+    if _ENGINE_PROGRAM is None:
+        _ENGINE_PROGRAM = prepare_program(ENGINE_BENCHMARK, optimized=True,
+                                          scale=MATRIX_SCALE)
+    return _ENGINE_PROGRAM
+
+
+def measure_engine_ips(instructions: int, reps: int = 2,
+                       engine_mode: str = "accel") -> dict:
     """Simulated-instructions-per-second per engine (gzip, opt, 8-wide)."""
-    program = prepare_program(ENGINE_BENCHMARK, optimized=True,
-                              scale=MATRIX_SCALE)
+    program = _engine_program()
     return {
-        arch: _measure_one_engine(program, arch, instructions, reps)
+        arch: _measure_one_engine(program, arch, instructions, reps,
+                                  engine_mode=engine_mode)
         for arch in ARCHITECTURES
     }
+
+
+def warm_shared_caches(instructions: int) -> None:
+    """Run every engine once so shared pure caches reach steady state.
+
+    Schedule templates, DOLC hash memos and trace records are shared
+    across processors (they memoize pure functions), so whichever
+    measurement runs *first* would otherwise pay their construction
+    while later ones ride warm — skewing any accel-vs-interp
+    comparison.  One explicit warm pass puts every subsequent
+    measurement on the same fully-warm footing, which is also the
+    steady state a real sweep runs in.
+    """
+    program = _engine_program()
+    for arch in ARCHITECTURES:
+        processor = build_processor(
+            arch, program, 8,
+            benchmark=ENGINE_BENCHMARK, optimized=True,
+            trace_seed=ref_trace_seed(ENGINE_BENCHMARK),
+            engine_mode="accel",
+        )
+        processor.run(instructions)
+
+
+def _pool_noop() -> int:
+    return os.getpid()
+
+
+def measure_worker_setup(jobs: int, reps: int = 3) -> float:
+    """Wall-clock of spinning up (and draining) one worker pool.
+
+    This is the fixed cost ``jobs=N`` must amortize before parallelism
+    can win; reporting it explicitly makes "why is jobs=2 not faster
+    here?" answerable from the report instead of a mystery.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.runner import _worker_init
+
+    def spin():
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 initializer=_worker_init) as pool:
+            for future in [pool.submit(_pool_noop) for _ in range(jobs)]:
+                future.result()
+
+    return _best_of(reps, spin)
 
 
 def measure_matrix(jobs: int, reps: int = 3) -> dict:
     """Wall-clock of the default perf matrix, serial and parallel.
 
     Best-of-``reps`` per path: single-shot wall-clock on a shared box
-    is too noisy to anchor a regression gate on.
+    is too noisy to anchor a regression gate on.  The parallel
+    measurement runs only when it can possibly win — more than one CPU
+    and ``jobs > 1`` — and always ships with the measured per-pool
+    setup overhead so the serial/parallel gap is interpretable.
     """
     kwargs = dict(
         benchmarks=MATRIX_BENCHMARKS, widths=(8,),
@@ -163,16 +255,31 @@ def measure_matrix(jobs: int, reps: int = 3) -> dict:
     # benchmarks x layouts x widths x architectures
     cells = len(MATRIX_BENCHMARKS) * 2 * 1 * len(ARCHITECTURES)
     serial_seconds = _best_of(reps, lambda: run_matrix(**kwargs))
-    parallel_seconds = _best_of(reps, lambda: run_matrix(**kwargs, jobs=jobs))
-    return {
+    effective_jobs = max(1, min(jobs, os.cpu_count() or 1, cells))
+    row = {
         "benchmarks": list(MATRIX_BENCHMARKS),
         "instructions": MATRIX_INSTRUCTIONS,
         "scale": MATRIX_SCALE,
         "cells": cells,
         "jobs": jobs,
+        "effective_jobs": effective_jobs,
         "serial_seconds": round(serial_seconds, 2),
-        "parallel_seconds": round(parallel_seconds, 2),
     }
+    if effective_jobs > 1:
+        row["worker_setup_seconds"] = round(
+            measure_worker_setup(effective_jobs), 3
+        )
+        row["parallel_seconds"] = round(
+            _best_of(reps, lambda: run_matrix(**kwargs, jobs=jobs)), 2
+        )
+    else:
+        # A pool on this host can only add overhead (run_matrix caps
+        # workers at cpu_count); record why the measurement is absent.
+        row["parallel_skipped"] = (
+            f"single effective worker (cpu_count={os.cpu_count()}); "
+            "a pool cannot beat the serial path here"
+        )
+    return row
 
 
 def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
@@ -214,42 +321,68 @@ def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
     }
 
 
+def _clamped_drift(calibration: float, baseline_seconds: float) -> float:
+    # Drift > 1 means this host is currently slower than it was in the
+    # baseline measurement epoch; the baseline would run proportionally
+    # slower today, so speedups are computed against the drift-adjusted
+    # baseline.  Clamped tightly: beyond ~±30% the calibration is
+    # telling us the host is unstable, and inflating the trajectory
+    # from a noisy sample is worse than under-reporting it.
+    return min(1.3, max(0.85, calibration / baseline_seconds))
+
+
 def full_run(jobs: int, output: str, store_dir=None) -> dict:
+    warm_shared_caches(ENGINE_INSTRUCTIONS)
     calibration = measure_calibration()
     engines = measure_engine_ips(ENGINE_INSTRUCTIONS)
+    engines_interp = measure_engine_ips(ENGINE_INSTRUCTIONS,
+                                        engine_mode="interp")
     quick_engines = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3)
+    quick_engines_interp = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3,
+                                              engine_mode="interp")
     matrix = measure_matrix(jobs)
 
     seed_ips = SEED_BASELINE["engine_ips"]
+    pr3_ips = PR3_BASELINE["engine_ips"]
     seed_matrix = SEED_BASELINE["matrix_serial_seconds"]
-    # Drift > 1 means this host is currently slower than it was in the
-    # seed measurement epoch; the seed would run proportionally slower
-    # today, so speedups are computed against the drift-adjusted seed.
-    # Clamped tightly: beyond ~±30% the calibration is telling us the
-    # host is unstable, and inflating the trajectory from a noisy
-    # sample is worse than under-reporting it.
-    drift = calibration / SEED_BASELINE["calibration_seconds"]
-    drift = min(1.3, max(0.85, drift))
+    drift = _clamped_drift(calibration, SEED_BASELINE["calibration_seconds"])
+    drift_pr3 = _clamped_drift(calibration,
+                               PR3_BASELINE["calibration_seconds"])
+    speedups = {
+        "engine_ips_vs_seed": {
+            arch: round(engines[arch]["ips"] * drift / seed_ips[arch], 2)
+            for arch in engines
+        },
+        "engine_ips_vs_pr3": {
+            arch: round(engines[arch]["ips"] * drift_pr3 / pr3_ips[arch], 2)
+            for arch in engines
+        },
+        "accel_vs_interp": {
+            arch: round(engines[arch]["ips"]
+                        / engines_interp[arch]["ips"], 2)
+            for arch in engines
+        },
+        "single_process_vs_seed": round(
+            seed_matrix * drift / matrix["serial_seconds"], 2
+        ),
+    }
+    if "parallel_seconds" in matrix:
+        speedups["parallel_vs_seed"] = round(
+            seed_matrix * drift / matrix["parallel_seconds"], 2
+        )
     report = {
-        "schema": 1,
+        "schema": 2,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
+        "calibration_drift_vs_pr3": round(drift_pr3, 3),
         "engines": engines,
+        "engines_interp": engines_interp,
         "quick_engines": quick_engines,
+        "quick_engines_interp": quick_engines_interp,
         "matrix": matrix,
         "seed_baseline": SEED_BASELINE,
-        "speedups": {
-            "engine_ips_vs_seed": {
-                arch: round(engines[arch]["ips"] * drift / seed_ips[arch], 2)
-                for arch in engines
-            },
-            "single_process_vs_seed": round(
-                seed_matrix * drift / matrix["serial_seconds"], 2
-            ),
-            "parallel_vs_seed": round(
-                seed_matrix * drift / matrix["parallel_seconds"], 2
-            ),
-        },
+        "pr3_baseline": PR3_BASELINE,
+        "speedups": speedups,
     }
     with open(output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -257,12 +390,19 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
 
     print(f"wrote {output}")
     for arch, row in engines.items():
-        print(f"  {arch:7s} {row['ips']:>9,d} instr/s "
-              f"({report['speedups']['engine_ips_vs_seed'][arch]:.2f}x seed)")
+        print(f"  {arch:7s} accel {row['ips']:>9,d} instr/s "
+              f"({speedups['engine_ips_vs_seed'][arch]:.2f}x seed, "
+              f"{speedups['engine_ips_vs_pr3'][arch]:.2f}x PR3, "
+              f"{speedups['accel_vs_interp'][arch]:.2f}x interp "
+              f"[{engines_interp[arch]['ips']:,d}])")
     print(f"  matrix serial   {matrix['serial_seconds']:6.2f}s "
-          f"({report['speedups']['single_process_vs_seed']:.2f}x seed)")
-    print(f"  matrix jobs={jobs}   {matrix['parallel_seconds']:6.2f}s "
-          f"({report['speedups']['parallel_vs_seed']:.2f}x seed)")
+          f"({speedups['single_process_vs_seed']:.2f}x seed)")
+    if "parallel_seconds" in matrix:
+        print(f"  matrix jobs={jobs}   {matrix['parallel_seconds']:6.2f}s "
+              f"({speedups['parallel_vs_seed']:.2f}x seed, pool setup "
+              f"{matrix['worker_setup_seconds']:.2f}s)")
+    else:
+        print(f"  matrix jobs={jobs}   skipped: {matrix['parallel_skipped']}")
     if store_dir:
         # Measured and reported after the JSON above was written:
         # `output` defaults to the committed baseline, and store timings
@@ -279,16 +419,33 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
 
 
 def quick_run(baseline_path: str) -> int:
-    """CI smoke: compare a short measurement against the baseline."""
-    current = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3)
+    """CI smoke: short measurements in both modes vs the baseline.
+
+    The accelerated and interpreted paths regress independently (a
+    kernel-only bug leaves interp untouched and vice versa), so the
+    gate measures and compares both.
+    """
+    warm_shared_caches(QUICK_INSTRUCTIONS)
+    currents = {
+        "accel": measure_engine_ips(QUICK_INSTRUCTIONS, reps=3),
+        "interp": measure_engine_ips(QUICK_INSTRUCTIONS, reps=3,
+                                     engine_mode="interp"),
+    }
     if not os.path.exists(baseline_path):
         print(f"no baseline at {baseline_path}; measured only:")
-        for arch, row in current.items():
-            print(f"  {arch:7s} {row['ips']:>9,d} instr/s")
+        for mode, current in currents.items():
+            for arch, row in current.items():
+                print(f"  {mode:6s} {arch:7s} {row['ips']:>9,d} instr/s")
         return 0
     with open(baseline_path) as fh:
         report = json.load(fh)
-    baseline = report.get("quick_engines", {})
+    baselines = {
+        "accel": report.get("quick_engines", {}),
+        # Schema-1 baselines predate the accelerator; their single
+        # quick_engines section was measured on the interpreted path.
+        "interp": report.get("quick_engines_interp",
+                             report.get("quick_engines", {})),
+    }
     # Normalize out machine-speed drift: if the host currently runs the
     # fixed calibration workload at X times the baseline duration, the
     # engine floors scale by X too (clamped so a wildly off calibration
@@ -307,33 +464,35 @@ def quick_run(baseline_path: str) -> int:
         return base_ips / REGRESSION_TOLERANCE / drift
 
     suspects = []
-    for arch, row in current.items():
-        base = baseline.get(arch, {}).get("ips")
-        if base is None:
-            continue
-        floor = floor_for(base)
-        status = "ok" if row["ips"] >= floor else "suspect"
-        print(f"  {arch:7s} {row['ips']:>9,d} instr/s "
-              f"(baseline {base:,d}, floor {floor:,.0f}) {status}")
-        if row["ips"] < floor:
-            suspects.append(arch)
+    for mode, current in currents.items():
+        baseline = baselines[mode]
+        for arch, row in current.items():
+            base = baseline.get(arch, {}).get("ips")
+            if base is None:
+                continue
+            floor = floor_for(base)
+            status = "ok" if row["ips"] >= floor else "suspect"
+            print(f"  {mode:6s} {arch:7s} {row['ips']:>9,d} instr/s "
+                  f"(baseline {base:,d}, floor {floor:,.0f}) {status}")
+            if row["ips"] < floor:
+                suspects.append((mode, arch))
     if suspects:
         # A transient load burst can depress one measurement; re-measure
         # the suspects with more repetitions before failing the build.
-        print(f"re-measuring suspects: {', '.join(suspects)}")
-        program = prepare_program(ENGINE_BENCHMARK, optimized=True,
-                                  scale=MATRIX_SCALE)
+        names = ", ".join(f"{m}:{a}" for m, a in suspects)
+        print(f"re-measuring suspects: {names}")
+        program = _engine_program()
         failed = []
-        for arch in suspects:
+        for mode, arch in suspects:
             row = _measure_one_engine(program, arch, QUICK_INSTRUCTIONS,
-                                      reps=5)
-            base = baseline[arch]["ips"]
+                                      reps=5, engine_mode=mode)
+            base = baselines[mode][arch]["ips"]
             floor = floor_for(base)
             status = "ok" if row["ips"] >= floor else "REGRESSION"
-            print(f"  {arch:7s} {row['ips']:>9,d} instr/s "
+            print(f"  {mode:6s} {arch:7s} {row['ips']:>9,d} instr/s "
                   f"(baseline {base:,d}, floor {floor:,.0f}) {status}")
             if row["ips"] < floor:
-                failed.append(arch)
+                failed.append(f"{mode}:{arch}")
         if failed:
             print(f"perf regression "
                   f">{(REGRESSION_TOLERANCE - 1) * 100:.0f}% "
@@ -348,8 +507,9 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="fast engine-only smoke vs the committed "
                              "baseline; fails on >30%% regression")
-    parser.add_argument("--jobs", type=int, default=2,
-                        help="workers for the parallel matrix measurement")
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS,
+                        help="workers for the parallel matrix measurement "
+                             f"(default: min(4, cpu_count) = {DEFAULT_JOBS})")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="where the full run writes its JSON report")
     parser.add_argument("--baseline", default=DEFAULT_OUTPUT,

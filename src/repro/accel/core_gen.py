@@ -1,0 +1,864 @@
+"""Specialized ``Processor.run`` kernels: cycle loop + inlined scheduler.
+
+The generated kernel is a transliteration of the interpreted hot path
+with three structural changes, none of which can alter results:
+
+* the back-end's **segment scheduler is inlined** into the cycle loop —
+  the per-segment generator ``send`` round-trip, its argument tuple and
+  the park/hoist protocol disappear, and all scheduling state (issue
+  occupancy, completion ring cursor, commit chain, occupancy tail)
+  lives in the one frame's locals for the whole run;
+* every **config constant is folded** into the source as a literal —
+  pipe width, dispatch depth, ROB size, the three D-cache latency
+  levels, ring masks, template preconditions — so the branches they
+  gate compile to immediate comparisons;
+* **result counters and the trace cursor are locals**: the per-block
+  ``result.<counter> += 1`` attribute round-trips and the per-block
+  walker ``__next__`` call become local int bumps and a list index,
+  published back to their objects once at the end of the run.
+
+Two further bit-exact micro-optimizations ride along: the occupancy
+tail *shift* (a pure function of the packed tail and the cycle delta)
+is memoized, and the warmup snapshot copies the local counter tuple
+instead of the result dataclass.  The schedule-template dict and its
+entry format are **shared unchanged** with the interpreted scheduler,
+so mixing modes on one backend stays coherent and warm templates carry
+across.
+
+Parity is pinned by ``tests/accel/`` (all four engines x widths 2/4/8,
+cold and warm stores) and transitively by the canonical-dispatch parity
+suite in ``tests/core/test_backend.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.common.types import BranchKind, InstrClass
+from repro.core.backend import (
+    _IU_LIMIT,
+    _IU_MASK,
+    _TPL_CACHE_LIMIT,
+    _TPL_K_RADIX,
+    _TPL_MAX_DELTA,
+    _TPL_MAX_TAIL,
+    _TPL_MAX_TAIL_DELTA,
+    _pack_tail,
+)
+from repro.core.results import SimulationResult
+from repro.isa.program import segment_plan
+
+from repro.accel.codegen import CompiledKernel, compile_kernel
+
+__all__ = ["run_kernel", "run_kernel_source"]
+
+#: Sentinel "no queued entry" cycle, mirroring processor.py.
+_NEVER = 1 << 62
+
+# Inlined D-side cache probe (Cache.access of L1D, falling to L2):
+# sets ``lvl`` to the hit level (1/2/3) with exactly the interpreter's
+# access/LRU/fill/counter semantics.  L1D counters live in run() locals
+# (the data path is the only L1D client); L2 counters stay attribute
+# updates because the instruction side shares that cache mid-run.
+_PROBE_BLOCK = """\
+line = a >> $DL1_OFF
+ways = dl1_sets[line & $DL1_MASK]
+tag = line >> $DL1_SHIFT
+dl1_acc += 1
+if ways and ways[0] == tag:
+    lvl = 1
+else:
+    try:
+        ways.remove(tag)
+    except ValueError:
+        dl1_miss += 1
+        ways.insert(0, tag)
+        if len(ways) > $DL1_ASSOC:
+            ways.pop()
+            dl1_evict += 1
+        line = a >> $L2_OFF
+        ways = l2_sets[line & $L2_MASK]
+        tag = line >> $L2_SHIFT
+        l2_cache.accesses += 1
+        if ways and ways[0] == tag:
+            lvl = 2
+        else:
+            try:
+                ways.remove(tag)
+            except ValueError:
+                l2_cache.misses += 1
+                ways.insert(0, tag)
+                if len(ways) > $L2_ASSOC:
+                    ways.pop()
+                    l2_cache.evictions += 1
+                lvl = 3
+            else:
+                ways.insert(0, tag)
+                lvl = 2
+    else:
+        ways.insert(0, tag)
+        lvl = 1
+"""
+
+
+def _indent(block: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(
+        pad + line if line else line for line in block.splitlines()
+    )
+
+_TEMPLATE = '''\
+def make_run(processor, engine_cycle=None, engine_note_commit=None):
+    """Bind one processor into the specialized run kernel."""
+    engine = processor.engine
+    backend = processor.backend
+    cursor = processor.cursor
+    mem = processor.mem
+    if backend._lvl_lat != ($LVL0, $LVL1, $LVL2):
+        raise RuntimeError("kernel compiled for different memory latencies")
+    if backend.width != $WIDTH:
+        raise RuntimeError("kernel compiled for different width")
+    walker = cursor._walker
+    record = walker.record
+    rec_blocks = record.blocks
+    rec_extend = record.extend
+    if engine_cycle is None:
+        engine_cycle = engine.cycle
+    note_commit = engine_note_commit or engine.note_commit
+    engine_redirect = engine.redirect
+    stats_dict = engine.stats_dict
+    mem_stats = mem.stats_summary
+    completions = backend._completions
+    iu_vals = backend._iu_vals
+    iu_stamps = backend._iu_stamps
+    templates = backend._templates
+    counters = backend._load_counters
+    counters_get = counters.get
+    templates_get = templates.get
+    dl1_cache = mem.dl1
+    l2_cache = mem.l2
+    dl1_sets = dl1_cache._sets
+    l2_sets = l2_cache._sets
+    iu_compact = backend._iu_compact
+    make_plan = segment_plan
+    pack_tail = _pack_tail
+    # The tail-shift memo is pure integer arithmetic on the injective
+    # packed-tail encoding (widths <= 16 are part of the encoding), so
+    # one process-wide store serves every kernel and stays warm.
+    shift_memo = SHIFT_MEMO
+    shift_memo_get = shift_memo.get
+    KIND_NONE = BranchKind.NONE
+    KIND_COND = BranchKind.COND
+    KIND_RET = BranchKind.RET
+
+    def run(max_instructions, warmup=0):
+        backend._sync()
+        result = SimulationResult(
+            benchmark=processor.benchmark,
+            engine=engine.name,
+            width=$WIDTH,
+            optimized=processor.optimized,
+            cycles=0,
+            instructions=0,
+        )
+
+        now = 0
+        scheduled = 0
+        warm_state = None
+        diverged = False
+        pending = None
+        commit_queue = deque()
+        inflight = deque()
+        inflight_count = 0
+        commit_head = $NEVER
+        inflight_head = $NEVER
+        commit_pop = commit_queue.popleft
+        commit_push = commit_queue.append
+        inflight_pop = inflight.popleft
+        inflight_push = inflight.append
+
+        # Result counters as frame locals, published once at the end.
+        r_branches = 0
+        r_cond_branches = 0
+        r_taken = 0
+        r_misp = 0
+        r_cond_misp = 0
+        r_ret_misp = 0
+        r_indirect = 0
+        r_wrong = 0
+        r_rob_stall = 0
+        r_idle = 0
+        r_fetch_cycles = 0
+        r_fetched = 0
+
+        # Trace replay state: the record's block list is append-only,
+        # so the kernel indexes it directly and extends on exhaustion.
+        pos = walker._pos
+        walked_blocks = walker.blocks_walked
+        walked_instr = walker.instructions_walked
+        blocks_len = len(rec_blocks)
+        cur_dyn = cursor.dyn
+        cur_off = cursor.offset
+
+        # Hoisted scheduler state (the generator's frame locals).
+        iu_spill = backend._iu_spill
+        entries = backend._iu_entries
+        floor = backend._issue_floor
+        cnt = backend._count
+        last = backend._last_commit
+        cic = backend._commits_in_cycle
+        max_issue = backend._max_issue
+        tail = backend._tail
+        tail_cycle = backend._tail_cycle
+        loads = backend.load_accesses
+        stores = backend.store_accesses
+        tail_k = pack_tail(tail)
+        dl1_acc = dl1_cache.accesses
+        dl1_miss = dl1_cache.misses
+        dl1_evict = dl1_cache.evictions
+
+        warm_target = warmup if warmup else $NEVER
+        cycle_limit = 400 * max_instructions + 1_000_000
+
+        # The publish block runs even when the wedge guard raises, so
+        # post-mortem inspection (cache counters, backend state, walker
+        # position) reflects the failed run exactly like the interpreted
+        # path's in-place updates do.
+        try:
+            while scheduled < max_instructions and cur_dyn is not None:
+                now += 1
+                if now > cycle_limit:
+                    raise RuntimeError(
+                        f"simulation wedged: {scheduled} instructions in {now} "
+                        f"cycles (engine={engine.name}, pending={pending}, "
+                        f"diverged={diverged}, idle={r_idle})"
+                    )
+
+                while commit_head <= now:
+                    _, dyn, payload, misp = commit_pop()
+                    note_commit(dyn, payload, misp)
+                    commit_head = commit_queue[0][0] if commit_queue else $NEVER
+                while inflight_head <= now:
+                    # Flat-int entries: commit * 2**20 + instruction count.
+                    inflight_count -= inflight_pop() & 1048575
+                    inflight_head = (inflight[0] >> 20) if inflight else $NEVER
+
+                if pending is not None and now >= pending[0]:
+                    engine_redirect(now, pending[1], pending[2], pending[4])
+                    pending = None
+                    diverged = False
+                    continue
+
+                if not diverged and inflight_count >= $ROB_SIZE:
+                    r_rob_stall += 1
+                    continue
+
+                bundle = engine_cycle(now)
+                if not bundle:
+                    r_idle += 1
+                    continue
+
+                if diverged:
+                    for frag in bundle:
+                        r_wrong += frag[1]
+                    continue
+
+                dispatch_cycle = now + $DISPATCH_DEPTH
+                block_instrs = 0
+                block_commit = 0
+                correct_in_bundle = 0
+                frag_iter = iter(bundle)
+                for frag in frag_iter:
+                    start, count, pred_next, ckpt, payload = frag
+                    assert start == cur_dyn.addr + cur_off * 4, (
+                        f"engine fetched {start:#x}, trace expects "
+                        f"{cur_dyn.addr + cur_off * 4:#x} at cycle {now}"
+                    )
+                    remaining = count
+                    while remaining:
+                        dyn = cur_dyn
+                        size = dyn.size
+                        take = size - cur_off
+                        if take > remaining:
+                            take = remaining
+
+                        # ==== inlined segment scheduler ======================
+                        # dispatch_segment(dyn.lb, cur_off, take, D) with the
+                        # generator protocol removed; see the module docstring.
+                        D = dispatch_cycle
+
+                        # -- shift / re-establish the occupancy tail ---------
+                        if tail_cycle != D:
+                            if tail:
+                                shift = D - tail_cycle
+                                if tail_k:
+                                    # Encodable tails bound every delta, so
+                                    # a shift past that bound empties the
+                                    # tail and smaller shifts hit the pure-
+                                    # function memo keyed on the packed
+                                    # encoding.
+                                    if shift > $TAIL_DMAX:
+                                        tail = ()
+                                        tail_k = 0
+                                    else:
+                                        mk = tail_k * 128 + shift
+                                        hit = shift_memo_get(mk)
+                                        if hit is not None:
+                                            tail, tail_k = hit
+                                        else:
+                                            tail = tuple([
+                                                (dc - shift, n)
+                                                for dc, n in tail if dc > shift
+                                            ])
+                                            tail_k = pack_tail(tail)
+                                            if len(shift_memo) > 32768:
+                                                shift_memo.clear()
+                                            shift_memo[mk] = (tail, tail_k)
+                                else:
+                                    tail = tuple([
+                                        (dc - shift, n)
+                                        for dc, n in tail if dc > shift
+                                    ])
+                                    tail_k = pack_tail(tail)
+                            elif tail is None:
+                                if max_issue <= D:
+                                    tail = ()
+                                    tail_k = 0
+                                elif max_issue - D <= $TPL_MAX_TAIL:
+                                    t = []
+                                    for c in range(D + 1, max_issue + 1):
+                                        s = c & $IU_MASK
+                                        if iu_stamps[s] == c:
+                                            n = iu_vals[s]
+                                        elif iu_spill:
+                                            n = iu_spill.get(c, 0)
+                                        else:
+                                            n = 0
+                                        if n:
+                                            t.append((c - D, n))
+                                    tail = tuple(t)
+                                    tail_k = pack_tail(tail)
+                                else:
+                                    tail_k = None
+                            else:
+                                tail_k = 0
+                            tail_cycle = D
+
+                        # -- template preconditions --------------------------
+                        seg_done = False
+                        tpl = None
+                        if tail_k is not None:
+                            dlc = last - D
+                            if dlc <= 2:
+                                K = 0
+                            elif dlc <= $TPL_MAX_DELTA:
+                                K = dlc * 64 + cic
+                            else:
+                                K = -1
+                            if (
+                                K >= 0
+                                and floor <= D + 1
+                                and entries + take <= $IU_LIMIT
+                            ):
+                                skey = cur_off * 32 + take
+                                lb = dyn.lb
+                                plan = lb._seg_plans.get(skey)
+                                if plan is None:
+                                    plan = make_plan(lb, cur_off, take)
+                                offsets, mem_plan, lvl_span = plan
+                                ok = True
+                                if offsets:
+                                    base = D + 1
+                                    for o in offsets:
+                                        v = completions[(cnt + o) & 127] - base
+                                        if v <= 0:
+                                            K = K * $K_RADIX
+                                        elif v <= $TPL_MAX_DELTA:
+                                            K = K * $K_RADIX + v
+                                        else:
+                                            ok = False
+                                            break
+                                if ok:
+                                    levels = 0
+                                    if mem_plan:
+                                        for (slot_key, is_load, base_a, stride,
+                                             span) in mem_plan:
+                                            k = counters_get(slot_key, 0)
+                                            counters[slot_key] = k + 1
+                                            a = base_a + (k * stride) % span
+$PROBE_TPL
+                                            if is_load:
+                                                levels = levels * 4 + lvl
+                                                loads += 1
+                                            else:
+                                                stores += 1
+                                    key = (lb.addr, skey, K * lvl_span + levels,
+                                           tail_k)
+                                    tpl = templates_get(key)
+                                    if tpl is None:
+                                        # -- record a new template -----------
+                                        lvls = []
+                                        lv = levels
+                                        while lv:
+                                            lvls.append(lv % 4 - 1)
+                                            lv //= 4
+                                        lvls.reverse()
+                                        seg_meta = dyn.meta
+                                        bk = {}
+                                        rec_completes = []
+                                        lvl_i = 0
+                                        seg_max = 0
+                                        for i in range(cur_off, cur_off + take):
+                                            (cls, latency, d1, d2, _mb, _ms,
+                                             _msp) = seg_meta[i]
+                                            ready = D + 1
+                                            if d1:
+                                                dep = completions[(cnt - d1) & 127]
+                                                if dep > ready:
+                                                    ready = dep
+                                            if d2:
+                                                dep = completions[(cnt - d2) & 127]
+                                                if dep > ready:
+                                                    ready = dep
+                                            issue = ready
+                                            while True:
+                                                s = issue & $IU_MASK
+                                                if iu_stamps[s] == issue:
+                                                    used = iu_vals[s]
+                                                elif iu_spill:
+                                                    used = iu_spill.get(issue, 0)
+                                                else:
+                                                    used = 0
+                                                if used < $WIDTH:
+                                                    break
+                                                issue += 1
+                                            s = issue & $IU_MASK
+                                            if iu_stamps[s] == issue:
+                                                iu_vals[s] += 1
+                                            elif iu_spill and issue in iu_spill:
+                                                iu_spill[issue] += 1
+                                            else:
+                                                if iu_stamps[s] == -1:
+                                                    iu_stamps[s] = issue
+                                                    iu_vals[s] = 1
+                                                else:
+                                                    iu_spill[issue] = 1
+                                                entries += 1
+                                            bk[issue] = bk.get(issue, 0) + 1
+                                            if issue > max_issue:
+                                                max_issue = issue
+                                            if issue > seg_max:
+                                                seg_max = issue
+                                            if cls == $CLS_LOAD:
+                                                latency += ($LVL0, $LVL1,
+                                                            $LVL2)[lvls[lvl_i]]
+                                                lvl_i += 1
+                                            complete = issue + latency
+                                            rec_completes.append(complete)
+                                            completions[cnt & 127] = complete
+                                            cnt += 1
+                                            earliest = complete + 1
+                                            commit2 = (earliest
+                                                       if earliest > last
+                                                       else last)
+                                            if commit2 == last:
+                                                if cic >= $WIDTH:
+                                                    commit2 += 1
+                                                    cic = 1
+                                                else:
+                                                    cic += 1
+                                            else:
+                                                cic = 1
+                                            last = commit2
+                                        merged = dict(tail)
+                                        for c, n in bk.items():
+                                            dc = c - D
+                                            merged[dc] = merged.get(dc, 0) + n
+                                        exit_tail = tuple(sorted(merged.items()))
+                                        tail = exit_tail
+                                        tail_k = pack_tail(exit_tail)
+                                        tpl_new = (
+                                            tuple([c - D for c in rec_completes]),
+                                            last - D,
+                                            cic,
+                                            exit_tail,
+                                            tail_k,
+                                            tuple(sorted(
+                                                (c - D, n) for c, n in bk.items()
+                                            )),
+                                            seg_max - D,
+                                        )
+                                        if len(templates) > $TPL_CACHE_LIMIT:
+                                            templates.clear()
+                                        templates[key] = tpl_new
+                                        seg_done = True
+
+                        if not seg_done:
+                            if tpl is not None:
+                                # -- replay a memoized schedule template -----
+                                (completes, exit_lc, exit_cic, exit_tail,
+                                 exit_tail_k, bookings, max_issue_d) = tpl
+                                for cd in completes:
+                                    completions[cnt & 127] = D + cd
+                                    cnt += 1
+                                for dc, n in bookings:
+                                    c = D + dc
+                                    s = c & $IU_MASK
+                                    if iu_stamps[s] == c:
+                                        iu_vals[s] += n
+                                    elif iu_spill and c in iu_spill:
+                                        iu_spill[c] += n
+                                    elif iu_stamps[s] == -1:
+                                        iu_stamps[s] = c
+                                        iu_vals[s] = n
+                                        entries += 1
+                                    else:
+                                        iu_spill[c] = n
+                                        entries += 1
+                                mi = D + max_issue_d
+                                if mi > max_issue:
+                                    max_issue = mi
+                                tail = exit_tail
+                                tail_k = exit_tail_k
+                                last = D + exit_lc
+                                cic = exit_cic
+                                complete = D + completes[-1]
+                            else:
+                                # -- per-slot loop (canonical rules) ---------
+                                tail = None
+                                tail_k = None
+                                seg_meta = dyn.meta
+                                seg_keys = dyn.keys
+                                ready_base = D + 1
+                                complete = 0
+                                for i in range(cur_off, cur_off + take):
+                                    (cls, latency, d1, d2, mem_base, mem_stride,
+                                     mem_span) = seg_meta[i]
+                                    ready = ready_base
+                                    if d1:
+                                        dep = completions[(cnt - d1) & 127]
+                                        if dep > ready:
+                                            ready = dep
+                                    if d2:
+                                        dep = completions[(cnt - d2) & 127]
+                                        if dep > ready:
+                                            ready = dep
+                                    issue = ready if ready > floor else floor
+                                    while True:
+                                        s = issue & $IU_MASK
+                                        if iu_stamps[s] == issue:
+                                            used = iu_vals[s]
+                                        elif iu_spill:
+                                            used = iu_spill.get(issue, 0)
+                                        else:
+                                            used = 0
+                                        if used < $WIDTH:
+                                            break
+                                        issue += 1
+                                    s = issue & $IU_MASK
+                                    if iu_stamps[s] == issue:
+                                        iu_vals[s] += 1
+                                    elif iu_spill and issue in iu_spill:
+                                        iu_spill[issue] += 1
+                                    else:
+                                        if iu_stamps[s] == -1:
+                                            iu_stamps[s] = issue
+                                            iu_vals[s] = 1
+                                        else:
+                                            iu_spill[issue] = 1
+                                        entries += 1
+                                    if entries > $IU_LIMIT:
+                                        backend._iu_entries = entries
+                                        iu_compact(issue)
+                                        entries = backend._iu_entries
+                                        iu_spill = backend._iu_spill
+                                        floor = backend._issue_floor
+                                    if issue > max_issue:
+                                        max_issue = issue
+
+                                    if cls == $CLS_LOAD or cls == $CLS_STORE:
+                                        slot_key = seg_keys[i]
+                                        k = counters_get(slot_key, 0)
+                                        counters[slot_key] = k + 1
+                                        a = mem_base + (k * mem_stride) % (
+                                            mem_span if mem_span > 0 else 1
+                                        )
+$PROBE_SLOT
+                                        if cls == $CLS_LOAD:
+                                            dlat = ($LVL0, $LVL1,
+                                                    $LVL2)[lvl - 1]
+                                            latency += dlat
+                                            loads += 1
+                                        else:
+                                            stores += 1
+
+                                    complete = issue + latency
+                                    completions[cnt & 127] = complete
+                                    cnt += 1
+
+                                    earliest = complete + 1
+                                    commit2 = (earliest if earliest > last
+                                               else last)
+                                    if commit2 == last:
+                                        if cic >= $WIDTH:
+                                            commit2 += 1
+                                            cic = 1
+                                        else:
+                                            cic += 1
+                                    else:
+                                        cic = 1
+                                    last = commit2
+                        seg_commit = last
+                        # ==== end inlined segment scheduler ==================
+
+                        scheduled += take
+                        correct_in_bundle += take
+                        remaining -= take
+
+                        if cur_off + take == size:
+                            if remaining:
+                                pred = dyn.addr + size * 4
+                                ck = None
+                                pl = None
+                            else:
+                                pred = pred_next
+                                ck = ckpt
+                                pl = payload
+                            actual_next = dyn.next_addr
+                            kind = dyn.kind
+                            if kind is not KIND_NONE:
+                                r_branches += 1
+                                if kind is KIND_COND:
+                                    r_cond_branches += 1
+                                if dyn.taken:
+                                    r_taken += 1
+                            mispredicted = False
+                            if pred is None:
+                                r_indirect += 1
+                                pending = (complete + 1, actual_next, ck,
+                                           False, dyn)
+                                diverged = True
+                            elif pred != actual_next:
+                                mispredicted = True
+                                r_misp += 1
+                                if kind is KIND_COND:
+                                    r_cond_misp += 1
+                                elif kind is KIND_RET:
+                                    r_ret_misp += 1
+                                pending = (complete + 1, actual_next, ck,
+                                           True, dyn)
+                                diverged = True
+                            commit_push((seg_commit, dyn, pl, mispredicted))
+                            if seg_commit < commit_head:
+                                commit_head = seg_commit
+                            inflight_push(
+                                seg_commit * 1048576 + block_instrs + take
+                            )
+                            if seg_commit < inflight_head:
+                                inflight_head = seg_commit
+                            inflight_count += block_instrs + take
+                            block_instrs = 0
+                            # Inlined walker __next__ (record replay).
+                            if pos >= blocks_len:
+                                rec_extend()
+                                blocks_len = len(rec_blocks)
+                            if pos < blocks_len:
+                                cur_dyn = rec_blocks[pos]
+                                pos += 1
+                                walked_blocks += 1
+                                walked_instr += cur_dyn.size
+                                cur_off = 0
+                            else:
+                                cur_dyn = None
+                                cur_off = 0
+                                break
+                            if diverged:
+                                break
+                        else:
+                            cur_off += take
+                            block_instrs += take
+                            block_commit = seg_commit
+                            if pred_next is not None:
+                                last_next = start + count * 4
+                                if pred_next != last_next:
+                                    pending = (complete + 1, last_next, ckpt,
+                                               True, dyn)
+                                    r_misp += 1
+                                    diverged = True
+                            break  # remaining is 0 here by construction
+
+                    if cur_dyn is None:
+                        break
+                    if diverged:
+                        # Everything past the divergence is wrong-path; the
+                        # fragment iterator continues where the walk broke.
+                        wrong = remaining
+                        for frag2 in frag_iter:
+                            wrong += frag2[1]
+                        r_wrong += wrong
+                        break
+
+                if block_instrs:
+                    inflight_push(block_commit * 1048576 + block_instrs)
+                    if block_commit < inflight_head:
+                        inflight_head = block_commit
+                    inflight_count += block_instrs
+
+                if correct_in_bundle:
+                    r_fetch_cycles += 1
+                    r_fetched += correct_in_bundle
+
+                if scheduled >= warm_target and warm_state is None:
+                    warm_state = (
+                        now, scheduled,
+                        (r_branches, r_cond_branches, r_taken, r_misp,
+                         r_cond_misp, r_ret_misp, r_indirect, r_wrong,
+                         r_rob_stall, r_idle),
+                        r_fetch_cycles, r_fetched,
+                    )
+
+                if scheduled >= max_instructions:
+                    break
+        finally:
+            # -- publish the loop-local state back to the objects ------------
+            cursor.dyn = cur_dyn
+            cursor.offset = cur_off
+            cursor.exhausted = cur_dyn is None
+            walker._pos = pos
+            walker.blocks_walked = walked_blocks
+            walker.instructions_walked = walked_instr
+
+            backend._iu_spill = iu_spill
+            backend._iu_entries = entries
+            backend._issue_floor = floor
+            backend._count = cnt
+            backend._last_commit = last
+            backend._commits_in_cycle = cic
+            backend._max_issue = max_issue
+            backend._tail = tail
+            backend._tail_cycle = tail_cycle
+            backend.load_accesses = loads
+            backend.store_accesses = stores
+            dl1_cache.accesses = dl1_acc
+            dl1_cache.misses = dl1_miss
+            dl1_cache.evictions = dl1_evict
+
+        result.branches = r_branches
+        result.cond_branches = r_cond_branches
+        result.taken_branches = r_taken
+        result.mispredictions = r_misp
+        result.cond_mispredictions = r_cond_misp
+        result.return_mispredictions = r_ret_misp
+        result.indirect_resolutions = r_indirect
+        result.wrong_path_instructions = r_wrong
+        result.rob_stall_cycles = r_rob_stall
+        result.idle_cycles = r_idle
+        result.fetch_cycles = r_fetch_cycles
+        result.fetched_instructions = r_fetched
+        result.instructions = scheduled
+        result.cycles = now if now > last else last
+        if warm_state is not None:
+            warm_now, warm_sched, warm_counts, warm_fc, warm_fi = warm_state
+            result.instructions = scheduled - warm_sched
+            result.cycles = (now if now > last else last) - warm_now
+            result.fetch_cycles = r_fetch_cycles - warm_fc
+            result.fetched_instructions = r_fetched - warm_fi
+            (wb, wcb, wt, wm, wcm, wrm, wi, ww, wrs, widle) = warm_counts
+            result.branches = r_branches - wb
+            result.cond_branches = r_cond_branches - wcb
+            result.taken_branches = r_taken - wt
+            result.mispredictions = r_misp - wm
+            result.cond_mispredictions = r_cond_misp - wcm
+            result.return_mispredictions = r_ret_misp - wrm
+            result.indirect_resolutions = r_indirect - wi
+            result.wrong_path_instructions = r_wrong - ww
+            result.rob_stall_cycles = r_rob_stall - wrs
+            result.idle_cycles = r_idle - widle
+        result.engine_stats = stats_dict()
+        result.memory_stats = mem_stats()
+        return result
+
+    return run
+'''
+
+# Splice the cache-probe blocks at their two sites (template-recording
+# probes and the per-slot fallback) at the surrounding indentation.
+_TEMPLATE = _TEMPLATE.replace("$PROBE_TPL", _indent(_PROBE_BLOCK, 44))
+_TEMPLATE = _TEMPLATE.replace("$PROBE_SLOT", _indent(_PROBE_BLOCK, 40))
+
+
+def _consts(processor) -> dict:
+    core = processor.machine.core
+    lvl0, lvl1, lvl2 = processor.backend._lvl_lat
+    dl1 = processor.mem.dl1
+    l2 = processor.mem.l2
+    return {
+        "DL1_OFF": dl1._offset_bits,
+        "DL1_MASK": dl1._index_mask,
+        "DL1_SHIFT": dl1._tag_shift,
+        "DL1_ASSOC": dl1._assoc,
+        "L2_OFF": l2._offset_bits,
+        "L2_MASK": l2._index_mask,
+        "L2_SHIFT": l2._tag_shift,
+        "L2_ASSOC": l2._assoc,
+        "WIDTH": core.width,
+        "DISPATCH_DEPTH": core.dispatch_depth,
+        "ROB_SIZE": core.rob_size,
+        "LVL0": lvl0,
+        "LVL1": lvl1,
+        "LVL2": lvl2,
+        "NEVER": _NEVER,
+        "IU_MASK": _IU_MASK,
+        "IU_LIMIT": _IU_LIMIT,
+        "TPL_MAX_DELTA": _TPL_MAX_DELTA,
+        "K_RADIX": _TPL_K_RADIX,
+        "TPL_MAX_TAIL": _TPL_MAX_TAIL,
+        "TAIL_DMAX": _TPL_MAX_TAIL_DELTA,
+        "TPL_CACHE_LIMIT": _TPL_CACHE_LIMIT,
+        "CLS_LOAD": int(InstrClass.LOAD),
+        "CLS_STORE": int(InstrClass.STORE),
+    }
+
+
+#: Process-wide tail-shift memo: (packed_tail * 128 + shift) -> the
+#: shifted (tail, packed_tail).  The radix must exceed the largest
+#: memoized shift (bounded by _TPL_MAX_TAIL_DELTA = 127) for the key to
+#: stay injective.  Pure, so sharing across kernels and configurations
+#: is sound; bounded by the in-kernel clear at 32768.
+SHIFT_MEMO: dict = {}
+
+_NAMESPACE = {
+    "deque": deque,
+    "BranchKind": BranchKind,
+    "SimulationResult": SimulationResult,
+    "segment_plan": segment_plan,
+    "_pack_tail": _pack_tail,
+    "SHIFT_MEMO": SHIFT_MEMO,
+}
+
+
+def run_kernel(processor) -> CompiledKernel:
+    """The compiled run-kernel for ``processor``'s configuration."""
+    consts = _consts(processor)
+    config_key = tuple(sorted(consts.items()))
+    return compile_kernel(
+        "run", config_key, _TEMPLATE, consts, _NAMESPACE, "make_run",
+    )
+
+
+def make_run(
+    processor,
+    engine_cycle: Optional[Callable] = None,
+    engine_note_commit: Optional[Callable] = None,
+) -> Callable:
+    """Bind ``processor`` (and optionally specialized engine-cycle /
+    commit closures) into its configuration's compiled kernel."""
+    return run_kernel(processor).factory(
+        processor, engine_cycle, engine_note_commit
+    )
+
+
+def run_kernel_source(processor) -> str:
+    """The generated source text (debugging / ``python -m repro.accel``)."""
+    return run_kernel(processor).source

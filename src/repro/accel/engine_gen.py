@@ -1,0 +1,1166 @@
+"""Specialized per-engine ``cycle`` / ``note_commit`` kernels.
+
+One template per fetch architecture, each a transliteration of that
+engine's per-cycle hot path — the prediction stage, the instruction
+cache stage and the straight-line fragment hand-off — plus its
+commit-order feedback path (``note_commit``), specialized the same way
+the core kernel is:
+
+* config constants folded as literals (pipe width, L1I line mask, the
+  EV8 fetch-slot mask, decode-bubble depth, FTB/stream/trace length
+  caps);
+* per-cycle attribute walks flattened: sub-objects that are bound once
+  in ``__init__`` and never rebound (predictor, history, RAS, BTB/FTB,
+  FTQ, stats bag, program, memory) are closure locals, as are their
+  bound methods — only genuinely mutable per-cycle scalars
+  (``fetch_addr``, ``_busy_until``, ``_waiting_resolve``, trace-engine
+  segment cursors) stay attribute accesses on the engine;
+* the base-class helpers are inlined at their call sites: the busy
+  check, the image-bounds check, instructions-to-line-end, the L1I-hit
+  fast path of ``_fetch_line``, and the memoized ``scan_run`` lookup
+  (a dict probe on the program's scan cache).
+
+Cold paths (decode fixups, redirect, commit feedback) stay interpreter
+method calls — they run a few times per thousand cycles and sharing
+them keeps the speculative-state repair logic in exactly one place.
+
+Only the four concrete engine classes are specialized; a subclass (or
+any engine these templates do not know) silently gets its interpreted
+``cycle`` bound into the core kernel instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.common.types import INSTRUCTION_BYTES, BranchKind
+from repro.fetch.base import scan_run
+from repro.fetch.ev8 import EV8FetchEngine
+from repro.fetch.ftb import FTB_MAX_LENGTH, FTBFetchEngine
+from repro.fetch.ftq import FetchRequest
+from repro.fetch.stream import SEQUENTIAL_CHUNK, StreamFetchEngine
+from repro.fetch.stream_predictor import MAX_STREAM_LENGTH, StreamRecord
+from repro.fetch.trace_cache import TraceCacheFetchEngine
+from repro.fetch.trace_predictor import MAX_TRACE_BRANCHES, MAX_TRACE_LENGTH
+
+from repro.accel.codegen import CompiledKernel, compile_kernel
+
+__all__ = ["cycle_kernel", "cycle_kernel_source", "make_kernels"]
+
+
+def _common_consts(engine) -> dict:
+    return {
+        "WIDTH": engine.width,
+        "LINE_BYTES": engine.line_bytes,
+        "LINE_MASK": engine.line_bytes - 1,
+        "DECODE_BUBBLE": engine.decode_bubble,
+    }
+
+
+# ----------------------------------------------------------------------
+# EV8: sequential fetch to the first predicted-taken branch
+# ----------------------------------------------------------------------
+
+_EV8_TEMPLATE = '''\
+def make_kernels(engine):
+    program = engine.program
+    mem = engine.mem
+    il1_access = mem.il1.access
+    fill_l2 = mem._fill_from_l2_instr
+    stats_counts = engine.stats._counts
+    predictor_predict = engine.predictor.predict
+    predictor_update = engine.predictor.update
+    history = engine.history
+    spec_push = history.spec_push
+    commit_push = history.commit_push
+    ras_checkpoint = engine.ras.checkpoint
+    ras_push = engine.ras.push
+    ras_pop = engine.ras.pop
+    btb_lookup = engine.btb.lookup
+    btb_update = engine.btb.update
+    scan_cache_get = program._scan_cache.get
+    scan = scan_run
+    image_start = engine._image_start
+    image_end = engine._image_end
+    KIND_NONE = BranchKind.NONE
+    KIND_COND = BranchKind.COND
+    KIND_JUMP = BranchKind.JUMP
+    KIND_CALL = BranchKind.CALL
+    KIND_RET = BranchKind.RET
+
+    def cycle(now):
+        if now < engine._busy_until or engine._waiting_resolve:
+            return None
+        addr = engine.fetch_addr
+        to_slot_end = ($SLOT_BYTES - (addr & $SLOT_MASK)) >> 2
+        window = $WIDTH if $WIDTH < to_slot_end else to_slot_end
+        to_line_end = ($LINE_BYTES - (addr & $LINE_MASK)) >> 2
+        if to_line_end < window:
+            window = to_line_end
+        if not image_start <= addr < image_end:
+            engine._waiting_resolve = True
+            return None
+        if not il1_access(addr):
+            extra = fill_l2(addr)
+            if extra > 0:
+                stats_counts["icache_miss_stalls"] += 1
+                until = now + extra
+                if until > engine._busy_until:
+                    engine._busy_until = until
+                return None
+
+        hit = scan_cache_get((addr, window))
+        if hit is None:
+            hit = scan(program, addr, window)
+        controls, avail = hit
+        if avail == 0:
+            engine._waiting_resolve = True
+            return None
+        window = avail
+
+        bundle = []
+        append = bundle.append
+        cursor = addr
+        next_fetch = addr + window * 4
+        stalled = False
+        emitted = 0
+
+        for baddr, lb in controls:
+            run = ((baddr - cursor) >> 2) + 1
+            kind = lb.kind
+            if kind is KIND_COND:
+                hist_snap = history.spec
+                pred, info = predictor_predict(baddr, hist_snap)
+                spec_push(pred)
+                ckpt = (ras_checkpoint(), hist_snap)
+                stats_counts["cond_predictions"] += 1
+                if pred:
+                    entry = btb_lookup(baddr)
+                    if entry is not None:
+                        target = entry.target
+                    else:
+                        until = now + $DECODE_BUBBLE
+                        if until > engine._busy_until:
+                            engine._busy_until = until
+                        stats_counts["decode_redirects"] += 1
+                        target = lb.target_addr
+                    append((cursor, run, target, ckpt, ("cond", info)))
+                    emitted += run
+                    next_fetch = target
+                    cursor = None
+                    break
+                append((cursor, run, baddr + 4, ckpt, ("cond", info)))
+                emitted += run
+                cursor = baddr + 4
+                continue
+            if kind is KIND_JUMP or kind is KIND_CALL:
+                entry = btb_lookup(baddr)
+                if entry is not None:
+                    target = entry.target
+                else:
+                    until = now + $DECODE_BUBBLE
+                    if until > engine._busy_until:
+                        engine._busy_until = until
+                    stats_counts["decode_redirects"] += 1
+                    target = lb.target_addr
+                if kind is KIND_CALL:
+                    ras_push(baddr + 4)
+                ckpt = (ras_checkpoint(), history.spec)
+                append((cursor, run, target, ckpt, None))
+                emitted += run
+                next_fetch = target
+                cursor = None
+                break
+            if kind is KIND_RET:
+                if btb_lookup(baddr) is None:
+                    until = now + $DECODE_BUBBLE
+                    if until > engine._busy_until:
+                        engine._busy_until = until
+                    stats_counts["decode_redirects"] += 1
+                target = ras_pop()
+                ckpt = (ras_checkpoint(), history.spec)
+                append((cursor, run, target, ckpt, None))
+                emitted += run
+                next_fetch = target
+                cursor = None
+                break
+            # Indirect jump: only the BTB can supply a target at fetch.
+            entry = btb_lookup(baddr)
+            ckpt = (ras_checkpoint(), history.spec)
+            if entry is not None:
+                append((cursor, run, entry.target, ckpt, None))
+                next_fetch = entry.target
+            else:
+                append((cursor, run, None, ckpt, None))
+                stats_counts["indirect_stalls"] += 1
+                engine._waiting_resolve = True
+                stalled = True
+            emitted += run
+            cursor = None
+            break
+
+        if cursor is not None:
+            end = addr + window * 4
+            if cursor < end:
+                run = (end - cursor) >> 2
+                append((cursor, run, end, None, None))
+                emitted += run
+
+        if not stalled:
+            engine.fetch_addr = next_fetch
+        engine.fetch_cycles += 1
+        engine.fetched_instructions += emitted
+        return bundle
+
+    def note_commit(dyn, payload, mispredicted):
+        kind = dyn.kind
+        if kind is KIND_NONE:
+            return
+        taken = dyn.taken
+        baddr = dyn.lb.branch_addr
+        if kind is KIND_COND:
+            if isinstance(payload, tuple) and payload[0] == "cond":
+                predictor_update(payload[1], taken)
+            else:
+                # Fetched without an in-flight prediction (e.g. right
+                # after a redirect): train with commit-time state.
+                _, info = predictor_predict(baddr, history.commit)
+                predictor_update(info, taken)
+            commit_push(taken)
+        btb_update(baddr, dyn.next_addr if taken else 0, kind, taken)
+
+    return cycle, note_commit
+'''
+
+
+def _ev8_consts(engine) -> dict:
+    consts = _common_consts(engine)
+    slot_bytes = engine.width * INSTRUCTION_BYTES
+    consts["SLOT_BYTES"] = slot_bytes
+    consts["SLOT_MASK"] = slot_bytes - 1
+    return consts
+
+
+# ----------------------------------------------------------------------
+# FTB: decoupled fetch-target-buffer front-end + perceptron
+# ----------------------------------------------------------------------
+
+_FTB_TEMPLATE = '''\
+def make_kernels(engine):
+    program = engine.program
+    mem = engine.mem
+    il1_access = mem.il1.access
+    fill_l2 = mem._fill_from_l2_instr
+    stats_counts = engine.stats._counts
+    ftb_lookup = engine.ftb.lookup
+    ftb_update = engine.ftb.update
+    ftb_probe = engine.ftb.probe
+    predictor_predict = engine.predictor.predict
+    predictor_update = engine.predictor.update
+    history = engine.history
+    spec_push = history.spec_push
+    commit_push = history.commit_push
+    ras_checkpoint = engine.ras.checkpoint
+    ras_push = engine.ras.push
+    ras_pop = engine.ras.pop
+    ftq = engine.ftq
+    ftq_queue = ftq._queue
+    ftq_push = ftq.push
+    ftq_pop = ftq.pop
+    ftq_head = ftq.head
+    ftq_capacity = ftq.capacity
+    decode_fixup = engine._decode_fixup
+    scan_cache_get = program._scan_cache.get
+    scan = scan_run
+    image_start = engine._image_start
+    image_end = engine._image_end
+    Request = FetchRequest
+    KIND_NONE = BranchKind.NONE
+    KIND_COND = BranchKind.COND
+    KIND_CALL = BranchKind.CALL
+    KIND_RET = BranchKind.RET
+
+    def cycle(now):
+        if engine._waiting_resolve:
+            return None
+        request = ftq_queue[0] if ftq_queue else None
+
+        # -- prediction stage (FTB) ------------------------------------
+        if len(ftq_queue) < ftq_capacity:
+            pc = engine.predict_addr
+            ckpt_pre = (ras_checkpoint(), history.spec)
+            entry = ftb_lookup(pc)
+            if entry is None:
+                stats_counts["ftb_misses"] += 1
+                nxt = pc + $FTB_MAX_BYTES
+                ftq_push(Request(pc, $FTB_MAX_LENGTH, None, nxt,
+                                 ckpt_pre=ckpt_pre, is_fallback=True))
+                engine.predict_addr = nxt
+            else:
+                stats_counts["ftb_hits"] += 1
+                length = entry.length
+                term_pc = pc + (length - 1) * 4
+                payload = None
+                kind = entry.kind
+                if kind is KIND_NONE:
+                    nxt = pc + length * 4
+                    ftq_push(Request(pc, length, None, nxt,
+                                     ckpt_pre=ckpt_pre))
+                    engine.predict_addr = nxt
+                else:
+                    if kind is KIND_COND:
+                        pred, info = predictor_predict(term_pc, history.spec)
+                        spec_push(pred)
+                        payload = ("term", info)
+                        nxt = entry.target if pred else term_pc + 4
+                    elif kind is KIND_CALL:
+                        ras_push(term_pc + 4)
+                        nxt = entry.target
+                    elif kind is KIND_RET:
+                        nxt = ras_pop()
+                    else:
+                        nxt = entry.target
+                    ckpt = (ras_checkpoint(), ckpt_pre[1])
+                    ftq_push(Request(pc, length, kind, nxt, payload, ckpt,
+                                     ckpt_pre=ckpt_pre))
+                    engine.predict_addr = nxt
+
+        if now < engine._busy_until or request is None:
+            return None
+
+        # -- instruction cache stage -----------------------------------
+        addr = request.start
+        if not image_start <= addr < image_end:
+            engine._waiting_resolve = True
+            return None
+        if not il1_access(addr):
+            extra = fill_l2(addr)
+            if extra > 0:
+                stats_counts["icache_miss_stalls"] += 1
+                until = now + extra
+                if until > engine._busy_until:
+                    engine._busy_until = until
+                return None
+        n = request.remaining
+        if $WIDTH < n:
+            n = $WIDTH
+        to_line_end = ($LINE_BYTES - (addr & $LINE_MASK)) >> 2
+        if to_line_end < n:
+            n = to_line_end
+        hit = scan_cache_get((addr, n))
+        if hit is None:
+            hit = scan(program, addr, n)
+        controls, avail = hit
+        if avail == 0:
+            engine._waiting_resolve = True
+            return None
+        if avail < n:
+            n = avail
+        if request.is_fallback:
+            terminal_addr = None
+        else:
+            terminal_addr = addr + (request.remaining - 1) * 4
+
+        bundle = []
+        frag_start = addr
+        end = addr + n * 4
+        done_early = False
+        emitted = 0
+        append = bundle.append
+        ckpt_pre = request.ckpt_pre
+
+        for baddr, lb in controls:
+            run = ((baddr - frag_start) >> 2) + 1
+            if baddr == terminal_addr:
+                append((frag_start, run, request.pred_next, request.ckpt,
+                        request.payload))
+                emitted += run
+                done_early = True
+                break
+            if lb.kind is KIND_COND:
+                append((frag_start, run, baddr + 4, ckpt_pre, None))
+                emitted += run
+                frag_start = baddr + 4
+                continue
+            if frag_start < baddr:
+                append((frag_start, run - 1, baddr, None, None))
+                emitted += run - 1
+            decode_fixup(now, bundle, baddr, lb)
+            emitted += 1
+            done_early = True
+            break
+
+        if not done_early and frag_start < end:
+            run = (end - frag_start) >> 2
+            append((frag_start, run, end, None, None))
+            emitted += run
+
+        if done_early:
+            # A decode fixup may already have flushed the queue.
+            if ftq_head() is request:
+                ftq_pop()
+        else:
+            # Inlined request.consume(n) (Fig. 6 in-place update).
+            if n > request.remaining:
+                raise ValueError(
+                    f"cannot consume {n} of {request.remaining}"
+                )
+            request.start += n * 4
+            request.remaining -= n
+            if request.remaining == 0:
+                ftq_pop()
+
+        engine.fetch_cycles += 1
+        engine.fetched_instructions += emitted
+        return bundle
+
+    def note_commit(dyn, payload, mispredicted):
+        c_len = engine._c_len + dyn.size
+        kind = dyn.kind
+        c_start = engine._c_start
+        # Spill max-length sequential chunks (fetch-side stepping).
+        while c_len > $FTB_MAX_LENGTH:
+            nxt = c_start + $FTB_MAX_BYTES
+            ftb_update(c_start, $FTB_MAX_LENGTH, nxt, KIND_NONE)
+            c_start = nxt
+            c_len -= $FTB_MAX_LENGTH
+        if kind is KIND_NONE:
+            engine._c_start = c_start
+            engine._c_len = c_len
+            return
+        term_pc = dyn.lb.branch_addr
+        if kind is KIND_COND:
+            taken = dyn.taken
+            if taken:
+                ftb_update(c_start, c_len, dyn.next_addr, kind)
+                if isinstance(payload, tuple) and payload[0] == "term":
+                    predictor_update(payload[1], True)
+                else:
+                    _, info = predictor_predict(term_pc, history.commit)
+                    predictor_update(info, True)
+                commit_push(True)
+                engine._c_start = dyn.next_addr
+                engine._c_len = 0
+                return
+            entry = ftb_probe(c_start)
+            if (entry is not None
+                    and c_start + (entry.length - 1) * 4 == term_pc):
+                # An ever-taken branch always ends the fetch block,
+                # even on its not-taken instances.
+                if isinstance(payload, tuple) and payload[0] == "term":
+                    predictor_update(payload[1], False)
+                else:
+                    _, info = predictor_predict(term_pc, history.commit)
+                    predictor_update(info, False)
+                commit_push(False)
+                engine._c_start = term_pc + 4
+                engine._c_len = 0
+                return
+            # Otherwise the branch is invisible to the FTB.
+            engine._c_start = c_start
+            engine._c_len = c_len
+            return
+        # Unconditional controls always terminate the block.
+        ftb_update(c_start, c_len, dyn.next_addr, kind)
+        engine._c_start = dyn.next_addr
+        engine._c_len = 0
+
+    return cycle, note_commit
+'''
+
+
+def _ftb_consts(engine) -> dict:
+    consts = _common_consts(engine)
+    consts["FTB_MAX_LENGTH"] = FTB_MAX_LENGTH
+    consts["FTB_MAX_BYTES"] = FTB_MAX_LENGTH * INSTRUCTION_BYTES
+    return consts
+
+
+# ----------------------------------------------------------------------
+# Stream: next stream predictor + FTQ + wide-line instruction cache
+# ----------------------------------------------------------------------
+
+_STREAM_TEMPLATE = '''\
+def make_kernels(engine):
+    program = engine.program
+    mem = engine.mem
+    il1_access = mem.il1.access
+    fill_l2 = mem._fill_from_l2_instr
+    stats_counts = engine.stats._counts
+    predictor_predict = engine.predictor.predict
+    predictor_update = engine.predictor.update
+    path = engine.path
+    path_spec_push = path.spec_push
+    path_commit_push = path.commit_push
+    s_partials = engine._s_partials
+    ras_checkpoint = engine.ras.checkpoint
+    ras_push = engine.ras.push
+    ras_pop = engine.ras.pop
+    ftq = engine.ftq
+    ftq_queue = ftq._queue
+    ftq_push = ftq.push
+    ftq_pop = ftq.pop
+    ftq_head = ftq.head
+    ftq_flush = ftq.flush
+    ftq_capacity = ftq.capacity
+    decode_fixup = engine._decode_fixup
+    scan_cache_get = program._scan_cache.get
+    scan = scan_run
+    image_start = engine._image_start
+    image_end = engine._image_end
+    Request = FetchRequest
+    KIND_NONE = BranchKind.NONE
+    KIND_COND = BranchKind.COND
+    KIND_CALL = BranchKind.CALL
+    KIND_RET = BranchKind.RET
+
+    def cycle(now):
+        if engine._waiting_resolve:
+            return None
+        request = ftq_queue[0] if ftq_queue else None
+
+        # -- next stream predictor stage -------------------------------
+        if len(ftq_queue) < ftq_capacity:
+            pc = engine.predict_addr
+            prediction = predictor_predict(path.spec, pc)
+            if prediction is None:
+                engine._skip_next_path_push = False
+                stats_counts["stream_pred_misses"] += 1
+                ckpt_pre = (ras_checkpoint(), tuple(path.spec), None)
+                nxt = pc + $SEQ_CHUNK_BYTES
+                ftq_push(Request(pc, $SEQ_CHUNK, None, nxt,
+                                 ckpt_pre=ckpt_pre, is_fallback=True))
+                engine.predict_addr = nxt
+            else:
+                stats_counts["stream_pred_hits"] += 1
+                if engine._skip_next_path_push:
+                    engine._skip_next_path_push = False
+                else:
+                    path_spec_push(
+                        (pc ^ (prediction.length << 20))
+                        if $LENGTH_KEYS else pc
+                    )
+                kind = prediction.kind
+                ras_pre = ras_checkpoint()
+                if kind is KIND_RET:
+                    nxt = ras_pop()
+                elif kind is KIND_CALL:
+                    ras_push(pc + prediction.length * 4)
+                    nxt = prediction.next_addr
+                else:
+                    nxt = prediction.next_addr
+                path_snap = tuple(path.spec)
+                ckpt_pre = (ras_pre, path_snap, pc)
+                ckpt = (ras_checkpoint(), path_snap, pc)
+                terminal = kind if kind is not KIND_NONE else None
+                ftq_push(Request(pc, prediction.length, terminal, nxt,
+                                 None, ckpt, ckpt_pre=ckpt_pre))
+                engine.predict_addr = nxt
+
+        if now < engine._busy_until or request is None:
+            return None
+
+        # -- instruction cache stage -----------------------------------
+        addr = request.start
+        if not image_start <= addr < image_end:
+            engine._waiting_resolve = True
+            return None
+        if not il1_access(addr):
+            extra = fill_l2(addr)
+            if extra > 0:
+                stats_counts["icache_miss_stalls"] += 1
+                until = now + extra
+                if until > engine._busy_until:
+                    engine._busy_until = until
+                return None
+        n = request.remaining
+        if $WIDTH < n:
+            n = $WIDTH
+        to_line_end = ($LINE_BYTES - (addr & $LINE_MASK)) >> 2
+        if to_line_end < n:
+            n = to_line_end
+        hit = scan_cache_get((addr, n))
+        if hit is None:
+            hit = scan(program, addr, n)
+        controls, avail = hit
+        if avail == 0:
+            engine._waiting_resolve = True
+            return None
+        if avail < n:
+            n = avail
+        if request.terminal_kind is not None:
+            terminal_addr = addr + (request.remaining - 1) * 4
+        else:
+            terminal_addr = None
+
+        bundle = []
+        frag_start = addr
+        end = addr + n * 4
+        done_early = False
+        emitted = 0
+        append = bundle.append
+        ckpt_pre = request.ckpt_pre
+
+        for baddr, lb in controls:
+            if terminal_addr is not None and terminal_addr < baddr:
+                break  # stale-length terminal before the next control
+            run = ((baddr - frag_start) >> 2) + 1
+            if baddr == terminal_addr:
+                append((frag_start, run, request.pred_next, request.ckpt,
+                        request.payload))
+                emitted += run
+                done_early = True
+                break
+            if lb.kind is KIND_COND:
+                append((frag_start, run, baddr + 4, ckpt_pre, None))
+                emitted += run
+                frag_start = baddr + 4
+                continue
+            if frag_start < baddr:
+                append((frag_start, run - 1, baddr, None, None))
+                emitted += run - 1
+            decode_fixup(now, bundle, baddr, lb)
+            emitted += 1
+            done_early = True
+            break
+
+        if not done_early:
+            if (terminal_addr is not None
+                    and frag_start <= terminal_addr < end):
+                stats_counts["length_misfetches"] += 1
+                run = ((terminal_addr - frag_start) >> 2) + 1
+                append((frag_start, run, terminal_addr + 4, None, None))
+                emitted += run
+                ftq_flush()
+                engine.predict_addr = terminal_addr + 4
+                done_early = True
+            elif frag_start < end:
+                run = (end - frag_start) >> 2
+                append((frag_start, run, end, None, None))
+                emitted += run
+
+        if done_early:
+            # A decode fixup may already have flushed the queue.
+            if ftq_head() is request:
+                ftq_pop()
+        else:
+            # Inlined request.consume(n) (Fig. 6 in-place update).
+            if n > request.remaining:
+                raise ValueError(
+                    f"cannot consume {n} of {request.remaining}"
+                )
+            request.start += n * 4
+            request.remaining -= n
+            if request.remaining == 0:
+                ftq_pop()
+
+        engine.fetch_cycles += 1
+        engine.fetched_instructions += emitted
+        return bundle
+
+    def record_run(start, length, dyn, mispredicted, push_history):
+        # One (possibly capped) stream ending at ``dyn``.
+        if length <= 0:
+            return
+        while length > $MAX_STREAM_LENGTH:
+            record = StreamRecord(start, $MAX_STREAM_LENGTH, KIND_NONE,
+                                  start + $MAX_STREAM_BYTES)
+            predictor_update(path.commit, record, False)
+            if push_history:
+                path_commit_push(
+                    (start ^ ($MAX_STREAM_LENGTH << 20))
+                    if $LENGTH_KEYS else start
+                )
+            start += $MAX_STREAM_BYTES
+            length -= $MAX_STREAM_LENGTH
+        record = StreamRecord(start, length, dyn.kind, dyn.next_addr)
+        predictor_update(path.commit, record, mispredicted)
+        if push_history:
+            key = (start ^ (length << 20)) if $LENGTH_KEYS else start
+            path_commit_push(key)
+            pending = engine._pending_repair
+            if pending is not None and pending[1] == start:
+                # Patch the speculative placeholder left by a redirect
+                # from a fell-through terminal of this very stream.
+                try:
+                    idx = path.spec.index(pending[0])
+                except ValueError:
+                    pass  # already rolled out of the window
+                else:
+                    path.spec[idx] = key
+                engine._pending_repair = None
+
+    def note_commit(dyn, payload, mispredicted):
+        size = dyn.size
+        if not dyn.taken:
+            if mispredicted:
+                s_partials.append((dyn.next_addr, engine._s_len + size))
+                engine._s_mispredicted = True
+            engine._s_len += size
+            return
+        s_len = engine._s_len + size
+        s_misp = engine._s_mispredicted or mispredicted
+        record_run(engine._s_start, s_len, dyn, s_misp, True)
+        for partial_start, offset in s_partials:
+            record_run(partial_start, s_len - offset, dyn, False, False)
+            stats_counts["partial_streams_committed"] += 1
+        stats_counts["streams_committed"] += 1
+        stats_counts["stream_instructions"] += s_len
+        engine._s_start = dyn.next_addr
+        engine._s_len = 0
+        engine._s_mispredicted = False
+        s_partials.clear()
+
+    return cycle, note_commit
+'''
+
+
+def _stream_consts(engine) -> dict:
+    consts = _common_consts(engine)
+    consts["SEQ_CHUNK"] = SEQUENTIAL_CHUNK
+    consts["SEQ_CHUNK_BYTES"] = SEQUENTIAL_CHUNK * INSTRUCTION_BYTES
+    consts["LENGTH_KEYS"] = bool(engine._length_keys)
+    consts["MAX_STREAM_LENGTH"] = MAX_STREAM_LENGTH
+    consts["MAX_STREAM_BYTES"] = MAX_STREAM_LENGTH * INSTRUCTION_BYTES
+    return consts
+
+
+# ----------------------------------------------------------------------
+# Trace cache: next trace predictor + trace store + BTB build path
+# ----------------------------------------------------------------------
+
+_TRACE_TEMPLATE = '''\
+def make_kernels(engine):
+    program = engine.program
+    mem = engine.mem
+    il1_access = mem.il1.access
+    fill_l2 = mem._fill_from_l2_instr
+    stats_counts = engine.stats._counts
+    predictor_predict = engine.predictor.predict
+    history = engine.history
+    history_spec_push = history.spec_push
+    ras_checkpoint = engine.ras.checkpoint
+    ras_push = engine.ras.push
+    ras_pop = engine.ras.pop
+    btb_lookup = engine.btb.lookup
+    btb_update = engine.btb.update
+    tc_lookup = engine.trace_cache.lookup
+    tc_partial_match = engine.trace_cache.partial_match
+    fill = engine._fill
+    finalize_trace = engine._finalize_trace
+    ftq = engine.ftq
+    ftq_queue = ftq._queue
+    ftq_push = ftq.push
+    ftq_pop = ftq.pop
+    ftq_capacity = ftq.capacity
+    scan_cache_get = program._scan_cache.get
+    scan = scan_run
+    image_start = engine._image_start
+    image_end = engine._image_end
+    Request = FetchRequest
+    KIND_NONE = BranchKind.NONE
+    KIND_COND = BranchKind.COND
+    KIND_JUMP = BranchKind.JUMP
+    KIND_CALL = BranchKind.CALL
+    KIND_RET = BranchKind.RET
+    KIND_IND = BranchKind.IND
+
+    def emit_run(bundle, request, descriptor, addr, count):
+        # One run from the current segment position, split at interior
+        # conditionals; the final prediction comes from the trace.
+        segments = descriptor.segments
+        last_idx = len(segments) - 1
+        seg_idx = engine._seg_idx
+        seg_off = engine._seg_off
+        end = addr + count * 4
+        at_boundary = seg_off + count == segments[seg_idx][1]
+        skip_addr = end - 4 if at_boundary else -1
+        ckpt_pre = request.ckpt_pre
+        append = bundle.append
+        frag_start = addr
+        hit = scan_cache_get((addr, count))
+        if hit is None:
+            hit = scan(program, addr, count)
+        for baddr, lb in hit[0]:
+            if baddr != skip_addr and lb.kind is KIND_COND:
+                run = ((baddr - frag_start) >> 2) + 1
+                append((frag_start, run, baddr + 4, ckpt_pre, None))
+                frag_start = baddr + 4
+        if at_boundary:
+            run = (end - frag_start) >> 2
+            if seg_idx == last_idx:
+                append((frag_start, run, request.pred_next, request.ckpt,
+                        request.payload))
+            else:
+                append((frag_start, run, segments[seg_idx + 1][0],
+                        ckpt_pre, None))
+            engine._seg_idx = seg_idx + 1
+            engine._seg_off = 0
+        else:
+            if frag_start < end:
+                append((frag_start, (end - frag_start) >> 2, end,
+                        None, None))
+            engine._seg_off = seg_off + count
+
+    def build_fetch(now):
+        # Secondary path: BTB-guided build fetch on a predictor miss.
+        addr = engine.predict_addr
+        if not image_start <= addr < image_end:
+            engine._waiting_resolve = True
+            return None
+        if not il1_access(addr):
+            extra = fill_l2(addr)
+            if extra > 0:
+                stats_counts["icache_miss_stalls"] += 1
+                until = now + extra
+                if until > engine._busy_until:
+                    engine._busy_until = until
+                return None
+        window = $WIDTH
+        to_line_end = ($LINE_BYTES - (addr & $LINE_MASK)) >> 2
+        if to_line_end < window:
+            window = to_line_end
+        hit = scan_cache_get((addr, window))
+        if hit is None:
+            hit = scan(program, addr, window)
+        controls, avail = hit
+        if avail == 0:
+            engine._waiting_resolve = True
+            return None
+        window = avail
+
+        bundle = []
+        append = bundle.append
+        frag_start = addr
+        next_fetch = addr + window * 4
+        stalled = False
+        emitted = 0
+        conds = 0
+        terminal_taken = False
+        for baddr, lb in controls:
+            run = ((baddr - frag_start) >> 2) + 1
+            kind = lb.kind
+            entry = btb_lookup(baddr)
+            ckpt = (ras_checkpoint(), tuple(history.spec))
+            if kind is KIND_COND:
+                conds += 1
+                taken = entry is not None and entry.predict_taken
+                if taken:
+                    append((frag_start, run, entry.target, ckpt, None))
+                    emitted += run
+                    next_fetch = entry.target
+                    terminal_taken = True
+                    frag_start = None
+                    break
+                append((frag_start, run, baddr + 4, ckpt, None))
+                emitted += run
+                frag_start = baddr + 4
+                continue
+            if kind is KIND_JUMP or kind is KIND_CALL:
+                if entry is None:
+                    until = now + $DECODE_BUBBLE
+                    if until > engine._busy_until:
+                        engine._busy_until = until
+                    stats_counts["decode_redirects"] += 1
+                target = lb.target_addr
+                if kind is KIND_CALL:
+                    ras_push(baddr + 4)
+                append((frag_start, run, target,
+                        (ras_checkpoint(), ckpt[1]), None))
+                emitted += run
+                next_fetch = target
+                terminal_taken = True
+                frag_start = None
+                break
+            if kind is KIND_RET:
+                if entry is None:
+                    until = now + $DECODE_BUBBLE
+                    if until > engine._busy_until:
+                        engine._busy_until = until
+                    stats_counts["decode_redirects"] += 1
+                target = ras_pop()
+                append((frag_start, run, target,
+                        (ras_checkpoint(), ckpt[1]), None))
+                emitted += run
+                next_fetch = target
+                terminal_taken = True
+                frag_start = None
+                break
+            # Indirect.
+            if entry is not None:
+                append((frag_start, run, entry.target, ckpt, None))
+                next_fetch = entry.target
+                terminal_taken = True
+            else:
+                append((frag_start, run, None, ckpt, None))
+                stats_counts["indirect_stalls"] += 1
+                engine._waiting_resolve = True
+                stalled = True
+            emitted += run
+            frag_start = None
+            break
+
+        if frag_start is not None:
+            end = addr + window * 4
+            if frag_start < end:
+                run = (end - frag_start) >> 2
+                append((frag_start, run, end, None, None))
+                emitted += run
+        if not stalled:
+            engine.predict_addr = next_fetch
+            # Inlined _spec_fill_advance: emulate fill-unit boundaries.
+            sl = engine._spec_fill_len + emitted
+            sc = engine._spec_fill_conds + conds
+            if (sl >= $MAX_TRACE_LENGTH or sc >= $MAX_TRACE_BRANCHES
+                    or terminal_taken):
+                history_spec_push(engine._spec_fill_start)
+                engine._spec_fill_start = next_fetch
+                engine._spec_fill_len = 0
+                engine._spec_fill_conds = 0
+            else:
+                engine._spec_fill_len = sl
+                engine._spec_fill_conds = sc
+        stats_counts["build_cycles"] += 1
+        engine.fetch_cycles += 1
+        engine.fetched_instructions += emitted
+        return bundle
+
+    def cycle(now):
+        if engine._waiting_resolve:
+            return None
+        request = ftq_queue[0] if ftq_queue else None
+
+        # -- next trace predictor stage --------------------------------
+        predictor_missed = False
+        if len(ftq_queue) < ftq_capacity:
+            pc = engine.predict_addr
+            descriptor = predictor_predict(history.spec, pc)
+            if descriptor is None:
+                stats_counts["trace_pred_misses"] += 1
+                predictor_missed = True
+            else:
+                stats_counts["trace_pred_hits"] += 1
+                ras_pre = ras_checkpoint()
+                history_spec_push(descriptor.start)
+                hist_snap = tuple(history.spec)
+                for return_addr in descriptor.call_returns:
+                    ras_push(return_addr)
+                if descriptor.terminal_kind is KIND_RET:
+                    nxt = ras_pop()
+                else:
+                    nxt = descriptor.next_addr
+                ckpt = (ras_checkpoint(), hist_snap)
+                ckpt_pre = (ras_pre, hist_snap)
+                tk = descriptor.terminal_kind
+                terminal = tk if tk is not KIND_NONE else None
+                ftq_push(Request(descriptor.start, descriptor.length,
+                                 terminal, nxt, None, ckpt,
+                                 ckpt_pre=ckpt_pre, descriptor=descriptor))
+                engine.predict_addr = nxt
+                engine._spec_fill_start = nxt
+                engine._spec_fill_len = 0
+                engine._spec_fill_conds = 0
+
+        if now < engine._busy_until:
+            return None
+
+        if request is not None:
+            # -- primary path: trace cache / descriptor-guided icache --
+            descriptor = request.descriptor
+            if request is not engine._cur_req:
+                engine._cur_req = request
+                engine._seg_idx = 0
+                engine._seg_off = 0
+                engine._prefix_left = 0
+                hit = tc_lookup(descriptor)
+                if not hit and $PARTIAL_MATCHING:
+                    partial = tc_partial_match(descriptor)
+                    if partial is not None and partial.interior_taken:
+                        engine._prefix_left = (
+                            partial.length
+                            if partial.length < descriptor.length
+                            else descriptor.length
+                        )
+                        stats_counts["tc_partial_hits"] += 1
+                if hit:
+                    stats_counts["tc_hits"] += 1
+                else:
+                    stats_counts["tc_misses"] += 1
+                engine._tc_hit = hit
+
+            tc_hit = engine._tc_hit
+            if tc_hit or engine._prefix_left > 0:
+                # Trace cache (or matched prefix) delivery.
+                bundle = []
+                emitted = 0
+                budget = $WIDTH
+                if not tc_hit and engine._prefix_left < budget:
+                    budget = engine._prefix_left
+                segments = descriptor.segments
+                nseg = len(segments)
+                while budget and engine._seg_idx < nseg:
+                    seg_addr, seg_len = segments[engine._seg_idx]
+                    addr = seg_addr + engine._seg_off * 4
+                    take = seg_len - engine._seg_off
+                    if budget < take:
+                        take = budget
+                    emit_run(bundle, request, descriptor, addr, take)
+                    emitted += take
+                    budget -= take
+                    if not tc_hit:
+                        engine._prefix_left -= take
+                if engine._seg_idx >= nseg:
+                    ftq_pop()
+                    engine._cur_req = None
+                    engine._tc_hit = None
+                if not bundle:
+                    return None
+                engine.fetch_cycles += 1
+                engine.fetched_instructions += emitted
+                return bundle
+
+            # Trace cache miss: rebuild from the instruction cache.
+            seg_addr, seg_len = descriptor.segments[engine._seg_idx]
+            addr = seg_addr + engine._seg_off * 4
+            if not image_start <= addr < image_end:
+                engine._waiting_resolve = True
+                return None
+            if not il1_access(addr):
+                extra = fill_l2(addr)
+                if extra > 0:
+                    stats_counts["icache_miss_stalls"] += 1
+                    until = now + extra
+                    if until > engine._busy_until:
+                        engine._busy_until = until
+                    return None
+            take = seg_len - engine._seg_off
+            if $WIDTH < take:
+                take = $WIDTH
+            to_line_end = ($LINE_BYTES - (addr & $LINE_MASK)) >> 2
+            if to_line_end < take:
+                take = to_line_end
+            bundle = []
+            emit_run(bundle, request, descriptor, addr, take)
+            if engine._seg_idx >= len(descriptor.segments):
+                ftq_pop()
+                engine._cur_req = None
+                engine._tc_hit = None
+            if not bundle:
+                return None
+            engine.fetch_cycles += 1
+            engine.fetched_instructions += take
+            return bundle
+
+        if predictor_missed and not ftq_queue:
+            return build_fetch(now)
+        return None
+
+    def note_commit(dyn, payload, mispredicted):
+        kind = dyn.kind
+        if kind is not KIND_NONE:
+            btb_update(dyn.lb.branch_addr,
+                       dyn.next_addr if dyn.taken else 0, kind, dyn.taken)
+
+        fill.mispredicted = fill.mispredicted or mispredicted
+        remaining = dyn.size
+        addr = dyn.addr
+        fill_len = fill.length
+        # Length-capped chunks: a block larger than the remaining trace
+        # space splits the trace at the cap boundary (inlined add_run).
+        while remaining:
+            space = $MAX_TRACE_LENGTH - fill_len
+            if space == 0:
+                fill.length = fill_len
+                finalize_trace(KIND_NONE, addr)
+                fill_len = fill.length
+                continue
+            take = space if space < remaining else remaining
+            segments = fill.segments
+            if fill_len == 0:
+                fill.start = addr
+            if segments and (
+                segments[-1][0] + segments[-1][1] * 4 == addr
+            ):
+                segments[-1][1] += take
+            else:
+                segments.append([addr, take])
+            fill_len += take
+            addr += take * 4
+            remaining -= take
+        fill.length = fill_len
+        if kind is KIND_NONE:
+            return
+
+        if kind is KIND_COND:
+            fill.outcomes.append(dyn.taken)
+        elif kind is KIND_CALL:
+            fill.call_returns.append(dyn.lb.fallthrough_addr)
+
+        if (
+            fill_len >= $MAX_TRACE_LENGTH
+            or len(fill.outcomes) >= $MAX_TRACE_BRANCHES
+            or kind is KIND_RET
+            or kind is KIND_IND
+            or mispredicted
+        ):
+            finalize_trace(kind, dyn.next_addr)
+
+    return cycle, note_commit
+'''
+
+
+def _trace_consts(engine) -> dict:
+    consts = _common_consts(engine)
+    consts["MAX_TRACE_LENGTH"] = MAX_TRACE_LENGTH
+    consts["MAX_TRACE_BRANCHES"] = MAX_TRACE_BRANCHES
+    consts["PARTIAL_MATCHING"] = bool(engine.partial_matching)
+    return consts
+
+
+_NAMESPACE = {
+    "BranchKind": BranchKind,
+    "FetchRequest": FetchRequest,
+    "StreamRecord": StreamRecord,
+    "scan_run": scan_run,
+}
+
+#: Exact engine classes we know how to specialize.  A subclass gets its
+#: interpreted ``cycle``/``note_commit`` instead — its overrides must
+#: keep working.
+_SPECS = {
+    EV8FetchEngine: ("cycle:ev8", _EV8_TEMPLATE, _ev8_consts),
+    FTBFetchEngine: ("cycle:ftb", _FTB_TEMPLATE, _ftb_consts),
+    StreamFetchEngine: ("cycle:stream", _STREAM_TEMPLATE, _stream_consts),
+    TraceCacheFetchEngine: ("cycle:trace", _TRACE_TEMPLATE, _trace_consts),
+}
+
+
+def cycle_kernel(engine) -> Optional[CompiledKernel]:
+    """The compiled cycle/commit kernel for ``engine`` (None if unknown)."""
+    spec = _SPECS.get(type(engine))
+    if spec is None:
+        return None
+    name, template, consts_fn = spec
+    consts = consts_fn(engine)
+    config_key = tuple(sorted(consts.items()))
+    return compile_kernel(
+        name, config_key, template, consts, _NAMESPACE, "make_kernels",
+    )
+
+
+def make_kernels(engine) -> Tuple[Optional[Callable], Optional[Callable]]:
+    """Specialized ``(cycle, note_commit)`` closures for ``engine``.
+
+    ``(None, None)`` when the engine class has no specialization — the
+    core kernel then binds the interpreted bound methods instead.
+    """
+    kernel = cycle_kernel(engine)
+    if kernel is None:
+        return None, None
+    return kernel.factory(engine)
+
+
+def cycle_kernel_source(engine) -> Optional[str]:
+    """The generated source text for ``engine``'s cycle kernel."""
+    kernel = cycle_kernel(engine)
+    return None if kernel is None else kernel.source

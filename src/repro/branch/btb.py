@@ -54,16 +54,19 @@ class BranchTargetBuffer:
         self.evictions = 0
         self._sets: List[List[BTBEntry]] = [[] for _ in range(self.num_sets)]
         self._index_mask = self.num_sets - 1
+        # A zero mask shifts by zero, so the unconditional expressions
+        # in the hot paths cover the single-set degenerate case too.
+        self._tag_shift = self._index_mask.bit_length()
 
     def _locate(self, pc: int) -> tuple[List[BTBEntry], int]:
         word = pc >> 2
-        index = word & self._index_mask
-        tag = word >> self._index_mask.bit_length() if self._index_mask else word
-        return self._sets[index], tag
+        return self._sets[word & self._index_mask], word >> self._tag_shift
 
     def lookup(self, pc: int) -> Optional[BTBEntry]:
         """Probe; moves a hit to MRU.  Returns the entry or ``None``."""
-        ways, tag = self._locate(pc)
+        word = pc >> 2
+        ways = self._sets[word & self._index_mask]
+        tag = word >> self._tag_shift
         self.lookups += 1
         if ways and ways[0].tag == tag:  # MRU fast path
             return ways[0]
@@ -87,7 +90,9 @@ class BranchTargetBuffer:
 
     def update(self, pc: int, target: int, kind: BranchKind, taken: bool) -> None:
         """Commit-time update: allocate on taken, train direction bits."""
-        ways, tag = self._locate(pc)
+        word = pc >> 2
+        ways = self._sets[word & self._index_mask]
+        tag = word >> self._tag_shift
         for i, entry in enumerate(ways):
             if entry.tag == tag:
                 entry.update_direction(taken)

@@ -66,6 +66,16 @@ class PerceptronPredictor:
         # history vectors constantly between trainings.
         self._epoch: List[int] = [0] * cfg.num_perceptrons
         self._y_memo: dict = {}
+        # Config-derived constants, hoisted off the per-update path
+        # (``threshold`` is a computed property — float math per call).
+        self._threshold = cfg.threshold
+        self._n_inputs = cfg.num_inputs
+        self._wmin = cfg.weight_min
+        self._wmax = cfg.weight_max
+        self._pidx_mask = cfg.num_perceptrons - 1
+        self._lidx_mask = cfg.local_table_entries - 1
+        self._ghist_mask = (1 << cfg.global_history_bits) - 1
+        self._lh_bits = cfg.local_history_bits
 
     # ------------------------------------------------------------------
     def _inputs(self, pc: int, global_history: int) -> Tuple[int, int, int]:
@@ -77,7 +87,12 @@ class PerceptronPredictor:
         return pidx, lidx, bits
 
     def predict(self, pc: int, global_history: int) -> Tuple[bool, PredictionInfo]:
-        pidx, lidx, bits = self._inputs(pc, global_history)
+        # _inputs(), inlined: this runs once per fetched conditional.
+        word = pc >> 2
+        pidx = word & self._pidx_mask
+        lidx = word & self._lidx_mask
+        bits = (((global_history & self._ghist_mask) << self._lh_bits)
+                | self._local[lidx])
         memo = self._y_memo
         key = (pidx, self._epoch[pidx], bits)
         y = memo.get(key)
@@ -104,16 +119,18 @@ class PerceptronPredictor:
     def update(self, info: PredictionInfo, taken: bool) -> None:
         """Train at commit; also shifts the branch's local history."""
         pidx, lidx, bits, y = info
-        cfg = self.config
         predicted = y >= 0
-        if predicted != taken or abs(y) <= cfg.threshold:
+        if predicted != taken or abs(y) <= self._threshold:
             weights = self._weights[pidx]
+            wmin = self._wmin
+            wmax = self._wmax
             t = 1 if taken else -1
-            weights[0] = _saturate(weights[0] + t, cfg)
+            w = weights[0] + t
+            weights[0] = wmax if w > wmax else (wmin if w < wmin else w)
             x = bits
-            for i in range(1, cfg.num_inputs + 1):
-                xi = 1 if x & 1 else -1
-                weights[i] = _saturate(weights[i] + t * xi, cfg)
+            for i in range(1, self._n_inputs + 1):
+                w = weights[i] + (t if x & 1 else -t)
+                weights[i] = wmax if w > wmax else (wmin if w < wmin else w)
                 x >>= 1
             # Refresh the cached non-bias weight sum (see predict()) and
             # advance the training epoch so memoized outputs expire.
@@ -121,11 +138,3 @@ class PerceptronPredictor:
             self._epoch[pidx] += 1
         # Local history is maintained non-speculatively (commit order).
         self._local[lidx] = ((self._local[lidx] << 1) | int(taken)) & self._local_mask
-
-
-def _saturate(value: int, cfg: PerceptronConfig) -> int:
-    if value > cfg.weight_max:
-        return cfg.weight_max
-    if value < cfg.weight_min:
-        return cfg.weight_min
-    return value

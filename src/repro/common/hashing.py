@@ -65,6 +65,56 @@ class DolcSpec:
         return older + self.last_bits + self.current_bits
 
 
+#: Shared DOLC memo dicts keyed by (spec, index_bits).  Both caches
+#: memoize pure functions of their keys (no predictor state), so every
+#: hasher with the same specification — across predictors, processors
+#: and runs in one process — can share one pair and stay warm.
+_DOLC_CACHES: dict = {}
+
+#: Shared first-level (address-indexed) fold memos, keyed by index
+#: width: addr -> (fold_xor(addr >> 2, bits), (addr >> 2) >> bits).
+#: Pure per width, so predictors across processors share one dict;
+#: the population spans every image simulated in the process, so
+#: callers bound their inserts with :data:`T1_CACHE_LIMIT`.
+_T1_CACHES: dict = {}
+
+#: Deterministic size bounds for the shared pure memos (entries).
+_FOLD_CACHE_LIMIT = 1 << 20
+T1_CACHE_LIMIT = 1 << 20
+
+
+def shared_t1_cache(index_bits: int) -> dict:
+    """The shared address->(index, tag) memo for one index width."""
+    cache = _T1_CACHES.get(index_bits)
+    if cache is None:
+        cache = _T1_CACHES[index_bits] = {}
+    return cache
+
+
+def make_t1_index_tag(index_bits: int):
+    """A memoized ``addr -> (index, tag)`` first-level table hasher.
+
+    The returned closure owns the shared per-width memo — both cascaded
+    predictors bind one, so the fold logic and the deterministic size
+    bound live here exactly once.
+    """
+    cache = shared_t1_cache(index_bits)
+    cache_get = cache.get
+
+    def t1_index_tag(addr: int) -> tuple:
+        hit = cache_get(addr)
+        if hit is None:
+            if len(cache) > T1_CACHE_LIMIT:
+                cache.clear()
+            word = addr >> 2
+            hit = cache[addr] = (
+                fold_xor(word, index_bits), word >> index_bits
+            )
+        return hit
+
+    return t1_index_tag
+
+
 class DolcHasher:
     """Computes table indices from (history, current-address) pairs.
 
@@ -77,21 +127,28 @@ class DolcHasher:
             raise ValueError("index_bits must be positive")
         self.spec = spec
         self.index_bits = index_bits
-        # Memoized per-address folds: the address population is bounded
-        # by the program image (plus a handful of placeholder keys), and
-        # the same addresses are hashed millions of times per run.
-        self._fold_cache: dict = {}
+        caches = _DOLC_CACHES.get((spec, index_bits))
+        if caches is None:
+            caches = _DOLC_CACHES[(spec, index_bits)] = ({}, {})
+        # Memoized per-address folds.  Shared process-wide per spec, so
+        # the population spans every image simulated in this process —
+        # bounded by a deterministic clear, like the window cache, so a
+        # long-lived sweep service cannot grow it without limit.
+        self._fold_cache = caches[0]
         # Memoized (history-window, current) -> (index, tag): loops make
         # the same windows recur constantly, and the commit-side update
         # re-hashes exactly what the fetch side hashed.  Bounded by a
         # deterministic clear so adversarial histories cannot leak.
-        self._it_cache: dict = {}
+        self._it_cache = caches[1]
 
     def _fold_addr(self, addr: int, width_bits: int) -> int:
         key = (addr, width_bits)
-        folded = self._fold_cache.get(key)
+        cache = self._fold_cache
+        folded = cache.get(key)
         if folded is None:
-            folded = self._fold_cache[key] = fold_xor(
+            if len(cache) > _FOLD_CACHE_LIMIT:
+                cache.clear()
+            folded = cache[key] = fold_xor(
                 addr >> _ADDR_SHIFT, width_bits
             )
         return folded
@@ -149,6 +206,8 @@ class DolcHasher:
             return hit
 
         cache = self._fold_cache
+        if len(cache) > _FOLD_CACHE_LIMIT:  # deterministic bound
+            cache.clear()
         cache_get = cache.get
 
         current_bits = spec.current_bits

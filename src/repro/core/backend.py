@@ -50,6 +50,7 @@ bit-identical timings to calling :meth:`dispatch` once per instruction
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Optional, Tuple
 
 from repro.common.params import MachineParams
@@ -83,11 +84,47 @@ _IU_LAG = 256
 
 #: Template preconditions: relative entry-state components larger than
 #: these fall back to the slow path rather than polluting the template
-#: cache with one-off keys (a draining load-miss backlog produces a new
-#: key every cycle).
-_TPL_MAX_DELTA = 64
-_TPL_MAX_TAIL = 16
+#: cache with one-off keys.  They gate only *which* path schedules a
+#: segment — both paths are bit-exact — so they are cache tuning, not
+#: semantics.  The delta bound covers an L2+memory round trip (115
+#: cycles): a draining load-miss backlog used to push the commit-chain
+#: delta past the old 64-cycle bound and strand whole phases on the
+#: per-slot path.
+_TPL_MAX_DELTA = 192
+#: Radix for packing per-offset completion deltas into the key; must
+#: exceed ``_TPL_MAX_DELTA``.
+_TPL_K_RADIX = _TPL_MAX_DELTA + 1
+#: Occupancy-tail bounds: at most this many distinct booked cycles...
+_TPL_MAX_TAIL = 24
+#: ...each at most this far past the dispatch cycle (packing radix 128).
+_TPL_MAX_TAIL_DELTA = 127
 _TPL_CACHE_LIMIT = 1 << 16
+
+
+#: Shared schedule-template stores, keyed weakly by program image and
+#: then by the backend-relevant machine shape.  A template is a pure
+#: function of (block metadata, segment span, relative entry state,
+#: pipe width, D-cache latency levels) — nothing about the processor or
+#: fetch engine instance — so every backend simulating the same image
+#: under the same (width, latencies) can share one store: the second
+#: (architecture, rep) over an image replays warm templates instead of
+#: re-recording them.  Purity also makes sharing mode-neutral: the
+#: interpreted scheduler and the accel kernels read and write the same
+#: dicts with identical keys and values.
+_TEMPLATE_STORES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_schedule_templates(program, width: int,
+                              lvl_lat: Tuple[int, int, int]) -> dict:
+    """The shared template dict for one (image, width, latencies)."""
+    per_program = _TEMPLATE_STORES.get(program)
+    if per_program is None:
+        per_program = _TEMPLATE_STORES[program] = {}
+    key = (width, lvl_lat)
+    store = per_program.get(key)
+    if store is None:
+        store = per_program[key] = {}
+    return store
 
 
 def _pack_tail(tail: Optional[tuple]) -> Optional[int]:
@@ -104,9 +141,9 @@ def _pack_tail(tail: Optional[tuple]) -> Optional[int]:
         return None
     packed = len(tail)
     for dc, n in tail:
-        if dc > 63 or n > 16:
+        if dc > _TPL_MAX_TAIL_DELTA or n > 16:
             return None
-        packed = (packed * 64 + dc) * 17 + n
+        packed = (packed * 128 + dc) * 17 + n
     return packed
 
 
@@ -363,6 +400,7 @@ class DataflowBackend:
         iu_mask = _IU_MASK
         iu_limit = _IU_LIMIT
         max_delta = _TPL_MAX_DELTA
+        k_radix = _TPL_K_RADIX
         max_tail = _TPL_MAX_TAIL
         cache_limit = _TPL_CACHE_LIMIT
         make_plan = segment_plan
@@ -460,9 +498,9 @@ class DataflowBackend:
                             for o in offsets:
                                 v = completions[(cnt + o) & 127] - base
                                 if v <= 0:
-                                    K = K * 65
+                                    K = K * k_radix
                                 elif v <= max_delta:
-                                    K = K * 65 + v
+                                    K = K * k_radix + v
                                 else:
                                     ok = False
                                     break

@@ -34,7 +34,7 @@ from typing import Deque, Optional, Tuple
 
 from repro.common.params import MachineParams
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
-from repro.core.backend import DataflowBackend
+from repro.core.backend import DataflowBackend, shared_schedule_templates
 from repro.core.results import SimulationResult
 from repro.fetch.base import FetchEngine
 from repro.isa.trace import DynBlock, TraceWalker
@@ -100,14 +100,33 @@ class Processor:
         mem: MemoryHierarchy,
         benchmark: str = "?",
         optimized: bool = False,
+        engine_mode: Optional[str] = None,
     ) -> None:
         self.engine = engine
         self.machine = machine
         self.mem = mem
         self.backend = DataflowBackend(machine, mem)
+        # Schedule templates are pure per (image, width, latencies):
+        # share one store across every processor over this image so
+        # repeated cells replay warm templates instead of re-recording.
+        self.backend._templates = shared_schedule_templates(
+            engine.program, machine.core.width, self.backend._lvl_lat
+        )
         self.cursor = _TraceCursor(walker)
         self.benchmark = benchmark
         self.optimized = optimized
+        # ``engine_mode`` selects the execution strategy, never the
+        # results: "accel" runs the exec-compiled specialized kernels of
+        # :mod:`repro.accel` (bit-identical, falling back to the
+        # interpreter with a single warning if codegen fails), "interp"
+        # forces the interpreted path, None/"auto" consults $REPRO_ACCEL
+        # and defaults to the accelerator.
+        from repro import accel
+
+        self.engine_mode = accel.resolve_engine_mode(engine_mode)
+        self._accel_run = (
+            accel.compiled_run(self) if self.engine_mode == "accel" else None
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -127,8 +146,11 @@ class Processor:
         canonical :meth:`DataflowBackend.dispatch` — one call per slot —
         instead of the batched :meth:`DataflowBackend.dispatch_segment`.
         It exists for the parity test that pins the two implementations
-        together; results must be identical either way.
+        together; results must be identical either way (it also forces
+        the interpreted path, bypassing any bound accel kernel).
         """
+        if self._accel_run is not None and not _reference_dispatch:
+            return self._accel_run(max_instructions, warmup)
         core = self.machine.core
         engine = self.engine
         cursor = self.cursor

@@ -44,6 +44,7 @@ from repro.experiments.figures import figure8_text, figure9_text
 from repro.experiments.runner import run_matrix
 from repro.experiments.tables import table1_text, table3_text
 from repro.isa.workloads import SPEC_BENCHMARKS
+from repro.accel import ACCEL_ENV
 from repro.store.store import STORE_ENV, ArtifactStore, default_store_root
 
 
@@ -68,6 +69,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the simulation matrix "
                              "(results are identical to --jobs 1)")
+    accel = parser.add_mutually_exclusive_group()
+    accel.add_argument(
+        "--accel", dest="engine_mode", action="store_const", const="accel",
+        default=None,
+        help="run the exec-compiled simulation kernels (default: "
+             f"${ACCEL_ENV}, else on; results are bit-identical)",
+    )
+    accel.add_argument(
+        "--no-accel", dest="engine_mode", action="store_const",
+        const="interp",
+        help="force the interpreted simulation paths",
+    )
     _add_store(parser)
     parser.add_argument("--profile", nargs="?", const="stream",
                         metavar="ARCH", default=None,
@@ -141,6 +154,11 @@ def main(argv: List[str] | None = None) -> int:
             if value:
                 print(f"note: {flag} is ignored by {args.command} "
                       f"(serial simulation sweep)", file=sys.stderr)
+    if args.command == "table1" and args.engine_mode is not None:
+        # Table 1 walks the trace directly (no processor), so there is
+        # no engine to accelerate or interpret.
+        print("note: --accel/--no-accel is ignored by table1 "
+              "(trace walk, no simulation)", file=sys.stderr)
 
     def progress(result) -> None:
         if not args.quiet:
@@ -151,13 +169,15 @@ def main(argv: List[str] | None = None) -> int:
         matrix = run_matrix(args.benchmarks, widths=tuple(args.widths),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
-                            jobs=args.jobs, store=args.store)
+                            jobs=args.jobs, store=args.store,
+                            engine_mode=args.engine_mode)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
-                            jobs=args.jobs, store=args.store)
+                            jobs=args.jobs, store=args.store,
+                            engine_mode=args.engine_mode)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
@@ -165,24 +185,25 @@ def main(argv: List[str] | None = None) -> int:
         matrix = run_matrix(args.benchmarks, widths=(8,),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
-                            jobs=args.jobs, store=args.store)
+                            jobs=args.jobs, store=args.store,
+                            engine_mode=args.engine_mode)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(
             args.benchmark, instructions=args.instructions,
-            scale=args.scale))
+            scale=args.scale, engine_mode=args.engine_mode))
         print()
         print(ablations.ftq_depth_sweep(
             args.benchmark, instructions=args.instructions,
-            scale=args.scale))
+            scale=args.scale, engine_mode=args.engine_mode))
         print()
         print(ablations.trace_storage_ablation(
             args.benchmark, instructions=args.instructions,
-            scale=args.scale))
+            scale=args.scale, engine_mode=args.engine_mode))
         print()
         print(ablations.cascade_ablation(
             args.benchmark, instructions=args.instructions,
-            scale=args.scale))
+            scale=args.scale, engine_mode=args.engine_mode))
     print(f"(elapsed {time.time() - t0:.0f}s)", file=sys.stderr)
     return 0
 
@@ -258,6 +279,7 @@ def _profile_cell(args) -> int:
         arch, program, width,
         benchmark=benchmark, optimized=True,
         trace_seed=ref_trace_seed(benchmark),
+        engine_mode=args.engine_mode,
     )
     print(f"profiling {arch}/{benchmark}/w{width} for "
           f"{args.instructions} instructions", file=sys.stderr)

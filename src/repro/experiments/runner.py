@@ -204,12 +204,14 @@ def _run_cell(
     arch: str,
     instructions: int,
     warmup: int,
+    engine_mode: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one matrix cell on an already-linked image."""
     processor = build_processor(
         arch, program, width,
         benchmark=benchmark, optimized=optimized,
         trace_seed=ref_trace_seed(benchmark),
+        engine_mode=engine_mode,
     )
     return processor.run(instructions, warmup=warmup)
 
@@ -258,6 +260,7 @@ def _run_cell_worker(
     warmup: int,
     scale: float,
     program_key: Optional[str] = None,
+    engine_mode: Optional[str] = None,
 ) -> SimulationResult:
     """Pool entry point: one (arch, benchmark, width, layout) cell.
 
@@ -273,7 +276,8 @@ def _run_cell_worker(
     )
     program = cache.get(spec.benchmark, spec.optimized, scale, key=key)
     result = _run_cell(program, spec.benchmark, spec.optimized, spec.width,
-                       spec.arch, instructions, warmup)
+                       spec.arch, instructions, warmup,
+                       engine_mode=engine_mode)
     if cache.artifacts is not None:
         # Persist the (possibly grown) dynamic trace; racing writers on
         # one key are safe — writes are atomic and any saved prefix
@@ -308,8 +312,14 @@ def run_matrix(
     progress: Optional[Callable[[SimulationResult], None]] = None,
     jobs: int = 1,
     store: Optional[Union[ArtifactCache, ArtifactStore, str]] = None,
+    engine_mode: Optional[str] = None,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
+
+    ``engine_mode`` selects accelerated ("accel") or interpreted
+    ("interp") simulation per cell — results (and therefore store
+    fingerprints) are bit-identical either way; None/"auto" consults
+    ``$REPRO_ACCEL`` and defaults to the accelerator.
 
     ``warmup`` defaults to a third of the instruction budget — the
     predictors and caches train during it, and it is excluded from the
@@ -409,6 +419,7 @@ def run_matrix(
                 spec: pool.submit(
                     _run_cell_worker, spec, instructions, warmup, scale,
                     program_fps.get((spec.benchmark, spec.optimized)),
+                    engine_mode,
                 )
                 for spec in misses
             }
@@ -465,7 +476,7 @@ def run_matrix(
                                     artifacts=artifacts)
                 result = _run_cell(program, spec.benchmark, spec.optimized,
                                    spec.width, spec.arch, instructions,
-                                   warmup)
+                                   warmup, engine_mode=engine_mode)
                 if artifacts is not None:
                     artifacts.put_result(
                         result_fps[spec], result,

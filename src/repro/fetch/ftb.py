@@ -61,15 +61,18 @@ class FetchTargetBuffer:
         self.evictions = 0
         self._sets: List[List[FTBEntry]] = [[] for _ in range(self.num_sets)]
         self._mask = self.num_sets - 1
+        # A zero mask shifts by zero, so the unconditional expressions
+        # in the hot paths cover the single-set degenerate case too.
+        self._tag_shift = self._mask.bit_length()
 
     def _locate(self, addr: int) -> Tuple[List[FTBEntry], int]:
         word = addr >> 2
-        index = word & self._mask
-        tag = word >> self._mask.bit_length() if self._mask else word
-        return self._sets[index], tag
+        return self._sets[word & self._mask], word >> self._tag_shift
 
     def lookup(self, addr: int) -> Optional[FTBEntry]:
-        ways, tag = self._locate(addr)
+        word = addr >> 2
+        ways = self._sets[word & self._mask]
+        tag = word >> self._tag_shift
         self.lookups += 1
         if ways and ways[0].tag == tag:  # MRU fast path
             return ways[0]
@@ -100,7 +103,9 @@ class FetchTargetBuffer:
 
     def update(self, addr: int, length: int, target: int, kind: BranchKind) -> None:
         """Allocate/refresh; a shorter block wins (newly-taken split)."""
-        ways, tag = self._locate(addr)
+        word = addr >> 2
+        ways = self._sets[word & self._mask]
+        tag = word >> self._tag_shift
         for i, entry in enumerate(ways):
             if entry.tag == tag:
                 if length <= entry.length:

@@ -110,9 +110,10 @@ class FetchTargetQueue:
         return not self._queue
 
     def push(self, request: FetchRequest) -> None:
-        if self.full:
+        queue = self._queue
+        if len(queue) >= self.capacity:  # inline of .full (hot path)
             raise RuntimeError("push into a full FTQ")
-        self._queue.append(request)
+        queue.append(request)
         self.pushes += 1
 
     def head(self) -> Optional[FetchRequest]:

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.common.hashing import DolcHasher, DolcSpec, fold_xor
+from repro.common.hashing import DolcHasher, DolcSpec, make_t1_index_tag
 from repro.common.stats import CounterBag
 from repro.common.types import BranchKind
 
@@ -67,29 +67,50 @@ class StreamPredictorConfig:
         return self.second_entries // self.second_assoc
 
 
-@dataclass(frozen=True)
 class StreamRecord:
-    """A completed (committed) instruction stream."""
+    """A completed (committed) instruction stream.
 
-    start: int
-    length: int
-    kind: BranchKind  # terminating branch type; NONE = capped/sequential
-    next_addr: int
+    A plain ``__slots__`` class rather than a dataclass: one is built
+    per committed stream (and per predictor update), which makes its
+    constructor a measurable hot path.  Treat instances as immutable.
+    """
 
-    def __post_init__(self) -> None:
-        if not 1 <= self.length <= MAX_STREAM_LENGTH:
-            raise ValueError(f"stream length {self.length} out of range")
+    __slots__ = ("start", "length", "kind", "next_addr")
+
+    def __init__(
+        self, start: int, length: int, kind: BranchKind, next_addr: int
+    ) -> None:
+        if not 1 <= length <= MAX_STREAM_LENGTH:
+            raise ValueError(f"stream length {length} out of range")
+        self.start = start
+        self.length = length
+        # Terminating branch type; NONE = capped/sequential.
+        self.kind = kind
+        self.next_addr = next_addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"StreamRecord(@{self.start:#x} +{self.length} "
+                f"{self.kind.name} -> {self.next_addr:#x})")
 
 
-@dataclass(frozen=True)
 class StreamPrediction:
-    """What the predictor hands the fetch engine."""
+    """What the predictor hands the fetch engine (one per lookup hit)."""
 
-    start: int
-    length: int
-    kind: BranchKind
-    next_addr: int
-    from_path_table: bool
+    __slots__ = ("start", "length", "kind", "next_addr", "from_path_table")
+
+    def __init__(
+        self,
+        start: int,
+        length: int,
+        kind: BranchKind,
+        next_addr: int,
+        from_path_table: bool,
+    ) -> None:
+        self.start = start
+        self.length = length
+        self.kind = kind
+        self.next_addr = next_addr
+        self.from_path_table = from_path_table
 
 
 class _Entry:
@@ -183,7 +204,7 @@ class NextStreamPredictor:
         self._t1 = _StreamTable(cfg.first_sets, cfg.first_assoc)
         self._t2 = _StreamTable(cfg.second_sets, cfg.second_assoc)
         self._t1_bits = cfg.first_sets.bit_length() - 1
-        self._t1_it_cache: dict = {}
+        self._t1_index_tag = make_t1_index_tag(self._t1_bits)
         self._hasher = DolcHasher(cfg.dolc, cfg.second_sets.bit_length() - 1)
         # Hot-path event counters as plain ints; see the stats property.
         self.lookups = 0
@@ -205,17 +226,6 @@ class NextStreamPredictor:
             "updates": self.updates,
             "upgrades": self.upgrades,
         })
-
-    def _t1_index_tag(self, addr: int) -> Tuple[int, int]:
-        # Memoized per address: the fold is pure and the address
-        # population is bounded by the program image.
-        hit = self._t1_it_cache.get(addr)
-        if hit is None:
-            word = addr >> 2
-            hit = self._t1_it_cache[addr] = (
-                fold_xor(word, self._t1_bits), word >> self._t1_bits
-            )
-        return hit
 
     def _t2_index_tag(self, history: Sequence[int], addr: int) -> Tuple[int, int]:
         return self._hasher.index_tag(history, addr)

@@ -166,7 +166,7 @@ class _FillBuffer:
         descriptor = TraceDescriptor(
             start=self.start,
             outcomes=tuple(self.outcomes),
-            segments=tuple((a, n) for a, n in self.segments),
+            segments=tuple([(a, n) for a, n in self.segments]),
             length=self.length,
             terminal_kind=terminal_kind,
             next_addr=next_addr,

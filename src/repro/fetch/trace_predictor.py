@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.common.hashing import DolcHasher, DolcSpec, fold_xor
+from repro.common.hashing import DolcHasher, DolcSpec, make_t1_index_tag
 from repro.common.stats import CounterBag
 from repro.common.types import BranchKind
 
@@ -27,47 +27,77 @@ MAX_TRACE_LENGTH = 16
 MAX_TRACE_BRANCHES = 3
 
 
-@dataclass(frozen=True)
 class TraceDescriptor:
     """A complete trace identity + layout.
 
     ``segments`` are (address, n_instructions) runs; consecutive
     segments are separated by taken branches.  ``call_returns`` lists
     the return addresses pushed by calls inside the trace, in order.
+
+    A plain ``__slots__`` class (the fill unit builds one per committed
+    trace, a hot path) with the derived values — ``outcome_bits``, the
+    path-hashing ``key``, ``interior_taken`` — precomputed once at
+    construction instead of recomputed per property access.  Treat
+    instances as immutable; equality compares the full identity exactly
+    like the frozen dataclass it replaces (the predictor's hysteresis
+    update relies on it).
     """
 
-    start: int
-    outcomes: Tuple[bool, ...]
-    segments: Tuple[Tuple[int, int], ...]
-    length: int
-    terminal_kind: BranchKind  # NONE when the trace ends by length cap
-    next_addr: int
-    call_returns: Tuple[int, ...] = ()
+    __slots__ = ("start", "outcomes", "segments", "length",
+                 "terminal_kind", "next_addr", "call_returns",
+                 "outcome_bits", "key", "interior_taken")
 
-    def __post_init__(self) -> None:
-        if not self.segments:
+    def __init__(
+        self,
+        start: int,
+        outcomes: Tuple[bool, ...],
+        segments: Tuple[Tuple[int, int], ...],
+        length: int,
+        terminal_kind: BranchKind,  # NONE when the trace ends by length cap
+        next_addr: int,
+        call_returns: Tuple[int, ...] = (),
+    ) -> None:
+        if not segments:
             raise ValueError("trace must have at least one segment")
-        if self.length != sum(n for _, n in self.segments):
+        total = 0
+        for _, n in segments:
+            total += n
+        if length != total:
             raise ValueError("trace length does not match its segments")
-        if len(self.outcomes) > MAX_TRACE_BRANCHES:
+        if len(outcomes) > MAX_TRACE_BRANCHES:
             raise ValueError("too many conditional outcomes in trace")
-
-    @property
-    def outcome_bits(self) -> int:
+        self.start = start
+        self.outcomes = outcomes
+        self.segments = segments
+        self.length = length
+        self.terminal_kind = terminal_kind
+        self.next_addr = next_addr
+        self.call_returns = call_returns
         bits = 0
-        for outcome in self.outcomes:
-            bits = (bits << 1) | int(outcome)
-        return bits
+        for outcome in outcomes:
+            bits = (bits << 1) | (1 if outcome else 0)
+        #: Packed conditional outcomes, oldest in the highest bit.
+        self.outcome_bits = bits
+        #: Address-like key folding identity for path hashing / tags.
+        self.key = start ^ (bits << 3) ^ (len(outcomes) << 1)
+        #: True when the trace crosses a taken branch (a "red" trace).
+        self.interior_taken = len(segments) > 1
 
-    @property
-    def key(self) -> int:
-        """Address-like key folding identity for path hashing / tags."""
-        return self.start ^ (self.outcome_bits << 3) ^ (len(self.outcomes) << 1)
+    def _identity(self) -> tuple:
+        return (self.start, self.outcomes, self.segments, self.length,
+                self.terminal_kind, self.next_addr, self.call_returns)
 
-    @property
-    def interior_taken(self) -> bool:
-        """True when the trace crosses a taken branch (a "red" trace)."""
-        return len(self.segments) > 1
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not TraceDescriptor:
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceDescriptor(@{self.start:#x} +{self.length} "
+                f"outcomes={self.outcomes} -> {self.next_addr:#x})")
 
 
 @dataclass(frozen=True)
@@ -163,7 +193,7 @@ class NextTracePredictor:
         self._t1 = _TraceTable(cfg.first_sets, cfg.first_assoc)
         self._t2 = _TraceTable(cfg.second_sets, cfg.second_assoc)
         self._t1_bits = cfg.first_sets.bit_length() - 1
-        self._t1_it_cache: dict = {}
+        self._t1_index_tag = make_t1_index_tag(self._t1_bits)
         self._hasher = DolcHasher(cfg.dolc, cfg.second_sets.bit_length() - 1)
         # Hot-path event counters as plain ints; see the stats property.
         self.lookups = 0
@@ -184,17 +214,6 @@ class NextTracePredictor:
             "alias_rejects": self.alias_rejects,
             "updates": self.updates,
         })
-
-    def _t1_index_tag(self, addr: int) -> Tuple[int, int]:
-        # Memoized per address: the fold is pure and the address
-        # population is bounded by the program image.
-        hit = self._t1_it_cache.get(addr)
-        if hit is None:
-            word = addr >> 2
-            hit = self._t1_it_cache[addr] = (
-                fold_xor(word, self._t1_bits), word >> self._t1_bits
-            )
-        return hit
 
     def _t2_index_tag(self, history: Sequence[int], addr: int) -> Tuple[int, int]:
         return self._hasher.index_tag(history, addr)

@@ -1,0 +1,202 @@
+"""Accelerator bit-identity: accel vs interp across the whole matrix.
+
+The accelerator may only change *speed*.  These tests pin full
+:class:`SimulationResult` equality — counters, engine stats, memory
+stats — between the exec-compiled kernels and the interpreted paths for
+every engine and width, through ``run_matrix`` (serial and pooled), and
+through the artifact store (fingerprints must not depend on the mode,
+so a store warmed by one mode must serve the other).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.configs import ARCHITECTURES, build_processor
+from repro.experiments.runner import RunSpec, reset_program_cache, run_matrix
+from repro.isa.workloads import prepare_program, ref_trace_seed
+from repro.store.store import ArtifactStore
+
+N_INSTR = 6000
+WARMUP = 1500
+
+
+def _run(program, arch, width, mode, n=N_INSTR, warmup=WARMUP):
+    processor = build_processor(
+        arch, program, width,
+        benchmark="gzip", optimized=True,
+        trace_seed=ref_trace_seed("gzip"),
+        engine_mode=mode,
+    )
+    return processor.run(n, warmup=warmup)
+
+
+@pytest.fixture(scope="module")
+def gzip_small():
+    return prepare_program("gzip", optimized=True, scale=0.35)
+
+
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_engine_width_parity(gzip_small, arch, width):
+    accel = _run(gzip_small, arch, width, "accel")
+    interp = _run(gzip_small, arch, width, "interp")
+    assert dataclasses.asdict(accel) == dataclasses.asdict(interp)
+
+
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+def test_backend_state_parity(gzip_small, arch):
+    """The published backend/walker/cursor state matches too, not just
+    the result dataclass — inspection after a run must not depend on
+    the mode."""
+    states = []
+    for mode in ("accel", "interp"):
+        processor = build_processor(
+            arch, gzip_small, 8, benchmark="gzip", optimized=True,
+            trace_seed=ref_trace_seed("gzip"), engine_mode=mode,
+        )
+        result = processor.run(2500)
+        backend = processor.backend
+        walker = processor.cursor._walker
+        states.append((
+            dataclasses.asdict(result),
+            backend.instructions, backend.last_commit_cycle,
+            backend.load_accesses, backend.store_accesses,
+            processor.mem.dl1.accesses, processor.mem.dl1.misses,
+            processor.mem.l2.accesses, processor.mem.l2.misses,
+            walker.blocks_walked, walker.instructions_walked,
+            processor.cursor.offset, processor.cursor.dyn.addr,
+        ))
+    assert states[0] == states[1]
+
+
+def test_nondefault_machine_parity(gzip_small):
+    """Ablation-style machines (odd line widths, deeper FTQs) compile
+    their own kernels; parity must hold there too."""
+    from dataclasses import replace
+
+    from repro.common.params import CacheParams, default_machine
+
+    base = default_machine(4)
+    memory = replace(
+        base.memory,
+        il1=CacheParams(size_bytes=32 * 1024, assoc=2, line_bytes=64),
+    )
+    machine = replace(
+        base,
+        core=replace(base.core, ftq_entries=8),
+        memory=memory,
+    )
+    results = {}
+    for mode in ("accel", "interp"):
+        processor = build_processor(
+            "stream", gzip_small, 4, benchmark="gzip", optimized=True,
+            trace_seed=ref_trace_seed("gzip"), machine=machine,
+            engine_mode=mode,
+        )
+        results[mode] = dataclasses.asdict(processor.run(4000, warmup=1000))
+    assert results["accel"] == results["interp"]
+
+
+def test_partial_matching_kernel_parity():
+    """The trace engine's partial-matching branch is a distinct kernel
+    variant ($PARTIAL_MATCHING folds True); pin it on a workload that
+    actually produces partial hits."""
+    program = prepare_program("vpr", optimized=False, scale=0.6)
+    results = {}
+    for mode in ("accel", "interp"):
+        processor = build_processor(
+            "trace", program, 8, benchmark="vpr", optimized=False,
+            trace_seed=ref_trace_seed("vpr"),
+            partial_matching=True, engine_mode=mode,
+        )
+        results[mode] = dataclasses.asdict(processor.run(30_000))
+    assert results["accel"] == results["interp"]
+    # The branch must actually have been exercised, or this test pins
+    # nothing: fail loudly if the workload stops producing partial hits.
+    assert results["accel"]["engine_stats"].get("tc_partial_hits", 0) > 0
+
+
+def test_nondefault_predictor_config_parity(gzip_small):
+    """Engine-config knobs that fold into kernel constants (stream
+    length-keyed path hashing) and ones that stay runtime (table
+    geometry) both preserve parity."""
+    from dataclasses import replace
+
+    from repro.fetch.stream_predictor import StreamPredictorConfig
+
+    config = replace(
+        StreamPredictorConfig(),
+        path_key_includes_length=True,
+        first_entries=2048,
+        second_entries=4096, second_assoc=4,
+    )
+    results = {}
+    for mode in ("accel", "interp"):
+        processor = build_processor(
+            "stream", gzip_small, 8, benchmark="gzip", optimized=True,
+            trace_seed=ref_trace_seed("gzip"),
+            predictor_config=config, engine_mode=mode,
+        )
+        results[mode] = dataclasses.asdict(processor.run(6000, warmup=1500))
+    assert results["accel"] == results["interp"]
+
+
+def _matrix_digest(result):
+    return {
+        spec: dataclasses.asdict(res) for spec, res in result.results.items()
+    }
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_matrix_parity(jobs):
+    kwargs = dict(
+        benchmarks=["gzip"], widths=(2, 8), instructions=4000,
+        scale=0.35,
+    )
+    accel = run_matrix(jobs=jobs, engine_mode="accel", **kwargs)
+    interp = run_matrix(jobs=jobs, engine_mode="interp", **kwargs)
+    assert _matrix_digest(accel) == _matrix_digest(interp)
+    assert list(accel.results) == [
+        RunSpec(arch, "gzip", width, optimized)
+        for optimized in (False, True)
+        for width in (2, 8)
+        for arch in ARCHITECTURES
+    ]
+
+
+class TestStoreFingerprints:
+    """Accel must never invalidate or fork the artifact cache."""
+
+    KW = dict(benchmarks=["gzip"], widths=(8,), instructions=3000,
+              scale=0.35)
+
+    def test_modes_share_one_warm_store(self, tmp_path):
+        """A store warmed by interp serves accel entirely from cache
+        (same fingerprints), and the results are identical."""
+        root = tmp_path / "store"
+        reset_program_cache()
+        cold = run_matrix(store=str(root), engine_mode="interp", **self.KW)
+        results_before = ArtifactStore(str(root)).stats()["kinds"]["result"]
+        progressed = []
+        warm = run_matrix(store=str(root), engine_mode="accel",
+                          progress=progressed.append, **self.KW)
+        stats_after = ArtifactStore(str(root)).stats()["kinds"]["result"]
+        assert _matrix_digest(cold) == _matrix_digest(warm)
+        assert len(progressed) == len(cold.results)
+        # Every accel cell resolved in the interp-warmed store: no new
+        # result entries were written (fingerprints are mode-neutral).
+        assert stats_after["entries"] == results_before["entries"]
+
+    def test_fresh_stores_get_identical_fingerprints(self, tmp_path):
+        import os
+
+        fingerprints = {}
+        for mode in ("accel", "interp"):
+            root = tmp_path / mode
+            reset_program_cache()
+            run_matrix(store=str(root), engine_mode=mode, **self.KW)
+            index = os.path.join(str(root), "index", "result")
+            fingerprints[mode] = sorted(os.listdir(index))
+        assert fingerprints["accel"] == fingerprints["interp"]
+        assert fingerprints["accel"]  # something was actually stored

@@ -25,9 +25,13 @@ def _isolated_artifact_store(monkeypatch):
     Store-aware code paths only engage when a store is passed
     explicitly; clearing ``REPRO_STORE`` guarantees the CLI's env
     default cannot point tests at ``~``-level state.  Tests that want a
-    store use ``tmp_path``.
+    store use ``tmp_path``.  ``REPRO_ACCEL`` is cleared for the same
+    reason: the suite runs the default engine mode (accel with
+    interpreter fallback) regardless of the invoking shell, and tests
+    that pin a mode pass ``engine_mode`` explicitly.
     """
     monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_ACCEL", raising=False)
 
 
 @pytest.fixture
