@@ -26,8 +26,11 @@ rather than one machine epoch against another.
 ``--quick`` is the CI smoke mode: a few seconds of engine-only
 measurement **in both engine modes**, compared against the committed
 baseline's ``quick_engines`` (accel) and ``quick_engines_interp``
-sections.  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on
-any engine in either mode fails loudly (exit code 1).
+sections, plus the per-engine accel/interp ratio and the default-matrix
+**chain hit rate** gated against the committed ``chain.floor`` (schema
+3).  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on any
+engine in either mode — or a chain hit rate below the floor — fails
+loudly (exit code 1).
 
 ``--store DIR`` measurements never feed the regression gate, and the
 ``--quick`` gate never touches a store — the gate always measures cold
@@ -112,6 +115,19 @@ PR3_BASELINE = {
         "trace": 176_833,
     },
     "calibration_seconds": 0.07972,
+}
+
+#: The PR 4 tree (exec-compiled kernels, pre-chaining) on the reference
+#: container — the baseline the chained-template scheme's ">= 1.15x
+#: per-engine throughput" target is measured against.
+PR4_BASELINE = {
+    "engine_ips": {
+        "ev8": 465_204,
+        "ftb": 327_756,
+        "stream": 398_402,
+        "trace": 261_300,
+    },
+    "calibration_seconds": 0.08269,
 }
 
 
@@ -282,6 +298,52 @@ def measure_matrix(jobs: int, reps: int = 3) -> dict:
     return row
 
 
+def measure_chain_rates() -> dict:
+    """Steady-state chain hit rates over the default perf matrix.
+
+    Two serial, storeless, accel-mode passes over the default matrix:
+    the first trains the shared per-image template stores and their
+    transition tables (the equivalent of the first fraction of a long
+    run), the second — measured from the per-cell ``result.extras``
+    counters — reports the steady-state rate, which is the regime the
+    chained-template scheme targets (the paper's streams replay the
+    same short dynamic segments millions of times; a 100k-instruction
+    cell spends its one cold pass mostly *installing* edges).
+    Simulation is deterministic, so for a given code version these
+    rates are too — the full run commits a floor a few points under its
+    measurement and the ``--quick`` gate re-measures against it, so a
+    refactor that silently knocks segments off the chained path fails
+    loudly.
+    """
+    kwargs = dict(
+        benchmarks=MATRIX_BENCHMARKS, widths=(8,),
+        instructions=MATRIX_INSTRUCTIONS, scale=MATRIX_SCALE,
+        engine_mode="accel",
+    )
+    run_matrix(**kwargs)  # training pass: install templates and edges
+    matrix = run_matrix(**kwargs)
+    segments = {}
+    hits = {}
+    for spec, res in matrix.results.items():
+        x = res.extras
+        segments[spec.arch] = segments.get(spec.arch, 0) + x["segments"]
+        hits[spec.arch] = hits.get(spec.arch, 0) + x["chain_hits"]
+    total_segments = sum(segments.values())
+    total_hits = sum(hits.values())
+    return {
+        "benchmarks": list(MATRIX_BENCHMARKS),
+        "instructions": MATRIX_INSTRUCTIONS,
+        "scale": MATRIX_SCALE,
+        "per_engine": {
+            arch: round(hits[arch] / segments[arch], 4)
+            for arch in sorted(segments)
+        },
+        "hit_rate": round(
+            total_hits / total_segments if total_segments else 0.0, 4
+        ),
+    }
+
+
 def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
     """Warm-vs-cold wall-clock of the default matrix via the store.
 
@@ -334,20 +396,32 @@ def _clamped_drift(calibration: float, baseline_seconds: float) -> float:
 def full_run(jobs: int, output: str, store_dir=None) -> dict:
     warm_shared_caches(ENGINE_INSTRUCTIONS)
     calibration = measure_calibration()
-    engines = measure_engine_ips(ENGINE_INSTRUCTIONS)
-    engines_interp = measure_engine_ips(ENGINE_INSTRUCTIONS,
+    # Best-of-4 for the committed sections: the reference container's
+    # clock blips in multi-second throttle windows, and a blip landing
+    # inside a best-of-2 pair reads as a phantom per-engine regression.
+    # Deeper best-of only sharpens the estimate of the same quantity.
+    engines = measure_engine_ips(ENGINE_INSTRUCTIONS, reps=4)
+    engines_interp = measure_engine_ips(ENGINE_INSTRUCTIONS, reps=4,
                                         engine_mode="interp")
     quick_engines = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3)
     quick_engines_interp = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3,
                                               engine_mode="interp")
     matrix = measure_matrix(jobs)
+    chain = measure_chain_rates()
+    # The committed floor the --quick gate re-measures against: a few
+    # points of slack absorb warmth differences between the full run's
+    # and the quick run's in-process measurement order.
+    chain["floor"] = round(chain["hit_rate"] - 0.03, 3)
 
     seed_ips = SEED_BASELINE["engine_ips"]
     pr3_ips = PR3_BASELINE["engine_ips"]
+    pr4_ips = PR4_BASELINE["engine_ips"]
     seed_matrix = SEED_BASELINE["matrix_serial_seconds"]
     drift = _clamped_drift(calibration, SEED_BASELINE["calibration_seconds"])
     drift_pr3 = _clamped_drift(calibration,
                                PR3_BASELINE["calibration_seconds"])
+    drift_pr4 = _clamped_drift(calibration,
+                               PR4_BASELINE["calibration_seconds"])
     speedups = {
         "engine_ips_vs_seed": {
             arch: round(engines[arch]["ips"] * drift / seed_ips[arch], 2)
@@ -355,6 +429,10 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
         },
         "engine_ips_vs_pr3": {
             arch: round(engines[arch]["ips"] * drift_pr3 / pr3_ips[arch], 2)
+            for arch in engines
+        },
+        "engine_ips_vs_pr4": {
+            arch: round(engines[arch]["ips"] * drift_pr4 / pr4_ips[arch], 2)
             for arch in engines
         },
         "accel_vs_interp": {
@@ -371,17 +449,20 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
             seed_matrix * drift / matrix["parallel_seconds"], 2
         )
     report = {
-        "schema": 2,
+        "schema": 3,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
         "calibration_drift_vs_pr3": round(drift_pr3, 3),
+        "calibration_drift_vs_pr4": round(drift_pr4, 3),
         "engines": engines,
         "engines_interp": engines_interp,
         "quick_engines": quick_engines,
         "quick_engines_interp": quick_engines_interp,
         "matrix": matrix,
+        "chain": chain,
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
+        "pr4_baseline": PR4_BASELINE,
         "speedups": speedups,
     }
     with open(output, "w") as fh:
@@ -392,9 +473,12 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     for arch, row in engines.items():
         print(f"  {arch:7s} accel {row['ips']:>9,d} instr/s "
               f"({speedups['engine_ips_vs_seed'][arch]:.2f}x seed, "
-              f"{speedups['engine_ips_vs_pr3'][arch]:.2f}x PR3, "
+              f"{speedups['engine_ips_vs_pr4'][arch]:.2f}x PR4, "
               f"{speedups['accel_vs_interp'][arch]:.2f}x interp "
-              f"[{engines_interp[arch]['ips']:,d}])")
+              f"[{engines_interp[arch]['ips']:,d}], "
+              f"chain {chain['per_engine'][arch]:.3f})")
+    print(f"  chain hit rate  {chain['hit_rate']:.4f} on the default "
+          f"matrix (committed floor {chain['floor']:.3f})")
     print(f"  matrix serial   {matrix['serial_seconds']:6.2f}s "
           f"({speedups['single_process_vs_seed']:.2f}x seed)")
     if "parallel_seconds" in matrix:
@@ -431,11 +515,18 @@ def quick_run(baseline_path: str) -> int:
         "interp": measure_engine_ips(QUICK_INSTRUCTIONS, reps=3,
                                      engine_mode="interp"),
     }
+    # The per-engine accel/interp ratio makes a kernel-only regression
+    # readable straight off the quick report (the raw ips alone cannot
+    # separate "the host is slow" from "the accelerator stopped
+    # accelerating").
+    print("accel vs interp (quick workload):")
+    for arch in currents["accel"]:
+        a_ips = currents["accel"][arch]["ips"]
+        i_ips = currents["interp"][arch]["ips"]
+        print(f"  {arch:7s} accel {a_ips:>9,d} / interp {i_ips:>9,d} "
+              f"instr/s = {a_ips / i_ips:.2f}x")
     if not os.path.exists(baseline_path):
-        print(f"no baseline at {baseline_path}; measured only:")
-        for mode, current in currents.items():
-            for arch, row in current.items():
-                print(f"  {mode:6s} {arch:7s} {row['ips']:>9,d} instr/s")
+        print(f"no baseline at {baseline_path}; nothing to gate against")
         return 0
     with open(baseline_path) as fh:
         report = json.load(fh)
@@ -497,6 +588,28 @@ def quick_run(baseline_path: str) -> int:
             print(f"perf regression "
                   f">{(REGRESSION_TOLERANCE - 1) * 100:.0f}% "
                   f"on: {', '.join(failed)}")
+            return 1
+
+    # Chain-hit-rate gate: unlike the ips floors this is a property of
+    # the *code*, not the host — simulation is deterministic — so a
+    # measurement below the committed floor means a refactor knocked
+    # segments off the chained path.
+    from repro.core.backend import chains_enabled_default
+
+    chain_base = report.get("chain")
+    if chain_base is None:
+        print("baseline has no chain section (schema < 3); "
+              "chain gate skipped")
+    elif not chains_enabled_default():
+        print("chains disabled via $REPRO_CHAINS; chain gate skipped")
+    else:
+        rates = measure_chain_rates()
+        floor = chain_base.get("floor", 0.0)
+        status = "ok" if rates["hit_rate"] >= floor else "REGRESSION"
+        print(f"  chain hit rate {rates['hit_rate']:.4f} on the default "
+              f"matrix (floor {floor:.3f}) {status}")
+        if rates["hit_rate"] < floor:
+            print("chain hit rate fell below the committed floor")
             return 1
     print("quick perf smoke: ok")
     return 0

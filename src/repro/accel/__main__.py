@@ -24,6 +24,10 @@ def main(argv=None) -> int:
                         choices=(2, 4, 8))
     parser.add_argument("--which", choices=("run", "cycle", "both"),
                         default="both")
+    parser.add_argument("--chains", action="store_true",
+                        help="print only the generated transition-follow "
+                             "block (the chained-template fast path) "
+                             "instead of the full kernels")
     args = parser.parse_args(argv)
 
     from repro import accel
@@ -37,6 +41,10 @@ def main(argv=None) -> int:
         engine_mode="interp",  # do not build/bind kernels twice
     )
     sources = accel.kernel_sources(processor)
+    if args.chains:
+        print(f"# ---- chain follow: {args.arch} width={args.width} ----")
+        print(sources["chains"])
+        return 0
     if args.which in ("run", "both"):
         print(f"# ---- run kernel: {args.arch} width={args.width} ----")
         print(sources["run"])

@@ -88,7 +88,10 @@ def compile_kernel(
         return kernel
     source = render(template, consts)
     filename = f"<repro.accel:{name}:{'-'.join(map(str, config_key))}>"
-    code = compile(source, filename, "exec")
+    # optimize=2 strips asserts (pure guards on the interpreted path —
+    # the transliterations keep them for readability, the compiled
+    # kernels drop them) and docstrings; it cannot change results.
+    code = compile(source, filename, "exec", optimize=2)
     module_ns = dict(namespace)
     exec(code, module_ns)
     factory = module_ns[factory_name]

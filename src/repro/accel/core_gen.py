@@ -37,6 +37,12 @@ from typing import Callable, Optional
 
 from repro.common.types import BranchKind, InstrClass
 from repro.core.backend import (
+    _CHAIN_DEEP_LIMIT,
+    _CHAIN_EDGE_LIMIT,
+    _CHAIN_G_BUCKET,
+    _CHAIN_G_MAX,
+    _CHAIN_LVL_LIMIT,
+    _CHAIN_SKEY_MAX,
     _IU_LIMIT,
     _IU_MASK,
     _TPL_CACHE_LIMIT,
@@ -51,7 +57,7 @@ from repro.isa.program import segment_plan
 
 from repro.accel.codegen import CompiledKernel, compile_kernel
 
-__all__ = ["run_kernel", "run_kernel_source"]
+__all__ = ["chain_follow_source", "run_kernel", "run_kernel_source"]
 
 #: Sentinel "no queued entry" cycle, mirroring processor.py.
 _NEVER = 1 << 62
@@ -107,6 +113,112 @@ def _indent(block: str, spaces: int) -> str:
     return "\n".join(
         pad + line if line else line for line in block.splitlines()
     )
+
+
+# Chained-template transition follow: the first branch of the inlined
+# segment scheduler.  After a template replay, its transition table maps
+# (successor segment, dispatch gap) straight to the successor template —
+# no key packing, no hashing, no template-dict probe.  The stateful
+# D-cache probes still run (through the edge's memory plan) and pick the
+# successor via the per-level map; "deep" completion deltas (dependences
+# reaching past the previous segment) are re-verified against the record
+# before the edge is trusted, and the successor's store generation is
+# checked so an evicted template can never replay through a stale edge.
+# With $CHAINS_ON folded to False the whole branch compiles away and the
+# keyed path is the only template route.
+_CHAIN_BLOCK = """\
+tpl = None
+key = None
+levels = 0
+lvl_map = None
+edge_new = None
+edge_miss = False
+if $CHAINS_ON:
+    prev_tpl = cur_tpl
+    cur_tpl = None
+    ek = 0
+    dmap_install = None
+    if prev_tpl is not None:
+        g = D - tail_cycle
+        if g >= prev_tpl[9]:
+            g = $CHAIN_G_BUCKET
+        elif not 0 <= g <= $CHAIN_G_MAX:
+            # The bucket sentinel is reserved: a raw gap of exactly
+            # $CHAIN_G_BUCKET below g_big must not alias the bucket.
+            g = -1
+        if g >= 0 and skey < $CHAIN_SKEY_MAX:
+            if floor <= D + 1 and entries + take <= $IU_LIMIT:
+                ek = (dyn.addr * 4096 + skey) * 512 + g
+                rec = prev_tpl[8].get(ek)
+                if rec is None:
+                    edge_miss = True
+                elif rec.__class__ is tuple:
+                    # Fast edge (no memory plan, no deep reach): the
+                    # value IS the successor template — one probe, one
+                    # generation check, straight to replay.
+                    if rec[7] == gen:
+                        tpl = rec
+                        hits += 1
+                        tail_cycle = D
+                    else:
+                        edge_miss = True
+                else:
+                    (deep_offs, mem_plan, lvl_span, tail2,
+                     tail_k2, dmap) = rec
+                    dv = 0
+                    okc = True
+                    if deep_offs:
+                        base = D + 1
+                        for o in deep_offs:
+                            v = completions[(cnt + o) & 127] - base
+                            if v <= 0:
+                                dv = dv * $K_RADIX
+                            elif v <= $TPL_MAX_DELTA:
+                                dv = dv * $K_RADIX + v
+                            else:
+                                okc = False
+                                break
+                    if okc:
+                        hit2 = dmap.get(dv)
+                        if hit2 is None:
+                            edge_miss = True
+                            dmap_install = dmap
+                        else:
+                            K0, rec_map = hit2
+                            if mem_plan:
+                                for (slot_key, is_load, base_a, stride,
+                                     span) in mem_plan:
+                                    k = counters_get(slot_key, 0)
+                                    counters[slot_key] = k + 1
+                                    a = base_a + (k * stride) % span
+$PROBE_CHAIN
+                                    if is_load:
+                                        levels = levels * 4 + lvl
+                                        loads += 1
+                                    else:
+                                        stores += 1
+                            tpl = rec_map.get(levels)
+                            if tpl is not None and tpl[7] == gen:
+                                # Chain hit: successor reached with no
+                                # key build, no hash, no template-dict
+                                # probe.
+                                hits += 1
+                                tail_cycle = D
+                            else:
+                                # Profile known, level vector new (or
+                                # the successor was evicted): the full
+                                # key is pure in the profile — no
+                                # offsets walk, no tail shift.
+                                tpl = None
+                                key = (dyn.addr, skey,
+                                       K0 * lvl_span + levels, tail_k2)
+                                tail = tail2
+                                tail_k = tail_k2
+                                tail_cycle = D
+                                lvl_map = rec_map
+                                tpl = templates_get(key)
+"""
+_CHAIN_BLOCK = _CHAIN_BLOCK.replace("$PROBE_CHAIN", _indent(_PROBE_BLOCK, 36))
 
 _TEMPLATE = '''\
 def make_run(processor, engine_cycle=None, engine_note_commit=None):
@@ -217,6 +329,15 @@ def make_run(processor, engine_cycle=None, engine_note_commit=None):
         dl1_acc = dl1_cache.accesses
         dl1_miss = dl1_cache.misses
         dl1_evict = dl1_cache.evictions
+        # Chained-template state: the previous segment's template (the
+        # transition-table source), the template-store generation, and
+        # the segment / chain-hit counters (with this run's baselines).
+        cur_tpl = backend._chain_tpl
+        segs = backend.seg_count
+        hits = backend.chain_hits
+        seg_base = segs
+        chain_base = hits
+        gen = templates.generation
 
         warm_target = warmup if warmup else $NEVER
         cycle_limit = 400 * max_instructions + 1_000_000
@@ -251,12 +372,35 @@ def make_run(processor, engine_cycle=None, engine_note_commit=None):
                     continue
 
                 if not diverged and inflight_count >= $ROB_SIZE:
-                    r_rob_stall += 1
+                    # Window full: jump to the next queued event in bulk
+                    # (bit-exact; see processor.py for the argument).
+                    nxt = (commit_head if commit_head < inflight_head
+                           else inflight_head)
+                    if pending is not None and pending[0] < nxt:
+                        nxt = pending[0]
+                    r_rob_stall += nxt - now
+                    now = nxt - 1
                     continue
 
                 bundle = engine_cycle(now)
                 if not bundle:
-                    r_idle += 1
+                    # Bulk-jump only resolution-wait stretches: every
+                    # engine is a contractual no-op while
+                    # _waiting_resolve is set, but an I-cache busy
+                    # window still runs the decoupled prediction stage
+                    # (see processor.py).
+                    if engine._waiting_resolve and pending is not None:
+                        nxt = (commit_head if commit_head < inflight_head
+                               else inflight_head)
+                        if pending[0] < nxt:
+                            nxt = pending[0]
+                        if nxt > now + 1:
+                            r_idle += nxt - now
+                            now = nxt - 1
+                        else:
+                            r_idle += 1
+                    else:
+                        r_idle += 1
                     continue
 
                 if diverged:
@@ -287,328 +431,401 @@ def make_run(processor, engine_cycle=None, engine_note_commit=None):
                         # dispatch_segment(dyn.lb, cur_off, take, D) with the
                         # generator protocol removed; see the module docstring.
                         D = dispatch_cycle
-
-                        # -- shift / re-establish the occupancy tail ---------
-                        if tail_cycle != D:
-                            if tail:
-                                shift = D - tail_cycle
-                                if tail_k:
-                                    # Encodable tails bound every delta, so
-                                    # a shift past that bound empties the
-                                    # tail and smaller shifts hit the pure-
-                                    # function memo keyed on the packed
-                                    # encoding.
-                                    if shift > $TAIL_DMAX:
+                        segs += 1
+                        skey = cur_off * 32 + take
+$CHAIN_FOLLOW
+                        if tpl is None and key is None:
+                            # -- keyed path: shift tail, pack key, probe -----
+                            if tail_cycle != D:
+                                if tail:
+                                    shift = D - tail_cycle
+                                    if tail_k:
+                                        # Encodable tails bound every delta,
+                                        # so a shift past that bound empties
+                                        # the tail and smaller shifts hit the
+                                        # pure-function memo keyed on the
+                                        # packed encoding.
+                                        if shift > $TAIL_DMAX:
+                                            tail = ()
+                                            tail_k = 0
+                                        else:
+                                            mk = tail_k * 512 + shift
+                                            hit = shift_memo_get(mk)
+                                            if hit is not None:
+                                                tail, tail_k = hit
+                                            else:
+                                                tail = tuple([
+                                                    (dc - shift, n)
+                                                    for dc, n in tail
+                                                    if dc > shift
+                                                ])
+                                                tail_k = pack_tail(tail)
+                                                if len(shift_memo) > 32768:
+                                                    shift_memo.clear()
+                                                shift_memo[mk] = (tail, tail_k)
+                                    else:
+                                        tail = tuple([
+                                            (dc - shift, n)
+                                            for dc, n in tail if dc > shift
+                                        ])
+                                        tail_k = pack_tail(tail)
+                                elif tail is None:
+                                    if max_issue <= D:
                                         tail = ()
                                         tail_k = 0
+                                    elif max_issue - D <= $TAIL_DMAX:
+                                        t = []
+                                        for c in range(D + 1, max_issue + 1):
+                                            s = c & $IU_MASK
+                                            if iu_stamps[s] == c:
+                                                n = iu_vals[s]
+                                            elif iu_spill:
+                                                n = iu_spill.get(c, 0)
+                                            else:
+                                                n = 0
+                                            if n:
+                                                t.append((c - D, n))
+                                        tail = tuple(t)
+                                        tail_k = pack_tail(tail)
                                     else:
-                                        mk = tail_k * 128 + shift
-                                        hit = shift_memo_get(mk)
-                                        if hit is not None:
-                                            tail, tail_k = hit
-                                        else:
-                                            tail = tuple([
-                                                (dc - shift, n)
-                                                for dc, n in tail if dc > shift
-                                            ])
-                                            tail_k = pack_tail(tail)
-                                            if len(shift_memo) > 32768:
-                                                shift_memo.clear()
-                                            shift_memo[mk] = (tail, tail_k)
+                                        tail_k = None
                                 else:
-                                    tail = tuple([
-                                        (dc - shift, n)
-                                        for dc, n in tail if dc > shift
-                                    ])
-                                    tail_k = pack_tail(tail)
-                            elif tail is None:
-                                if max_issue <= D:
-                                    tail = ()
                                     tail_k = 0
-                                elif max_issue - D <= $TPL_MAX_TAIL:
-                                    t = []
-                                    for c in range(D + 1, max_issue + 1):
-                                        s = c & $IU_MASK
-                                        if iu_stamps[s] == c:
-                                            n = iu_vals[s]
-                                        elif iu_spill:
-                                            n = iu_spill.get(c, 0)
-                                        else:
-                                            n = 0
-                                        if n:
-                                            t.append((c - D, n))
-                                    tail = tuple(t)
-                                    tail_k = pack_tail(tail)
+                                tail_cycle = D
+
+                            # -- template preconditions ----------------------
+                            if tail_k is not None:
+                                dlc = last - D
+                                if dlc <= 2:
+                                    K = 0
+                                elif dlc <= $TPL_MAX_DELTA:
+                                    K = dlc * 64 + cic
                                 else:
-                                    tail_k = None
-                            else:
-                                tail_k = 0
-                            tail_cycle = D
-
-                        # -- template preconditions --------------------------
-                        seg_done = False
-                        tpl = None
-                        if tail_k is not None:
-                            dlc = last - D
-                            if dlc <= 2:
-                                K = 0
-                            elif dlc <= $TPL_MAX_DELTA:
-                                K = dlc * 64 + cic
-                            else:
-                                K = -1
-                            if (
-                                K >= 0
-                                and floor <= D + 1
-                                and entries + take <= $IU_LIMIT
-                            ):
-                                skey = cur_off * 32 + take
-                                lb = dyn.lb
-                                plan = lb._seg_plans.get(skey)
-                                if plan is None:
-                                    plan = make_plan(lb, cur_off, take)
-                                offsets, mem_plan, lvl_span = plan
-                                ok = True
-                                if offsets:
-                                    base = D + 1
-                                    for o in offsets:
-                                        v = completions[(cnt + o) & 127] - base
-                                        if v <= 0:
-                                            K = K * $K_RADIX
-                                        elif v <= $TPL_MAX_DELTA:
-                                            K = K * $K_RADIX + v
-                                        else:
-                                            ok = False
-                                            break
-                                if ok:
-                                    levels = 0
-                                    if mem_plan:
-                                        for (slot_key, is_load, base_a, stride,
-                                             span) in mem_plan:
-                                            k = counters_get(slot_key, 0)
-                                            counters[slot_key] = k + 1
-                                            a = base_a + (k * stride) % span
+                                    K = -1
+                                if (
+                                    K >= 0
+                                    and floor <= D + 1
+                                    and entries + take <= $IU_LIMIT
+                                ):
+                                    lb = dyn.lb
+                                    plan = lb._seg_plans.get(skey)
+                                    if plan is None:
+                                        plan = make_plan(lb, cur_off, take)
+                                    offsets, mem_plan, lvl_span = plan
+                                    collecting = False
+                                    dv_new = 0
+                                    if $CHAINS_ON:
+                                        # A missing edge (or a new deep
+                                        # profile on an existing one)
+                                        # installs after this segment
+                                        # resolves; the deep deltas fold
+                                        # into the profile key below.
+                                        if edge_miss and prev_tpl[7] == gen:
+                                            if dmap_install is not None:
+                                                collecting = (
+                                                    len(dmap_install)
+                                                    < $CHAIN_DEEP_LIMIT)
+                                            else:
+                                                collecting = (
+                                                    len(prev_tpl[8])
+                                                    < $CHAIN_EDGE_LIMIT)
+                                            if collecting:
+                                                pred_neg = -len(prev_tpl[0])
+                                                deep_offs_n = ()
+                                    ok = True
+                                    if offsets:
+                                        base = D + 1
+                                        for o in offsets:
+                                            v = completions[(cnt + o) & 127] \
+                                                - base
+                                            if v <= 0:
+                                                K = K * $K_RADIX
+                                                if (collecting
+                                                        and o < pred_neg):
+                                                    dv_new = dv_new * $K_RADIX
+                                            elif v <= $TPL_MAX_DELTA:
+                                                K = K * $K_RADIX + v
+                                                if (collecting
+                                                        and o < pred_neg):
+                                                    dv_new = (dv_new
+                                                              * $K_RADIX + v)
+                                            else:
+                                                ok = False
+                                                break
+                                    if ok:
+                                        levels = 0
+                                        if mem_plan:
+                                            for (slot_key, is_load, base_a,
+                                                 stride, span) in mem_plan:
+                                                k = counters_get(slot_key, 0)
+                                                counters[slot_key] = k + 1
+                                                a = base_a + (k * stride) % span
 $PROBE_TPL
-                                            if is_load:
-                                                levels = levels * 4 + lvl
-                                                loads += 1
-                                            else:
-                                                stores += 1
-                                    key = (lb.addr, skey, K * lvl_span + levels,
-                                           tail_k)
-                                    tpl = templates_get(key)
-                                    if tpl is None:
-                                        # -- record a new template -----------
-                                        lvls = []
-                                        lv = levels
-                                        while lv:
-                                            lvls.append(lv % 4 - 1)
-                                            lv //= 4
-                                        lvls.reverse()
-                                        seg_meta = dyn.meta
-                                        bk = {}
-                                        rec_completes = []
-                                        lvl_i = 0
-                                        seg_max = 0
-                                        for i in range(cur_off, cur_off + take):
-                                            (cls, latency, d1, d2, _mb, _ms,
-                                             _msp) = seg_meta[i]
-                                            ready = D + 1
-                                            if d1:
-                                                dep = completions[(cnt - d1) & 127]
-                                                if dep > ready:
-                                                    ready = dep
-                                            if d2:
-                                                dep = completions[(cnt - d2) & 127]
-                                                if dep > ready:
-                                                    ready = dep
-                                            issue = ready
-                                            while True:
-                                                s = issue & $IU_MASK
-                                                if iu_stamps[s] == issue:
-                                                    used = iu_vals[s]
-                                                elif iu_spill:
-                                                    used = iu_spill.get(issue, 0)
+                                                if is_load:
+                                                    levels = levels * 4 + lvl
+                                                    loads += 1
                                                 else:
-                                                    used = 0
-                                                if used < $WIDTH:
-                                                    break
-                                                issue += 1
-                                            s = issue & $IU_MASK
-                                            if iu_stamps[s] == issue:
-                                                iu_vals[s] += 1
-                                            elif iu_spill and issue in iu_spill:
-                                                iu_spill[issue] += 1
-                                            else:
-                                                if iu_stamps[s] == -1:
-                                                    iu_stamps[s] = issue
-                                                    iu_vals[s] = 1
-                                                else:
-                                                    iu_spill[issue] = 1
-                                                entries += 1
-                                            bk[issue] = bk.get(issue, 0) + 1
-                                            if issue > max_issue:
-                                                max_issue = issue
-                                            if issue > seg_max:
-                                                seg_max = issue
-                                            if cls == $CLS_LOAD:
-                                                latency += ($LVL0, $LVL1,
-                                                            $LVL2)[lvls[lvl_i]]
-                                                lvl_i += 1
-                                            complete = issue + latency
-                                            rec_completes.append(complete)
-                                            completions[cnt & 127] = complete
-                                            cnt += 1
-                                            earliest = complete + 1
-                                            commit2 = (earliest
-                                                       if earliest > last
-                                                       else last)
-                                            if commit2 == last:
-                                                if cic >= $WIDTH:
-                                                    commit2 += 1
-                                                    cic = 1
-                                                else:
-                                                    cic += 1
-                                            else:
-                                                cic = 1
-                                            last = commit2
-                                        merged = dict(tail)
-                                        for c, n in bk.items():
-                                            dc = c - D
-                                            merged[dc] = merged.get(dc, 0) + n
-                                        exit_tail = tuple(sorted(merged.items()))
-                                        tail = exit_tail
-                                        tail_k = pack_tail(exit_tail)
-                                        tpl_new = (
-                                            tuple([c - D for c in rec_completes]),
-                                            last - D,
-                                            cic,
-                                            exit_tail,
-                                            tail_k,
-                                            tuple(sorted(
-                                                (c - D, n) for c, n in bk.items()
-                                            )),
-                                            seg_max - D,
-                                        )
-                                        if len(templates) > $TPL_CACHE_LIMIT:
-                                            templates.clear()
-                                        templates[key] = tpl_new
-                                        seg_done = True
+                                                    stores += 1
+                                        key = (dyn.addr, skey,
+                                               K * lvl_span + levels, tail_k)
+                                        if collecting:
+                                            edge_new = (dv_new, K,
+                                                        tail, tail_k)
+                                            if offsets:
+                                                deep_offs_n = tuple([
+                                                    o for o in offsets
+                                                    if o < pred_neg
+                                                ])
+                                        tpl = templates_get(key)
 
-                        if not seg_done:
-                            if tpl is not None:
-                                # -- replay a memoized schedule template -----
-                                (completes, exit_lc, exit_cic, exit_tail,
-                                 exit_tail_k, bookings, max_issue_d) = tpl
-                                for cd in completes:
-                                    completions[cnt & 127] = D + cd
-                                    cnt += 1
-                                for dc, n in bookings:
-                                    c = D + dc
-                                    s = c & $IU_MASK
-                                    if iu_stamps[s] == c:
-                                        iu_vals[s] += n
-                                    elif iu_spill and c in iu_spill:
-                                        iu_spill[c] += n
-                                    elif iu_stamps[s] == -1:
-                                        iu_stamps[s] = c
-                                        iu_vals[s] = n
-                                        entries += 1
-                                    else:
-                                        iu_spill[c] = n
-                                        entries += 1
-                                mi = D + max_issue_d
-                                if mi > max_issue:
-                                    max_issue = mi
-                                tail = exit_tail
-                                tail_k = exit_tail_k
-                                last = D + exit_lc
-                                cic = exit_cic
-                                complete = D + completes[-1]
-                            else:
-                                # -- per-slot loop (canonical rules) ---------
-                                tail = None
-                                tail_k = None
-                                seg_meta = dyn.meta
-                                seg_keys = dyn.keys
-                                ready_base = D + 1
-                                complete = 0
-                                for i in range(cur_off, cur_off + take):
-                                    (cls, latency, d1, d2, mem_base, mem_stride,
-                                     mem_span) = seg_meta[i]
-                                    ready = ready_base
-                                    if d1:
-                                        dep = completions[(cnt - d1) & 127]
-                                        if dep > ready:
-                                            ready = dep
-                                    if d2:
-                                        dep = completions[(cnt - d2) & 127]
-                                        if dep > ready:
-                                            ready = dep
-                                    issue = ready if ready > floor else floor
-                                    while True:
-                                        s = issue & $IU_MASK
-                                        if iu_stamps[s] == issue:
-                                            used = iu_vals[s]
-                                        elif iu_spill:
-                                            used = iu_spill.get(issue, 0)
-                                        else:
-                                            used = 0
-                                        if used < $WIDTH:
-                                            break
-                                        issue += 1
+                        if tpl is not None:
+                            # -- replay a memoized schedule template ---------
+                            (completes, exit_lc, exit_cic, exit_tail,
+                             exit_tail_k, bookings, max_issue_d,
+                             _tgen, _tchain, _gbig) = tpl
+                            for cd in completes:
+                                completions[cnt & 127] = D + cd
+                                cnt += 1
+                            for dc, n in bookings:
+                                c = D + dc
+                                s = c & $IU_MASK
+                                if iu_stamps[s] == c:
+                                    iu_vals[s] += n
+                                elif iu_spill and c in iu_spill:
+                                    iu_spill[c] += n
+                                elif iu_stamps[s] == -1:
+                                    iu_stamps[s] = c
+                                    iu_vals[s] = n
+                                    entries += 1
+                                else:
+                                    iu_spill[c] = n
+                                    entries += 1
+                            mi = D + max_issue_d
+                            if mi > max_issue:
+                                max_issue = mi
+                            tail = exit_tail
+                            tail_k = exit_tail_k
+                            last = D + exit_lc
+                            cic = exit_cic
+                            complete = D + completes[-1]
+                        elif key is not None:
+                            # -- record a new template -----------------------
+                            lvls = []
+                            lv = levels
+                            while lv:
+                                lvls.append(lv % 4 - 1)
+                                lv //= 4
+                            lvls.reverse()
+                            seg_meta = dyn.meta
+                            bk = {}
+                            rec_completes = []
+                            lvl_i = 0
+                            seg_max = 0
+                            for i in range(cur_off, cur_off + take):
+                                (cls, latency, d1, d2, _mb, _ms,
+                                 _msp) = seg_meta[i]
+                                ready = D + 1
+                                if d1:
+                                    dep = completions[(cnt - d1) & 127]
+                                    if dep > ready:
+                                        ready = dep
+                                if d2:
+                                    dep = completions[(cnt - d2) & 127]
+                                    if dep > ready:
+                                        ready = dep
+                                issue = ready
+                                while True:
                                     s = issue & $IU_MASK
                                     if iu_stamps[s] == issue:
-                                        iu_vals[s] += 1
-                                    elif iu_spill and issue in iu_spill:
-                                        iu_spill[issue] += 1
+                                        used = iu_vals[s]
+                                    elif iu_spill:
+                                        used = iu_spill.get(issue, 0)
                                     else:
-                                        if iu_stamps[s] == -1:
-                                            iu_stamps[s] = issue
-                                            iu_vals[s] = 1
-                                        else:
-                                            iu_spill[issue] = 1
-                                        entries += 1
-                                    if entries > $IU_LIMIT:
-                                        backend._iu_entries = entries
-                                        iu_compact(issue)
-                                        entries = backend._iu_entries
-                                        iu_spill = backend._iu_spill
-                                        floor = backend._issue_floor
-                                    if issue > max_issue:
-                                        max_issue = issue
-
-                                    if cls == $CLS_LOAD or cls == $CLS_STORE:
-                                        slot_key = seg_keys[i]
-                                        k = counters_get(slot_key, 0)
-                                        counters[slot_key] = k + 1
-                                        a = mem_base + (k * mem_stride) % (
-                                            mem_span if mem_span > 0 else 1
-                                        )
-$PROBE_SLOT
-                                        if cls == $CLS_LOAD:
-                                            dlat = ($LVL0, $LVL1,
-                                                    $LVL2)[lvl - 1]
-                                            latency += dlat
-                                            loads += 1
-                                        else:
-                                            stores += 1
-
-                                    complete = issue + latency
-                                    completions[cnt & 127] = complete
-                                    cnt += 1
-
-                                    earliest = complete + 1
-                                    commit2 = (earliest if earliest > last
-                                               else last)
-                                    if commit2 == last:
-                                        if cic >= $WIDTH:
-                                            commit2 += 1
-                                            cic = 1
-                                        else:
-                                            cic += 1
+                                        used = 0
+                                    if used < $WIDTH:
+                                        break
+                                    issue += 1
+                                s = issue & $IU_MASK
+                                if iu_stamps[s] == issue:
+                                    iu_vals[s] += 1
+                                elif iu_spill and issue in iu_spill:
+                                    iu_spill[issue] += 1
+                                else:
+                                    if iu_stamps[s] == -1:
+                                        iu_stamps[s] = issue
+                                        iu_vals[s] = 1
                                     else:
+                                        iu_spill[issue] = 1
+                                    entries += 1
+                                bk[issue] = bk.get(issue, 0) + 1
+                                if issue > max_issue:
+                                    max_issue = issue
+                                if issue > seg_max:
+                                    seg_max = issue
+                                if cls == $CLS_LOAD:
+                                    latency += ($LVL0, $LVL1,
+                                                $LVL2)[lvls[lvl_i]]
+                                    lvl_i += 1
+                                complete = issue + latency
+                                rec_completes.append(complete)
+                                completions[cnt & 127] = complete
+                                cnt += 1
+                                earliest = complete + 1
+                                commit2 = (earliest
+                                           if earliest > last
+                                           else last)
+                                if commit2 == last:
+                                    if cic >= $WIDTH:
+                                        commit2 += 1
                                         cic = 1
-                                    last = commit2
+                                    else:
+                                        cic += 1
+                                else:
+                                    cic = 1
+                                last = commit2
+                            merged = dict(tail)
+                            for c, n in bk.items():
+                                dc = c - D
+                                merged[dc] = merged.get(dc, 0) + n
+                            exit_tail = tuple(sorted(merged.items()))
+                            tail = exit_tail
+                            tail_k = pack_tail(exit_tail)
+                            if len(templates) > $TPL_CACHE_LIMIT:
+                                # Eviction: the generation bump exactly
+                                # invalidates every chained edge pointing
+                                # at the dropped templates.
+                                templates.clear()
+                                gen = templates.generation
+                            # Far-gap threshold (see backend.py).
+                            g_big = last - D - 2
+                            if exit_tail and exit_tail[-1][0] > g_big:
+                                g_big = exit_tail[-1][0]
+                            cm = max(rec_completes) - D - 1
+                            if cm > g_big:
+                                g_big = cm
+                            if g_big < 0:
+                                g_big = 0
+                            tpl = (
+                                tuple([c - D for c in rec_completes]),
+                                last - D,
+                                cic,
+                                exit_tail,
+                                tail_k,
+                                tuple(sorted(
+                                    (c - D, n) for c, n in bk.items()
+                                )),
+                                seg_max - D,
+                                gen,
+                                {},
+                                g_big,
+                            )
+                            templates[key] = tpl
+                        else:
+                            # -- per-slot loop (canonical rules) -------------
+                            tail = None
+                            tail_k = None
+                            seg_meta = dyn.meta
+                            seg_keys = dyn.keys
+                            ready_base = D + 1
+                            complete = 0
+                            for i in range(cur_off, cur_off + take):
+                                (cls, latency, d1, d2, mem_base, mem_stride,
+                                 mem_span) = seg_meta[i]
+                                ready = ready_base
+                                if d1:
+                                    dep = completions[(cnt - d1) & 127]
+                                    if dep > ready:
+                                        ready = dep
+                                if d2:
+                                    dep = completions[(cnt - d2) & 127]
+                                    if dep > ready:
+                                        ready = dep
+                                issue = ready if ready > floor else floor
+                                while True:
+                                    s = issue & $IU_MASK
+                                    if iu_stamps[s] == issue:
+                                        used = iu_vals[s]
+                                    elif iu_spill:
+                                        used = iu_spill.get(issue, 0)
+                                    else:
+                                        used = 0
+                                    if used < $WIDTH:
+                                        break
+                                    issue += 1
+                                s = issue & $IU_MASK
+                                if iu_stamps[s] == issue:
+                                    iu_vals[s] += 1
+                                elif iu_spill and issue in iu_spill:
+                                    iu_spill[issue] += 1
+                                else:
+                                    if iu_stamps[s] == -1:
+                                        iu_stamps[s] = issue
+                                        iu_vals[s] = 1
+                                    else:
+                                        iu_spill[issue] = 1
+                                    entries += 1
+                                if entries > $IU_LIMIT:
+                                    backend._iu_entries = entries
+                                    iu_compact(issue)
+                                    entries = backend._iu_entries
+                                    iu_spill = backend._iu_spill
+                                    floor = backend._issue_floor
+                                if issue > max_issue:
+                                    max_issue = issue
+
+                                if cls == $CLS_LOAD or cls == $CLS_STORE:
+                                    slot_key = seg_keys[i]
+                                    k = counters_get(slot_key, 0)
+                                    counters[slot_key] = k + 1
+                                    a = mem_base + (k * mem_stride) % (
+                                        mem_span if mem_span > 0 else 1
+                                    )
+$PROBE_SLOT
+                                    if cls == $CLS_LOAD:
+                                        dlat = ($LVL0, $LVL1,
+                                                $LVL2)[lvl - 1]
+                                        latency += dlat
+                                        loads += 1
+                                    else:
+                                        stores += 1
+
+                                complete = issue + latency
+                                completions[cnt & 127] = complete
+                                cnt += 1
+
+                                earliest = complete + 1
+                                commit2 = (earliest if earliest > last
+                                           else last)
+                                if commit2 == last:
+                                    if cic >= $WIDTH:
+                                        commit2 += 1
+                                        cic = 1
+                                    else:
+                                        cic += 1
+                                else:
+                                    cic = 1
+                                last = commit2
+                        if $CHAINS_ON:
+                            # The resolved template is the next segment's
+                            # chain source; resolve pending edge installs.
+                            if tpl is not None:
+                                cur_tpl = tpl
+                                if lvl_map is not None:
+                                    if len(lvl_map) < $CHAIN_LVL_LIMIT:
+                                        lvl_map[levels] = tpl
+                                elif edge_new is not None:
+                                    dv_n, K0n, t2, tk2 = edge_new
+                                    if dmap_install is not None:
+                                        dmap_install[dv_n] = (K0n,
+                                                              {levels: tpl})
+                                    elif deep_offs_n or mem_plan:
+                                        prev_tpl[8][ek] = [
+                                            deep_offs_n, mem_plan, lvl_span,
+                                            t2, tk2,
+                                            {dv_n: (K0n, {levels: tpl})},
+                                        ]
+                                    else:
+                                        prev_tpl[8][ek] = tpl
                         seg_commit = last
                         # ==== end inlined segment scheduler ==================
 
@@ -740,6 +957,9 @@ $PROBE_SLOT
             backend._tail_cycle = tail_cycle
             backend.load_accesses = loads
             backend.store_accesses = stores
+            backend._chain_tpl = cur_tpl
+            backend.seg_count = segs
+            backend.chain_hits = hits
             dl1_cache.accesses = dl1_acc
             dl1_cache.misses = dl1_miss
             dl1_cache.evictions = dl1_evict
@@ -777,15 +997,24 @@ $PROBE_SLOT
             result.idle_cycles = r_idle - widle
         result.engine_stats = stats_dict()
         result.memory_stats = mem_stats()
+        seg_d = segs - seg_base
+        chain_d = hits - chain_base
+        result.extras = {
+            "segments": seg_d,
+            "chain_hits": chain_d,
+            "chain_hit_rate": (chain_d / seg_d) if seg_d else 0.0,
+        }
         return result
 
     return run
 '''
 
-# Splice the cache-probe blocks at their two sites (template-recording
-# probes and the per-slot fallback) at the surrounding indentation.
-_TEMPLATE = _TEMPLATE.replace("$PROBE_TPL", _indent(_PROBE_BLOCK, 44))
-_TEMPLATE = _TEMPLATE.replace("$PROBE_SLOT", _indent(_PROBE_BLOCK, 40))
+# Splice the chain-follow branch and the cache-probe blocks at their
+# sites (chain-edge probes, template-recording probes, the per-slot
+# fallback) at the surrounding indentation.
+_TEMPLATE = _TEMPLATE.replace("$CHAIN_FOLLOW", _indent(_CHAIN_BLOCK, 24))
+_TEMPLATE = _TEMPLATE.replace("$PROBE_TPL", _indent(_PROBE_BLOCK, 48))
+_TEMPLATE = _TEMPLATE.replace("$PROBE_SLOT", _indent(_PROBE_BLOCK, 36))
 
 
 def _consts(processor) -> dict:
@@ -818,12 +1047,22 @@ def _consts(processor) -> dict:
         "TPL_CACHE_LIMIT": _TPL_CACHE_LIMIT,
         "CLS_LOAD": int(InstrClass.LOAD),
         "CLS_STORE": int(InstrClass.STORE),
+        # Chained-template constants; CHAINS_ON folds the transition
+        # follow in or out of the compiled loop (it is part of the
+        # compile-cache key, so on/off kernels never mix).
+        "CHAINS_ON": bool(processor.backend.chains_enabled),
+        "CHAIN_G_MAX": _CHAIN_G_MAX,
+        "CHAIN_G_BUCKET": _CHAIN_G_BUCKET,
+        "CHAIN_SKEY_MAX": _CHAIN_SKEY_MAX,
+        "CHAIN_EDGE_LIMIT": _CHAIN_EDGE_LIMIT,
+        "CHAIN_DEEP_LIMIT": _CHAIN_DEEP_LIMIT,
+        "CHAIN_LVL_LIMIT": _CHAIN_LVL_LIMIT,
     }
 
 
-#: Process-wide tail-shift memo: (packed_tail * 128 + shift) -> the
+#: Process-wide tail-shift memo: (packed_tail * 512 + shift) -> the
 #: shifted (tail, packed_tail).  The radix must exceed the largest
-#: memoized shift (bounded by _TPL_MAX_TAIL_DELTA = 127) for the key to
+#: memoized shift (bounded by _TPL_MAX_TAIL_DELTA = 511) for the key to
 #: stay injective.  Pure, so sharing across kernels and configurations
 #: is sound; bounded by the in-kernel clear at 32768.
 SHIFT_MEMO: dict = {}
@@ -862,3 +1101,16 @@ def make_run(
 def run_kernel_source(processor) -> str:
     """The generated source text (debugging / ``python -m repro.accel``)."""
     return run_kernel(processor).source
+
+
+def chain_follow_source(processor) -> str:
+    """The rendered transition-follow block for ``processor``'s config.
+
+    This is the chain-hit branch exactly as it is spliced into the
+    compiled cycle loop (``python -m repro.accel ARCH WIDTH --chains``);
+    when chaining is disabled for this processor the block folds to its
+    dead ``if False:`` form, which is what this returns.
+    """
+    from repro.accel.codegen import render
+
+    return render(_indent(_CHAIN_BLOCK, 24), _consts(processor))

@@ -48,12 +48,24 @@ from repro.accel.codegen import CompiledKernel, compile_kernel
 __all__ = ["cycle_kernel", "cycle_kernel_source", "make_kernels"]
 
 
+#: Inlined RAS checkpoint capture (RAS.checkpoint transliterated):
+#: one shared fragment spliced into every template so the capture
+#: semantics live in exactly one place.
+_RAS_CKPT = "(ras._sp, ras_slots[(ras._sp - 1) % $RAS_DEPTH if ras._sp else 0])"
+
+
 def _common_consts(engine) -> dict:
+    il1 = engine.mem.il1
     return {
         "WIDTH": engine.width,
         "LINE_BYTES": engine.line_bytes,
         "LINE_MASK": engine.line_bytes - 1,
         "DECODE_BUBBLE": engine.decode_bubble,
+        # L1I geometry for the inlined MRU-hit probe fast path.
+        "IL1_OFF": il1._offset_bits,
+        "IL1_MASK": il1._index_mask,
+        "IL1_SHIFT": il1._tag_shift,
+        "RAS_DEPTH": engine.ras.depth,
     }
 
 
@@ -65,15 +77,22 @@ _EV8_TEMPLATE = '''\
 def make_kernels(engine):
     program = engine.program
     mem = engine.mem
-    il1_access = mem.il1.access
+    il1_cache = mem.il1
+    il1_sets = il1_cache._sets
+    il1_tail = il1_cache.access_tail
     fill_l2 = mem._fill_from_l2_instr
     stats_counts = engine.stats._counts
     predictor_predict = engine.predictor.predict
     predictor_update = engine.predictor.update
+    bim_c = engine.predictor._bim_c
+    g0_c = engine.predictor._g0_c
+    g1_c = engine.predictor._g1_c
+    meta_c = engine.predictor._meta_c
     history = engine.history
     spec_push = history.spec_push
     commit_push = history.commit_push
-    ras_checkpoint = engine.ras.checkpoint
+    ras = engine.ras
+    ras_slots = ras._slots
     ras_push = engine.ras.push
     ras_pop = engine.ras.pop
     btb_lookup = engine.btb.lookup
@@ -100,7 +119,12 @@ def make_kernels(engine):
         if not image_start <= addr < image_end:
             engine._waiting_resolve = True
             return None
-        if not il1_access(addr):
+        il1_line = addr >> $IL1_OFF
+        il1_tag = il1_line >> $IL1_SHIFT
+        il1_ways = il1_sets[il1_line & $IL1_MASK]
+        il1_cache.accesses += 1
+        if not ((il1_ways and il1_ways[0] == il1_tag)
+                or il1_tail(il1_ways, il1_tag)):
             extra = fill_l2(addr)
             if extra > 0:
                 stats_counts["icache_miss_stalls"] += 1
@@ -130,9 +154,34 @@ def make_kernels(engine):
             kind = lb.kind
             if kind is KIND_COND:
                 hist_snap = history.spec
-                pred, info = predictor_predict(baddr, hist_snap)
-                spec_push(pred)
-                ckpt = (ras_checkpoint(), hist_snap)
+                # Inlined TwoBcGskew.predict: four skewed bank indexes
+                # with the fold windows unrolled (sound below the fold
+                # limit, which covers every simulated address) and the
+                # e-gskew vote taken on the spot.
+                word_p = baddr >> 2
+                v1 = word_p ^ ((hist_snap & $H0_MASK) << 5) ^ (word_p << 2)
+                h1 = hist_snap & $H1_MASK
+                v2 = word_p ^ (h1 << 3) ^ (word_p << 7)
+                v3 = word_p ^ (h1 << 9) ^ (word_p << 4)
+                if (word_p < $PLIMIT and v1 < $PLIMIT and v2 < $PLIMIT
+                        and v3 < $PLIMIT):
+                    bim_i = (word_p ^ (word_p >> $PBITS) ^ (word_p >> $PB2)
+                             ^ (word_p >> $PB3)) & $PMASK
+                    g0_i = (v1 ^ (v1 >> $PBITS) ^ (v1 >> $PB2)
+                            ^ (v1 >> $PB3)) & $PMASK
+                    g1_i = (v2 ^ (v2 >> $PBITS) ^ (v2 >> $PB2)
+                            ^ (v2 >> $PB3)) & $PMASK
+                    meta_i = (v3 ^ (v3 >> $PBITS) ^ (v3 >> $PB2)
+                              ^ (v3 >> $PB3)) & $PMASK
+                    p_bim = bim_c[bim_i] >= 2
+                    p_eskew = (p_bim + (g0_c[g0_i] >= 2)
+                               + (g1_c[g1_i] >= 2)) >= 2
+                    pred = p_eskew if meta_c[meta_i] >= 2 else p_bim
+                    info = (bim_i, g0_i, g1_i, meta_i, p_bim, p_eskew)
+                else:
+                    pred, info = predictor_predict(baddr, hist_snap)
+                history.spec = ((hist_snap << 1) | pred) & $HIST_MASK
+                ckpt = ($RAS_CKPT, hist_snap)
                 stats_counts["cond_predictions"] += 1
                 if pred:
                     entry = btb_lookup(baddr)
@@ -165,7 +214,7 @@ def make_kernels(engine):
                     target = lb.target_addr
                 if kind is KIND_CALL:
                     ras_push(baddr + 4)
-                ckpt = (ras_checkpoint(), history.spec)
+                ckpt = ($RAS_CKPT, history.spec)
                 append((cursor, run, target, ckpt, None))
                 emitted += run
                 next_fetch = target
@@ -178,7 +227,7 @@ def make_kernels(engine):
                         engine._busy_until = until
                     stats_counts["decode_redirects"] += 1
                 target = ras_pop()
-                ckpt = (ras_checkpoint(), history.spec)
+                ckpt = ($RAS_CKPT, history.spec)
                 append((cursor, run, target, ckpt, None))
                 emitted += run
                 next_fetch = target
@@ -186,7 +235,7 @@ def make_kernels(engine):
                 break
             # Indirect jump: only the BTB can supply a target at fetch.
             entry = btb_lookup(baddr)
-            ckpt = (ras_checkpoint(), history.spec)
+            ckpt = ($RAS_CKPT, history.spec)
             if entry is not None:
                 append((cursor, run, entry.target, ckpt, None))
                 next_fetch = entry.target
@@ -217,7 +266,8 @@ def make_kernels(engine):
         if kind is KIND_NONE:
             return
         taken = dyn.taken
-        baddr = dyn.lb.branch_addr
+        lbx = dyn.lb
+        baddr = lbx.addr + (lbx.size - 1) * 4
         if kind is KIND_COND:
             if isinstance(payload, tuple) and payload[0] == "cond":
                 predictor_update(payload[1], taken)
@@ -226,7 +276,7 @@ def make_kernels(engine):
                 # after a redirect): train with commit-time state.
                 _, info = predictor_predict(baddr, history.commit)
                 predictor_update(info, taken)
-            commit_push(taken)
+            history.commit = ((history.commit << 1) | taken) & $HIST_MASK
         btb_update(baddr, dyn.next_addr if taken else 0, kind, taken)
 
     return cycle, note_commit
@@ -238,6 +288,17 @@ def _ev8_consts(engine) -> dict:
     slot_bytes = engine.width * INSTRUCTION_BYTES
     consts["SLOT_BYTES"] = slot_bytes
     consts["SLOT_MASK"] = slot_bytes - 1
+    # TwoBcGskew geometry for the inlined predict.
+    predictor = engine.predictor
+    bits = predictor._index_bits
+    consts["PBITS"] = bits
+    consts["PB2"] = 2 * bits
+    consts["PB3"] = 3 * bits
+    consts["PMASK"] = (1 << bits) - 1
+    consts["PLIMIT"] = predictor._fold_limit
+    consts["H0_MASK"] = predictor._h0_mask
+    consts["H1_MASK"] = predictor._h1_mask
+    consts["HIST_MASK"] = engine.history._mask
     return consts
 
 
@@ -249,24 +310,34 @@ _FTB_TEMPLATE = '''\
 def make_kernels(engine):
     program = engine.program
     mem = engine.mem
-    il1_access = mem.il1.access
+    il1_cache = mem.il1
+    il1_sets = il1_cache._sets
+    il1_tail = il1_cache.access_tail
     fill_l2 = mem._fill_from_l2_instr
     stats_counts = engine.stats._counts
+    ftb = engine.ftb
+    ftb_sets = ftb._sets
     ftb_lookup = engine.ftb.lookup
     ftb_update = engine.ftb.update
     ftb_probe = engine.ftb.probe
     predictor_predict = engine.predictor.predict
     predictor_update = engine.predictor.update
+    perc_local = engine.predictor._local
+    perc_epoch = engine.predictor._epoch
+    perc_memo_get = engine.predictor._y_memo.get
     history = engine.history
     spec_push = history.spec_push
     commit_push = history.commit_push
-    ras_checkpoint = engine.ras.checkpoint
+    ras = engine.ras
+    ras_slots = ras._slots
     ras_push = engine.ras.push
     ras_pop = engine.ras.pop
     ftq = engine.ftq
     ftq_queue = ftq._queue
+    ftq_append = ftq_queue.append
     ftq_push = ftq.push
     ftq_pop = ftq.pop
+    ftq_popleft = ftq_queue.popleft
     ftq_head = ftq.head
     ftq_capacity = ftq.capacity
     decode_fixup = engine._decode_fixup
@@ -288,13 +359,30 @@ def make_kernels(engine):
         # -- prediction stage (FTB) ------------------------------------
         if len(ftq_queue) < ftq_capacity:
             pc = engine.predict_addr
-            ckpt_pre = (ras_checkpoint(), history.spec)
-            entry = ftb_lookup(pc)
+            ckpt_pre = ($RAS_CKPT, history.spec)
+            # Inlined FTB lookup MRU fast path (counters included).
+            word_b = pc >> 2
+            ways_b = ftb_sets[word_b & $FTB_SET_MASK]
+            if ways_b and ways_b[0].tag == word_b >> $FTB_TAG_SHIFT:
+                ftb.lookups += 1
+                entry = ways_b[0]
+            else:
+                entry = ftb_lookup(pc)
             if entry is None:
                 stats_counts["ftb_misses"] += 1
                 nxt = pc + $FTB_MAX_BYTES
-                ftq_push(Request(pc, $FTB_MAX_LENGTH, None, nxt,
-                                 ckpt_pre=ckpt_pre, is_fallback=True))
+                req = Request.__new__(Request)
+                req.start = pc
+                req.remaining = $FTB_MAX_LENGTH
+                req.terminal_kind = None
+                req.pred_next = nxt
+                req.payload = None
+                req.ckpt = None
+                req.ckpt_pre = ckpt_pre
+                req.is_fallback = True
+                req.descriptor = None
+                ftq_append(req)
+                ftq.pushes += 1
                 engine.predict_addr = nxt
             else:
                 stats_counts["ftb_hits"] += 1
@@ -304,13 +392,38 @@ def make_kernels(engine):
                 kind = entry.kind
                 if kind is KIND_NONE:
                     nxt = pc + length * 4
-                    ftq_push(Request(pc, length, None, nxt,
-                                     ckpt_pre=ckpt_pre))
+                    req = Request.__new__(Request)
+                    req.start = pc
+                    req.remaining = length
+                    req.terminal_kind = None
+                    req.pred_next = nxt
+                    req.payload = None
+                    req.ckpt = None
+                    req.ckpt_pre = ckpt_pre
+                    req.is_fallback = False
+                    req.descriptor = None
+                    ftq_append(req)
+                    ftq.pushes += 1
                     engine.predict_addr = nxt
                 else:
                     if kind is KIND_COND:
-                        pred, info = predictor_predict(term_pc, history.spec)
-                        spec_push(pred)
+                        # Inlined PerceptronPredictor.predict fast path:
+                        # the epoch-memoized dot product answers straight
+                        # from the memo; a memo miss takes the method
+                        # (which computes and installs it).
+                        hist_f = history.spec
+                        word_f = term_pc >> 2
+                        pidx = word_f & $PP_MASK
+                        lidx = word_f & $PL_MASK
+                        bits_f = (((hist_f & $GH_MASK) << $LH_BITS)
+                                  | perc_local[lidx])
+                        y = perc_memo_get((pidx, perc_epoch[pidx], bits_f))
+                        if y is None:
+                            pred, info = predictor_predict(term_pc, hist_f)
+                        else:
+                            pred = y >= 0
+                            info = (pidx, lidx, bits_f, y)
+                        history.spec = ((hist_f << 1) | pred) & $HIST_MASK
                         payload = ("term", info)
                         nxt = entry.target if pred else term_pc + 4
                     elif kind is KIND_CALL:
@@ -320,9 +433,19 @@ def make_kernels(engine):
                         nxt = ras_pop()
                     else:
                         nxt = entry.target
-                    ckpt = (ras_checkpoint(), ckpt_pre[1])
-                    ftq_push(Request(pc, length, kind, nxt, payload, ckpt,
-                                     ckpt_pre=ckpt_pre))
+                    ckpt = ($RAS_CKPT, ckpt_pre[1])
+                    req = Request.__new__(Request)
+                    req.start = pc
+                    req.remaining = length
+                    req.terminal_kind = kind
+                    req.pred_next = nxt
+                    req.payload = payload
+                    req.ckpt = ckpt
+                    req.ckpt_pre = ckpt_pre
+                    req.is_fallback = False
+                    req.descriptor = None
+                    ftq_append(req)
+                    ftq.pushes += 1
                     engine.predict_addr = nxt
 
         if now < engine._busy_until or request is None:
@@ -333,7 +456,12 @@ def make_kernels(engine):
         if not image_start <= addr < image_end:
             engine._waiting_resolve = True
             return None
-        if not il1_access(addr):
+        il1_line = addr >> $IL1_OFF
+        il1_tag = il1_line >> $IL1_SHIFT
+        il1_ways = il1_sets[il1_line & $IL1_MASK]
+        il1_cache.accesses += 1
+        if not ((il1_ways and il1_ways[0] == il1_tag)
+                or il1_tail(il1_ways, il1_tag)):
             extra = fill_l2(addr)
             if extra > 0:
                 stats_counts["icache_miss_stalls"] += 1
@@ -398,7 +526,7 @@ def make_kernels(engine):
         if done_early:
             # A decode fixup may already have flushed the queue.
             if ftq_head() is request:
-                ftq_pop()
+                ftq_popleft()
         else:
             # Inlined request.consume(n) (Fig. 6 in-place update).
             if n > request.remaining:
@@ -408,7 +536,7 @@ def make_kernels(engine):
             request.start += n * 4
             request.remaining -= n
             if request.remaining == 0:
-                ftq_pop()
+                ftq_popleft()
 
         engine.fetch_cycles += 1
         engine.fetched_instructions += emitted
@@ -428,7 +556,8 @@ def make_kernels(engine):
             engine._c_start = c_start
             engine._c_len = c_len
             return
-        term_pc = dyn.lb.branch_addr
+        lbx = dyn.lb
+        term_pc = lbx.addr + (lbx.size - 1) * 4
         if kind is KIND_COND:
             taken = dyn.taken
             if taken:
@@ -438,7 +567,7 @@ def make_kernels(engine):
                 else:
                     _, info = predictor_predict(term_pc, history.commit)
                     predictor_update(info, True)
-                commit_push(True)
+                history.commit = ((history.commit << 1) | 1) & $HIST_MASK
                 engine._c_start = dyn.next_addr
                 engine._c_len = 0
                 return
@@ -452,7 +581,7 @@ def make_kernels(engine):
                 else:
                     _, info = predictor_predict(term_pc, history.commit)
                     predictor_update(info, False)
-                commit_push(False)
+                history.commit = (history.commit << 1) & $HIST_MASK
                 engine._c_start = term_pc + 4
                 engine._c_len = 0
                 return
@@ -473,6 +602,15 @@ def _ftb_consts(engine) -> dict:
     consts = _common_consts(engine)
     consts["FTB_MAX_LENGTH"] = FTB_MAX_LENGTH
     consts["FTB_MAX_BYTES"] = FTB_MAX_LENGTH * INSTRUCTION_BYTES
+    consts["FTB_SET_MASK"] = engine.ftb._mask
+    consts["FTB_TAG_SHIFT"] = engine.ftb._tag_shift
+    # Perceptron geometry for the inlined memo fast path.
+    predictor = engine.predictor
+    consts["PP_MASK"] = predictor._pidx_mask
+    consts["PL_MASK"] = predictor._lidx_mask
+    consts["GH_MASK"] = predictor._ghist_mask
+    consts["LH_BITS"] = predictor._lh_bits
+    consts["HIST_MASK"] = engine.history._mask
     return consts
 
 
@@ -484,7 +622,9 @@ _STREAM_TEMPLATE = '''\
 def make_kernels(engine):
     program = engine.program
     mem = engine.mem
-    il1_access = mem.il1.access
+    il1_cache = mem.il1
+    il1_sets = il1_cache._sets
+    il1_tail = il1_cache.access_tail
     fill_l2 = mem._fill_from_l2_instr
     stats_counts = engine.stats._counts
     predictor_predict = engine.predictor.predict
@@ -493,11 +633,13 @@ def make_kernels(engine):
     path_spec_push = path.spec_push
     path_commit_push = path.commit_push
     s_partials = engine._s_partials
-    ras_checkpoint = engine.ras.checkpoint
+    ras = engine.ras
+    ras_slots = ras._slots
     ras_push = engine.ras.push
     ras_pop = engine.ras.pop
     ftq = engine.ftq
     ftq_queue = ftq._queue
+    ftq_append = ftq_queue.append
     ftq_push = ftq.push
     ftq_pop = ftq.pop
     ftq_head = ftq.head
@@ -526,10 +668,11 @@ def make_kernels(engine):
             if prediction is None:
                 engine._skip_next_path_push = False
                 stats_counts["stream_pred_misses"] += 1
-                ckpt_pre = (ras_checkpoint(), tuple(path.spec), None)
+                ckpt_pre = ($RAS_CKPT, tuple(path.spec), None)
                 nxt = pc + $SEQ_CHUNK_BYTES
-                ftq_push(Request(pc, $SEQ_CHUNK, None, nxt,
-                                 ckpt_pre=ckpt_pre, is_fallback=True))
+                ftq_append(Request(pc, $SEQ_CHUNK, None, nxt,
+                                   ckpt_pre=ckpt_pre, is_fallback=True))
+                ftq.pushes += 1
                 engine.predict_addr = nxt
             else:
                 stats_counts["stream_pred_hits"] += 1
@@ -541,7 +684,7 @@ def make_kernels(engine):
                         if $LENGTH_KEYS else pc
                     )
                 kind = prediction.kind
-                ras_pre = ras_checkpoint()
+                ras_pre = $RAS_CKPT
                 if kind is KIND_RET:
                     nxt = ras_pop()
                 elif kind is KIND_CALL:
@@ -551,10 +694,11 @@ def make_kernels(engine):
                     nxt = prediction.next_addr
                 path_snap = tuple(path.spec)
                 ckpt_pre = (ras_pre, path_snap, pc)
-                ckpt = (ras_checkpoint(), path_snap, pc)
+                ckpt = ($RAS_CKPT, path_snap, pc)
                 terminal = kind if kind is not KIND_NONE else None
-                ftq_push(Request(pc, prediction.length, terminal, nxt,
-                                 None, ckpt, ckpt_pre=ckpt_pre))
+                ftq_append(Request(pc, prediction.length, terminal, nxt,
+                                   None, ckpt, ckpt_pre=ckpt_pre))
+                ftq.pushes += 1
                 engine.predict_addr = nxt
 
         if now < engine._busy_until or request is None:
@@ -565,7 +709,12 @@ def make_kernels(engine):
         if not image_start <= addr < image_end:
             engine._waiting_resolve = True
             return None
-        if not il1_access(addr):
+        il1_line = addr >> $IL1_OFF
+        il1_tag = il1_line >> $IL1_SHIFT
+        il1_ways = il1_sets[il1_line & $IL1_MASK]
+        il1_cache.accesses += 1
+        if not ((il1_ways and il1_ways[0] == il1_tag)
+                or il1_tail(il1_ways, il1_tag)):
             extra = fill_l2(addr)
             if extra > 0:
                 stats_counts["icache_miss_stalls"] += 1
@@ -733,13 +882,16 @@ _TRACE_TEMPLATE = '''\
 def make_kernels(engine):
     program = engine.program
     mem = engine.mem
-    il1_access = mem.il1.access
+    il1_cache = mem.il1
+    il1_sets = il1_cache._sets
+    il1_tail = il1_cache.access_tail
     fill_l2 = mem._fill_from_l2_instr
     stats_counts = engine.stats._counts
     predictor_predict = engine.predictor.predict
     history = engine.history
     history_spec_push = history.spec_push
-    ras_checkpoint = engine.ras.checkpoint
+    ras = engine.ras
+    ras_slots = ras._slots
     ras_push = engine.ras.push
     ras_pop = engine.ras.pop
     btb_lookup = engine.btb.lookup
@@ -750,6 +902,7 @@ def make_kernels(engine):
     finalize_trace = engine._finalize_trace
     ftq = engine.ftq
     ftq_queue = ftq._queue
+    ftq_append = ftq_queue.append
     ftq_push = ftq.push
     ftq_pop = ftq.pop
     ftq_capacity = ftq.capacity
@@ -808,7 +961,12 @@ def make_kernels(engine):
         if not image_start <= addr < image_end:
             engine._waiting_resolve = True
             return None
-        if not il1_access(addr):
+        il1_line = addr >> $IL1_OFF
+        il1_tag = il1_line >> $IL1_SHIFT
+        il1_ways = il1_sets[il1_line & $IL1_MASK]
+        il1_cache.accesses += 1
+        if not ((il1_ways and il1_ways[0] == il1_tag)
+                or il1_tail(il1_ways, il1_tag)):
             extra = fill_l2(addr)
             if extra > 0:
                 stats_counts["icache_miss_stalls"] += 1
@@ -841,7 +999,7 @@ def make_kernels(engine):
             run = ((baddr - frag_start) >> 2) + 1
             kind = lb.kind
             entry = btb_lookup(baddr)
-            ckpt = (ras_checkpoint(), tuple(history.spec))
+            ckpt = ($RAS_CKPT, tuple(history.spec))
             if kind is KIND_COND:
                 conds += 1
                 taken = entry is not None and entry.predict_taken
@@ -866,7 +1024,7 @@ def make_kernels(engine):
                 if kind is KIND_CALL:
                     ras_push(baddr + 4)
                 append((frag_start, run, target,
-                        (ras_checkpoint(), ckpt[1]), None))
+                        ($RAS_CKPT, ckpt[1]), None))
                 emitted += run
                 next_fetch = target
                 terminal_taken = True
@@ -880,7 +1038,7 @@ def make_kernels(engine):
                     stats_counts["decode_redirects"] += 1
                 target = ras_pop()
                 append((frag_start, run, target,
-                        (ras_checkpoint(), ckpt[1]), None))
+                        ($RAS_CKPT, ckpt[1]), None))
                 emitted += run
                 next_fetch = target
                 terminal_taken = True
@@ -940,7 +1098,7 @@ def make_kernels(engine):
                 predictor_missed = True
             else:
                 stats_counts["trace_pred_hits"] += 1
-                ras_pre = ras_checkpoint()
+                ras_pre = $RAS_CKPT
                 history_spec_push(descriptor.start)
                 hist_snap = tuple(history.spec)
                 for return_addr in descriptor.call_returns:
@@ -949,13 +1107,14 @@ def make_kernels(engine):
                     nxt = ras_pop()
                 else:
                     nxt = descriptor.next_addr
-                ckpt = (ras_checkpoint(), hist_snap)
+                ckpt = ($RAS_CKPT, hist_snap)
                 ckpt_pre = (ras_pre, hist_snap)
                 tk = descriptor.terminal_kind
                 terminal = tk if tk is not KIND_NONE else None
-                ftq_push(Request(descriptor.start, descriptor.length,
-                                 terminal, nxt, None, ckpt,
-                                 ckpt_pre=ckpt_pre, descriptor=descriptor))
+                ftq_append(Request(descriptor.start, descriptor.length,
+                                   terminal, nxt, None, ckpt,
+                                   ckpt_pre=ckpt_pre, descriptor=descriptor))
+                ftq.pushes += 1
                 engine.predict_addr = nxt
                 engine._spec_fill_start = nxt
                 engine._spec_fill_len = 0
@@ -1025,7 +1184,12 @@ def make_kernels(engine):
             if not image_start <= addr < image_end:
                 engine._waiting_resolve = True
                 return None
-            if not il1_access(addr):
+            il1_line = addr >> $IL1_OFF
+            il1_tag = il1_line >> $IL1_SHIFT
+            il1_ways = il1_sets[il1_line & $IL1_MASK]
+            il1_cache.accesses += 1
+            if not ((il1_ways and il1_ways[0] == il1_tag)
+                    or il1_tail(il1_ways, il1_tag)):
                 extra = fill_l2(addr)
                 if extra > 0:
                     stats_counts["icache_miss_stalls"] += 1
@@ -1058,7 +1222,8 @@ def make_kernels(engine):
     def note_commit(dyn, payload, mispredicted):
         kind = dyn.kind
         if kind is not KIND_NONE:
-            btb_update(dyn.lb.branch_addr,
+            lbx = dyn.lb
+            btb_update(lbx.addr + (lbx.size - 1) * 4,
                        dyn.next_addr if dyn.taken else 0, kind, dyn.taken)
 
         fill.mispredicted = fill.mispredicted or mispredicted
@@ -1116,6 +1281,11 @@ def _trace_consts(engine) -> dict:
     consts["PARTIAL_MATCHING"] = bool(engine.partial_matching)
     return consts
 
+
+for _tpl_name in ("_EV8_TEMPLATE", "_FTB_TEMPLATE", "_STREAM_TEMPLATE",
+                  "_TRACE_TEMPLATE"):
+    globals()[_tpl_name] = globals()[_tpl_name].replace("$RAS_CKPT",
+                                                        _RAS_CKPT)
 
 _NAMESPACE = {
     "BranchKind": BranchKind,

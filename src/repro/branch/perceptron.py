@@ -128,13 +128,17 @@ class PerceptronPredictor:
             w = weights[0] + t
             weights[0] = wmax if w > wmax else (wmin if w < wmin else w)
             x = bits
+            s = 0
             for i in range(1, self._n_inputs + 1):
                 w = weights[i] + (t if x & 1 else -t)
-                weights[i] = wmax if w > wmax else (wmin if w < wmin else w)
+                w = wmax if w > wmax else (wmin if w < wmin else w)
+                weights[i] = w
+                s += w
                 x >>= 1
-            # Refresh the cached non-bias weight sum (see predict()) and
+            # The loop above visited every non-bias weight, so the
+            # cached sum (see predict()) falls out of it for free;
             # advance the training epoch so memoized outputs expire.
-            self._wsum[pidx] = sum(weights) - weights[0]
+            self._wsum[pidx] = s
             self._epoch[pidx] += 1
         # Local history is maintained non-speculatively (commit order).
         self._local[lidx] = ((self._local[lidx] << 1) | int(taken)) & self._local_mask

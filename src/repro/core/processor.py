@@ -167,6 +167,11 @@ class Processor:
 
         now = 0
         scheduled = 0
+        # Chain-hit accounting baseline (the backend counters are
+        # cumulative; the scheduler is parked here, so the attribute
+        # view is current).
+        seg_base = backend.seg_count
+        chain_base = backend.chain_hits
         warm_state: Optional[Tuple[int, int, SimulationResult, int, int]] = None
         diverged = False
         # (resolve_cycle, correct_addr, ckpt, counts_as_mispredict, dyn)
@@ -234,12 +239,42 @@ class Processor:
                 continue
 
             if not diverged and inflight_count >= rob_size:
-                result.rob_stall_cycles += 1
+                # Nothing can change while the window stays full: the
+                # next state change is a queued commit, an in-flight
+                # retirement or the pending redirect.  Account the
+                # stalled cycles in bulk and jump there (bit-exact: the
+                # per-cycle loop would classify every skipped cycle as a
+                # ROB stall and touch nothing else).
+                nxt = commit_head if commit_head < inflight_head \
+                    else inflight_head
+                if pending is not None and pending[0] < nxt:
+                    nxt = pending[0]
+                result.rob_stall_cycles += nxt - now
+                now = nxt - 1
                 continue
 
             bundle = engine_cycle(now)
             if not bundle:
-                result.idle_cycles += 1
+                # While the engine waits on the pending resolution it is
+                # contractually a no-op (every engine returns None ahead
+                # of its prediction stage when ``_waiting_resolve`` is
+                # set), so those cycles jump in bulk too.  Other empty
+                # cycles — an instruction-cache busy window, a queue
+                # hiccup — advance one cycle exactly as before: the
+                # decoupled engines keep predicting into the FTQ during
+                # an I-cache stall, so skipping would lose that work.
+                if engine._waiting_resolve and pending is not None:
+                    nxt = commit_head if commit_head < inflight_head \
+                        else inflight_head
+                    if pending[0] < nxt:
+                        nxt = pending[0]
+                    if nxt > now + 1:
+                        result.idle_cycles += nxt - now
+                        now = nxt - 1
+                    else:
+                        result.idle_cycles += 1
+                else:
+                    result.idle_cycles += 1
                 continue
 
             if diverged:
@@ -406,6 +441,17 @@ class Processor:
                         getattr(result, name) - getattr(warm_result, name))
         result.engine_stats = engine.stats_dict()
         result.memory_stats = self.mem.stats_summary()
+        # Chain diagnostics (reading last_commit_cycle above parked the
+        # scheduler, so the counters are published).  These describe
+        # *how* the run executed — they ride in ``extras`` so they never
+        # perturb result equality or stored artifacts.
+        segs = backend.seg_count - seg_base
+        chained = backend.chain_hits - chain_base
+        result.extras = {
+            "segments": segs,
+            "chain_hits": chained,
+            "chain_hit_rate": (chained / segs) if segs else 0.0,
+        }
         return result
 
     # ------------------------------------------------------------------

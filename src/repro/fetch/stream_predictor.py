@@ -163,8 +163,13 @@ class _StreamTable:
         return any(entry.tag == tag for entry in ways)
 
     def update(self, index: int, tag: int, record: StreamRecord,
-               allow_allocate: bool) -> None:
-        """Hysteresis update; optionally allocate on a tag miss."""
+               allow_allocate: bool) -> bool:
+        """Hysteresis update; optionally allocate on a tag miss.
+
+        Returns whether the tag was present *before* the update — the
+        commit path needs (presence, update) as a pair, and answering
+        both from one way scan halves the hottest table walks.
+        """
         ways = self._sets[index & (self.sets - 1)]
         for i, entry in enumerate(ways):
             if entry.tag == tag:
@@ -177,12 +182,12 @@ class _StreamTable:
                     entry.counter -= 1
                 if i:
                     ways.insert(0, ways.pop(i))
-                return
+                return True
         if not allow_allocate:
-            return
+            return False
         if len(ways) < self.assoc:
             ways.insert(0, _Entry(tag, record))
-            return
+            return False
         # Full set: replace the entry with the weakest hysteresis
         # counter (ties broken towards LRU).  The counter is the
         # replacement-policy metric of the paper's §3.2.
@@ -193,6 +198,7 @@ class _StreamTable:
         entry.tag = tag
         entry.replace_with(record)
         ways.insert(0, entry)
+        return False
 
 
 class NextStreamPredictor:
@@ -275,12 +281,14 @@ class NextStreamPredictor:
         """
         i1, t1 = self._t1_index_tag(record.start)
         i2, t2 = self._t2_index_tag(history, record.start)
-        in_t1 = self._t1.present(i1, t1)
-        in_t2 = self._t2.present(i2, t2)
-        first_appearance = not in_t1 and not in_t2
-        self._t1.update(i1, t1, record, allow_allocate=True)
-        allow_t2 = in_t2 or first_appearance or mispredicted
-        self._t2.update(i2, t2, record, allow_allocate=allow_t2)
+        # One fused scan per table: ``update`` reports prior presence.
+        # A present t2 entry updates regardless of the allocate flag,
+        # and an absent one may allocate exactly when the original
+        # ``in_t2 or first_appearance or mispredicted`` rule allowed it
+        # (absent means that reduces to ``not in_t1 or mispredicted``).
+        in_t1 = self._t1.update(i1, t1, record, allow_allocate=True)
+        in_t2 = self._t2.update(i2, t2, record,
+                                allow_allocate=not in_t1 or mispredicted)
         self.updates += 1
         if mispredicted and not in_t2:
             self.upgrades += 1

@@ -136,6 +136,13 @@ class _FillBuffer:
     """Commit-side fill unit assembling traces from retired blocks."""
 
     def __init__(self) -> None:
+        #: Interned descriptors: loopy codes commit the same few traces
+        #: millions of times, and descriptors are immutable — interning
+        #: skips re-deriving ``outcome_bits``/``key``/``interior_taken``
+        #: and lets the predictor's equality checks hit the identity
+        #: fast path.  Bounded (cleared) so pathological trace variety
+        #: cannot grow it without limit.
+        self._intern: dict = {}
         self.reset(0)
 
     def reset(self, start: int) -> None:
@@ -163,15 +170,30 @@ class _FillBuffer:
         self.length += count
 
     def finalize(self, terminal_kind: BranchKind, next_addr: int) -> TraceDescriptor:
-        descriptor = TraceDescriptor(
-            start=self.start,
-            outcomes=tuple(self.outcomes),
-            segments=tuple([(a, n) for a, n in self.segments]),
-            length=self.length,
-            terminal_kind=terminal_kind,
-            next_addr=next_addr,
-            call_returns=tuple(self.call_returns),
+        # ``length`` is the segment-count sum, so it (and every derived
+        # field) is determined by the key below: interning is sound.
+        key = (
+            self.start,
+            tuple(self.outcomes),
+            tuple([(a, n) for a, n in self.segments]),
+            terminal_kind,
+            next_addr,
+            tuple(self.call_returns),
         )
+        intern = self._intern
+        descriptor = intern.get(key)
+        if descriptor is None:
+            if len(intern) > 4096:  # deterministic bound
+                intern.clear()
+            descriptor = intern[key] = TraceDescriptor(
+                start=self.start,
+                outcomes=key[1],
+                segments=key[2],
+                length=self.length,
+                terminal_kind=terminal_kind,
+                next_addr=next_addr,
+                call_returns=key[5],
+            )
         self.reset(next_addr)
         return descriptor
 
@@ -608,7 +630,10 @@ class TraceCacheFetchEngine(FetchEngine):
             return
         mispredicted = fill.mispredicted
         descriptor = fill.finalize(terminal_kind, next_addr)
-        history_before = list(self.history.commit_view())
+        # The predictor only reads the history during the call (the
+        # hasher tuples its own window), so the pre-push view is passed
+        # directly instead of through a defensive copy.
+        history_before = self.history.commit_view()
         self.predictor.update(history_before, descriptor, mispredicted)
         self.history.commit_push(descriptor.start)
         if descriptor.interior_taken or not self.selective_storage:

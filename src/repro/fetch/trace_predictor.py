@@ -88,6 +88,10 @@ class TraceDescriptor:
                 self.terminal_kind, self.next_addr, self.call_returns)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            # The fill unit interns descriptors, so recurring traces
+            # compare by identity on the hysteresis hot path.
+            return True
         if other.__class__ is not TraceDescriptor:
             return NotImplemented
         return self._identity() == other._identity()
@@ -152,7 +156,12 @@ class _TraceTable:
         return any(entry.tag == tag for entry in ways)
 
     def update(self, index: int, tag: int, descriptor: TraceDescriptor,
-               allow_allocate: bool) -> None:
+               allow_allocate: bool) -> bool:
+        """Hysteresis update; optionally allocate on a tag miss.
+
+        Returns whether the tag was present *before* the update, so the
+        commit path gets (presence, update) from one way scan.
+        """
         ways = self._sets[index & (self.sets - 1)]
         for i, entry in enumerate(ways):
             if entry.tag == tag:
@@ -166,12 +175,12 @@ class _TraceTable:
                     entry.counter -= 1
                 if i:
                     ways.insert(0, ways.pop(i))
-                return
+                return True
         if not allow_allocate:
-            return
+            return False
         if len(ways) < self.assoc:
             ways.insert(0, _Entry(tag, descriptor))
-            return
+            return False
         # Replace the weakest entry (counter, then LRU) — the hysteresis
         # counter is the replacement metric.
         victim = min(
@@ -182,6 +191,7 @@ class _TraceTable:
         entry.descriptor = descriptor
         entry.counter = 1
         ways.insert(0, entry)
+        return False
 
 
 class NextTracePredictor:
@@ -252,10 +262,9 @@ class NextTracePredictor:
         """Commit-time update (same allocation/upgrade rules as streams)."""
         i1, t1 = self._t1_index_tag(descriptor.start)
         i2, t2 = self._t2_index_tag(history, descriptor.start)
-        in_t1 = self._t1.present(i1, t1)
-        in_t2 = self._t2.present(i2, t2)
-        first_appearance = not in_t1 and not in_t2
-        self._t1.update(i1, t1, descriptor, allow_allocate=True)
-        allow_t2 = in_t2 or first_appearance or mispredicted
-        self._t2.update(i2, t2, descriptor, allow_allocate=allow_t2)
+        # One fused scan per table (see NextStreamPredictor.update for
+        # the allocation-rule equivalence argument).
+        in_t1 = self._t1.update(i1, t1, descriptor, allow_allocate=True)
+        self._t2.update(i2, t2, descriptor,
+                        allow_allocate=not in_t1 or mispredicted)
         self.updates += 1

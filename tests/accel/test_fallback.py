@@ -6,10 +6,11 @@ interpreted path, and (c) leave results untouched.  Mode selection via
 ``engine_mode`` / ``$REPRO_ACCEL`` is covered here too.
 """
 
-import dataclasses
 import warnings
 
 import pytest
+
+from helpers import result_digest
 
 import repro.accel as accel
 from repro.accel import codegen
@@ -64,8 +65,8 @@ class TestForcedCodegenFailure:
         assert issubclass(fallbacks[0].category, RuntimeWarning)
         # Both processors run (and publish) on the interpreted path.
         assert p1._accel_run is None and p2._accel_run is None
-        assert dataclasses.asdict(r1) == dataclasses.asdict(reference)
-        assert dataclasses.asdict(r2) == dataclasses.asdict(reference)
+        assert result_digest(r1) == result_digest(reference)
+        assert result_digest(r2) == result_digest(reference)
 
     def test_bad_generated_source_falls_back(
         self, gzip_tiny, clean_accel_state, monkeypatch
@@ -80,7 +81,7 @@ class TestForcedCodegenFailure:
             processor, result = _run(gzip_tiny, mode="accel")
         assert any("falling back" in str(w.message) for w in caught)
         assert processor._accel_run is None
-        assert dataclasses.asdict(result) == dataclasses.asdict(reference)
+        assert result_digest(result) == result_digest(reference)
 
 
 class TestModeSelection:
@@ -125,7 +126,7 @@ class TestModeSelection:
             "stream", gzip_tiny, 8, benchmark="gzip", optimized=True,
             trace_seed=ref_trace_seed("gzip"), engine_mode="interp",
         )
-        assert dataclasses.asdict(ref) == dataclasses.asdict(p3.run(1000))
+        assert result_digest(ref) == result_digest(p3.run(1000))
 
 
 class TestUnknownEngineClass:
@@ -158,6 +159,6 @@ class TestUnknownEngineClass:
         accel_p = build("accel")
         assert accel_p._accel_run is not None  # core kernel still binds
         interp_p = build("interp")
-        assert dataclasses.asdict(accel_p.run(3000)) == dataclasses.asdict(
+        assert result_digest(accel_p.run(3000)) == result_digest(
             interp_p.run(3000)
         )

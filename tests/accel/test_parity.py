@@ -12,6 +12,8 @@ import dataclasses
 
 import pytest
 
+from helpers import result_digest
+
 from repro.experiments.configs import ARCHITECTURES, build_processor
 from repro.experiments.runner import RunSpec, reset_program_cache, run_matrix
 from repro.isa.workloads import prepare_program, ref_trace_seed
@@ -41,7 +43,7 @@ def gzip_small():
 def test_engine_width_parity(gzip_small, arch, width):
     accel = _run(gzip_small, arch, width, "accel")
     interp = _run(gzip_small, arch, width, "interp")
-    assert dataclasses.asdict(accel) == dataclasses.asdict(interp)
+    assert result_digest(accel) == result_digest(interp)
 
 
 @pytest.mark.parametrize("arch", ARCHITECTURES)
@@ -59,7 +61,7 @@ def test_backend_state_parity(gzip_small, arch):
         backend = processor.backend
         walker = processor.cursor._walker
         states.append((
-            dataclasses.asdict(result),
+            result_digest(result),
             backend.instructions, backend.last_commit_cycle,
             backend.load_accesses, backend.store_accesses,
             processor.mem.dl1.accesses, processor.mem.dl1.misses,
@@ -94,7 +96,7 @@ def test_nondefault_machine_parity(gzip_small):
             trace_seed=ref_trace_seed("gzip"), machine=machine,
             engine_mode=mode,
         )
-        results[mode] = dataclasses.asdict(processor.run(4000, warmup=1000))
+        results[mode] = result_digest(processor.run(4000, warmup=1000))
     assert results["accel"] == results["interp"]
 
 
@@ -110,7 +112,7 @@ def test_partial_matching_kernel_parity():
             trace_seed=ref_trace_seed("vpr"),
             partial_matching=True, engine_mode=mode,
         )
-        results[mode] = dataclasses.asdict(processor.run(30_000))
+        results[mode] = result_digest(processor.run(30_000))
     assert results["accel"] == results["interp"]
     # The branch must actually have been exercised, or this test pins
     # nothing: fail loudly if the workload stops producing partial hits.
@@ -138,13 +140,13 @@ def test_nondefault_predictor_config_parity(gzip_small):
             trace_seed=ref_trace_seed("gzip"),
             predictor_config=config, engine_mode=mode,
         )
-        results[mode] = dataclasses.asdict(processor.run(6000, warmup=1500))
+        results[mode] = result_digest(processor.run(6000, warmup=1500))
     assert results["accel"] == results["interp"]
 
 
 def _matrix_digest(result):
     return {
-        spec: dataclasses.asdict(res) for spec, res in result.results.items()
+        spec: result_digest(res) for spec, res in result.results.items()
     }
 
 

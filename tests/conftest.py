@@ -32,6 +32,10 @@ def _isolated_artifact_store(monkeypatch):
     """
     monkeypatch.delenv("REPRO_STORE", raising=False)
     monkeypatch.delenv("REPRO_ACCEL", raising=False)
+    # Same reasoning for the chained-template switch: the suite runs
+    # with chains at their default (on); tests that pin a state set
+    # ``REPRO_CHAINS`` themselves.
+    monkeypatch.delenv("REPRO_CHAINS", raising=False)
 
 
 @pytest.fixture

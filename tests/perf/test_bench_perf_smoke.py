@@ -35,7 +35,7 @@ def test_quick_perf_smoke(tmp_path):
     proc = subprocess.run(
         [sys.executable, BENCH_PERF, "--quick"],
         capture_output=True, text=True, env=env, cwd=REPO_ROOT,
-        timeout=120,
+        timeout=240,
     )
     assert proc.returncode == 0, (
         "bench_perf --quick reported a perf regression:\n"

@@ -6,7 +6,7 @@ stat dicts), skip simulation for cached cells, and fall back to
 recomputation — never a wrong result — when the store is damaged.
 """
 
-import dataclasses
+from helpers import result_digest
 
 import pytest
 
@@ -25,8 +25,8 @@ N_CELLS = 1 * 2 * 1 * 4  # bench x layout x width x arch
 def matrices_identical(a, b):
     assert list(a.results) == list(b.results)
     for spec in a.results:
-        assert dataclasses.asdict(a.results[spec]) == \
-            dataclasses.asdict(b.results[spec]), spec
+        assert result_digest(a.results[spec]) == \
+            result_digest(b.results[spec]), spec
     return True
 
 
@@ -125,8 +125,8 @@ class TestFingerprintMisses:
         sub = run_matrix(BENCHES, archs=("stream",), **KWARGS, store=store)
         assert len(counted_run_cell) == before
         for spec, result in sub.results.items():
-            assert dataclasses.asdict(result) == \
-                dataclasses.asdict(reference_matrix.results[spec])
+            assert result_digest(result) == \
+                result_digest(reference_matrix.results[spec])
 
 
 class TestCorruptionFallback:
