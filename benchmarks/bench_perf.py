@@ -11,7 +11,10 @@ Measures three things:
   (gzip + twolf, both layouts, all four engines, 100k instructions),
   serial and — when this host has more than one CPU — parallel, plus
   the **per-worker pool setup overhead** so "is jobs=N worth it here?"
-  can be answered from the report;
+  can be answered from the report, and the **per-job dispatch
+  overhead** of the fault-tolerant pools (``repro.exec``) both paths
+  now run through, so "did the fault machinery slow the fault-free
+  path?" is answerable too;
 * with ``--store DIR``, the artifact-store warm-vs-cold matrix.
 
 The full run writes ``BENCH_perf.json`` at the repo root; that file is
@@ -28,7 +31,7 @@ measurement **in both engine modes**, compared against the committed
 baseline's ``quick_engines`` (accel) and ``quick_engines_interp``
 sections, plus the per-engine accel/interp ratio and the default-matrix
 **chain hit rate** gated against the committed ``chain.floor`` (schema
-3).  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on any
+4).  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on any
 engine in either mode — or a chain hit rate below the floor — fails
 loudly (exit code 1).
 
@@ -235,24 +238,59 @@ def _pool_noop() -> int:
     return os.getpid()
 
 
+def _pool_identity(i: int) -> int:
+    return i
+
+
 def measure_worker_setup(jobs: int, reps: int = 3) -> float:
     """Wall-clock of spinning up (and draining) one worker pool.
 
     This is the fixed cost ``jobs=N`` must amortize before parallelism
     can win; reporting it explicitly makes "why is jobs=2 not faster
-    here?" answerable from the report instead of a mystery.
+    here?" answerable from the report instead of a mystery.  Measured
+    on the same :class:`~repro.exec.pool.ForkServerPool` that
+    ``run_matrix`` dispatches through.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.exec import ForkServerPool, Job
 
     from repro.experiments.runner import _worker_init
 
     def spin():
-        with ProcessPoolExecutor(max_workers=jobs,
-                                 initializer=_worker_init) as pool:
-            for future in [pool.submit(_pool_noop) for _ in range(jobs)]:
-                future.result()
+        with ForkServerPool(jobs, initializer=_worker_init) as pool:
+            pool.run(_pool_noop, [Job(i) for i in range(jobs)])
 
     return _best_of(reps, spin)
+
+
+def measure_pool_overhead(n_jobs: int = 200, reps: int = 3) -> dict:
+    """Per-job bookkeeping cost of the fault-tolerant pools (µs/job).
+
+    No-op jobs make the pools' own overhead — retry accounting, the
+    dispatch loop, a pipe round-trip per job for the forked backend —
+    the entire measurement.  Against a real simulation cell (tens of
+    milliseconds at minimum) these must be noise; the report states
+    them so "did the fault machinery slow the fault-free path?" is
+    answerable by inspection.  The forked number includes the one-off
+    pool spawn amortized over ``n_jobs``, matching how a sweep pays it.
+    """
+    from repro.exec import ForkServerPool, Job, SerialPool
+
+    def serial():
+        SerialPool().run(_pool_identity,
+                         [Job(i, (i,)) for i in range(n_jobs)])
+
+    serial_seconds = _best_of(reps, serial)
+
+    def forked():
+        with ForkServerPool(1) as pool:
+            pool.run(_pool_identity, [Job(i, (i,)) for i in range(n_jobs)])
+
+    forked_seconds = _best_of(reps, forked)
+    return {
+        "jobs": n_jobs,
+        "serial_us_per_job": round(serial_seconds / n_jobs * 1e6, 1),
+        "fork_us_per_job": round(forked_seconds / n_jobs * 1e6, 1),
+    }
 
 
 def measure_matrix(jobs: int, reps: int = 3) -> dict:
@@ -407,6 +445,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     quick_engines_interp = measure_engine_ips(QUICK_INSTRUCTIONS, reps=3,
                                               engine_mode="interp")
     matrix = measure_matrix(jobs)
+    pool_overhead = measure_pool_overhead()
     chain = measure_chain_rates()
     # The committed floor the --quick gate re-measures against: a few
     # points of slack absorb warmth differences between the full run's
@@ -449,7 +488,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
             seed_matrix * drift / matrix["parallel_seconds"], 2
         )
     report = {
-        "schema": 3,
+        "schema": 4,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
         "calibration_drift_vs_pr3": round(drift_pr3, 3),
@@ -459,6 +498,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
         "quick_engines": quick_engines,
         "quick_engines_interp": quick_engines_interp,
         "matrix": matrix,
+        "pool": pool_overhead,
         "chain": chain,
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -487,6 +527,10 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
               f"{matrix['worker_setup_seconds']:.2f}s)")
     else:
         print(f"  matrix jobs={jobs}   skipped: {matrix['parallel_skipped']}")
+    print(f"  pool overhead   "
+          f"{pool_overhead['serial_us_per_job']:.0f}us/job serial, "
+          f"{pool_overhead['fork_us_per_job']:.0f}us/job forked "
+          f"(no-op jobs; a simulation cell is >=4 orders larger)")
     if store_dir:
         # Measured and reported after the JSON above was written:
         # `output` defaults to the committed baseline, and store timings

@@ -1,0 +1,111 @@
+"""Sweep checkpointing: a store-journaled record of completed cells.
+
+A *sweep* is one ``run_matrix`` cross product, identified by the
+fingerprint of its cell set (:func:`sweep_fingerprint` over the cells'
+result fingerprints — everything that determines a cell's output is
+already folded into those).  While the sweep runs, every completed
+cell's result fingerprint is appended to
+``<store-root>/runs/<sweep-fp>.journal`` immediately after the result
+lands in the artifact store, with a single ``O_APPEND`` write per line
+so concurrent writers and a SIGKILL mid-append can at worst produce a
+torn *trailing* line, which the reader ignores.
+
+The journal is a progress record, not a second source of truth: resume
+correctness comes from the store itself (a re-run re-fingerprints every
+cell and serves the hits), so a journal line whose result was since
+garbage-collected simply re-simulates.  What the journal buys is
+observability — "this sweep is 37/88 done" before any simulation starts
+— and store-side lifecycle: ``gc`` can recognize completed or stale
+sweeps and drop their journals (see
+:meth:`repro.store.store.ArtifactStore.gc`).
+
+The line format itself (header + fingerprint lines) lives in
+:mod:`repro.store.store` next to the gc that consumes it; this module
+owns the sweep-level semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from typing import Iterable, Optional, Set
+
+from repro.store.store import (
+    ArtifactStore,
+    append_journal_lines,
+    journal_header_line,
+    read_journal,
+)
+
+
+def sweep_fingerprint(result_fps: Iterable[str]) -> str:
+    """The identity of a sweep: a digest over its (sorted) cell set.
+
+    Order-independent on purpose — the same cross product enumerated in
+    a different axis order is the same sweep and must resume from the
+    same journal.
+    """
+    digest = hashlib.sha256()
+    for fp in sorted(result_fps):
+        digest.update(fp.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SweepJournal:
+    """Append-side view of one sweep's journal file.
+
+    Failures degrade, never abort: the store was probed writable when
+    the run attached it, but a mid-sweep I/O error on the journal costs
+    only the checkpoint (the run itself continues and its results still
+    land in the store) — one warning, then the journal goes quiet.
+    """
+
+    def __init__(self, store: ArtifactStore, sweep_fp: str,
+                 cells: int) -> None:
+        self.store = store
+        self.sweep_fp = sweep_fp
+        self.cells = cells
+        self.path = store.journal_path(sweep_fp)
+        self._recorded: Set[str] = set()
+        self._header_written = False
+        self._failed = False
+
+    def read(self) -> Set[str]:
+        """Fingerprints a previous (or concurrent) run already journaled.
+
+        Also primes the dedup set, so resuming a half-done sweep does
+        not re-append every cached cell.
+        """
+        record = read_journal(self.path)
+        done: Set[str] = set(record["done"]) if record else set()
+        if record is not None:
+            self._header_written = True
+        self._recorded |= done
+        return done
+
+    def append(self, result_fp: str) -> bool:
+        """Record one completed cell; True when a line was written."""
+        if self._failed or result_fp in self._recorded:
+            return False
+        lines = []
+        if not self._header_written:
+            lines.append(journal_header_line(self.sweep_fp, self.cells))
+        lines.append(result_fp)
+        try:
+            append_journal_lines(self.path, lines)
+        except OSError as exc:
+            self._failed = True
+            print(
+                f"warning: sweep journal {self.path} is not writable "
+                f"({exc}); resume checkpointing disabled for this run",
+                file=sys.stderr,
+            )
+            return False
+        self._header_written = True
+        self._recorded.add(result_fp)
+        return True
+
+    def progress(self) -> Optional[str]:
+        """A human-readable "k/n cells journaled" summary."""
+        return f"{len(self._recorded)}/{self.cells}"

@@ -10,6 +10,9 @@ Examples::
     repro-experiments fig9 --profile stream   # cProfile one cell
 
     repro-experiments fig8 --store ~/.repro-store   # incremental runs
+    repro-experiments fig8 --store DIR --resume     # finish an
+                                                    # interrupted sweep
+    repro-experiments fig9 --timeout 300 --retries 1  # fault policy
     repro-experiments cache stats                   # store maintenance
     repro-experiments cache verify
     repro-experiments cache gc --max-bytes 500000000
@@ -39,6 +42,7 @@ import sys
 import time
 from typing import List
 
+from repro.exec.policy import FaultPolicy
 from repro.experiments import ablations
 from repro.experiments.figures import figure8_text, figure9_text
 from repro.experiments.runner import run_matrix
@@ -82,6 +86,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="force the interpreted simulation paths",
     )
     _add_store(parser)
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell attempt deadline; an over-deadline worker is "
+             "killed and the cell retried (default: no deadline)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="re-run a failed/crashed/timed-out cell up to N times "
+             "before it fails the sweep (default: 2)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="report the journaled progress of an interrupted sweep and "
+             "simulate only its missing cells (requires a store)",
+    )
     parser.add_argument("--profile", nargs="?", const="stream",
                         metavar="ARCH", default=None,
                         help="profile one cell (ARCH, first benchmark, "
@@ -137,6 +156,19 @@ def main(argv: List[str] | None = None) -> int:
     if args.command == "cache":
         return _cache_command(args)
 
+    fault_policy = None
+    if args.timeout is not None or args.retries is not None:
+        kwargs = {}
+        if args.timeout is not None:
+            kwargs["timeout"] = args.timeout
+        if args.retries is not None:
+            kwargs["retries"] = args.retries
+        fault_policy = FaultPolicy(**kwargs)
+    if args.resume and not args.store:
+        print(f"--resume needs an artifact store: pass --store DIR or "
+              f"set ${STORE_ENV}", file=sys.stderr)
+        return 2
+
     if args.profile is not None:
         if store_flag_given:
             print("note: --store is ignored by --profile "
@@ -150,7 +182,9 @@ def main(argv: List[str] | None = None) -> int:
         # *explicit* --store warns: a mere $REPRO_STORE in the
         # environment is not a request these commands are declining.)
         for flag, value in (("--jobs", args.jobs > 1),
-                            ("--store", store_flag_given)):
+                            ("--store", store_flag_given),
+                            ("--timeout/--retries", fault_policy is not None),
+                            ("--resume", args.resume)):
             if value:
                 print(f"note: {flag} is ignored by {args.command} "
                       f"(serial simulation sweep)", file=sys.stderr)
@@ -170,14 +204,16 @@ def main(argv: List[str] | None = None) -> int:
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
                             jobs=args.jobs, store=args.store,
-                            engine_mode=args.engine_mode)
+                            engine_mode=args.engine_mode,
+                            fault_policy=fault_policy, resume=args.resume)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
                             jobs=args.jobs, store=args.store,
-                            engine_mode=args.engine_mode)
+                            engine_mode=args.engine_mode,
+                            fault_policy=fault_policy, resume=args.resume)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
@@ -186,7 +222,8 @@ def main(argv: List[str] | None = None) -> int:
                             instructions=args.instructions,
                             scale=args.scale, progress=progress,
                             jobs=args.jobs, store=args.store,
-                            engine_mode=args.engine_mode)
+                            engine_mode=args.engine_mode,
+                            fault_policy=fault_policy, resume=args.resume)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(
@@ -225,6 +262,9 @@ def _cache_command(args) -> int:
         print(f"  objects  {stats['objects']:6d} files    "
               f"{stats['object_bytes']:>12,d} bytes  "
               f"({stats['orphan_objects']} orphans)")
+        if stats.get("journals"):
+            print(f"  journals {stats['journals']:6d} sweeps   "
+                  f"{stats['journal_bytes']:>12,d} bytes")
         if stats["bad_entries"]:
             print(f"  WARNING: {stats['bad_entries']} unreadable index "
                   f"entries (run gc)")
@@ -256,7 +296,8 @@ def _cache_command(args) -> int:
     print(f"{verb} {report['deleted_objects']} objects "
           f"({report['freed_bytes']:,d} bytes), evicted "
           f"{report['evicted_entries']} index entries, removed "
-          f"{report['tmp_removed']} temp files; "
+          f"{report['tmp_removed']} temp files and "
+          f"{report.get('journals_removed', 0)} sweep journals; "
           f"{report['live_bytes']:,d} live bytes remain")
     return 0
 

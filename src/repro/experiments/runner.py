@@ -18,6 +18,15 @@ most once.  Every simulation is fully deterministic given its
 :class:`RunSpec`, so the parallel path produces bit-identical
 :class:`SimulationResult`\\ s to the serial path, in the same order.
 
+Dispatch goes through the fault-tolerant pools in :mod:`repro.exec`
+(:class:`~repro.exec.pool.SerialPool` /
+:class:`~repro.exec.pool.ForkServerPool`): worker crashes lose only the
+cells that worker held, failing cells retry under the configured
+:class:`~repro.exec.policy.FaultPolicy` (accel cells fall back to the
+interpreter before giving up), and a sweep that still cannot finish
+raises :class:`~repro.exec.policy.SweepError` naming the failed cells
+*after* everything else settled and persisted.
+
 ``store=`` extends the amortization *across processes and runs*: cells
 whose result fingerprint resolves in the on-disk artifact store (see
 :mod:`repro.store`) are served from it, only misses are simulated, and
@@ -30,12 +39,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, \
+    Union
 
+from repro.accel import resolve_engine_mode
 from repro.common.params import default_machine
 from repro.core.results import SimulationResult
+from repro.exec.journal import SweepJournal, sweep_fingerprint
+from repro.exec.policy import FaultPolicy, SweepError
+from repro.exec.pool import ForkServerPool, Job, SerialPool
 from repro.experiments.configs import ARCHITECTURES, build_processor
 from repro.isa.program import Program
 from repro.isa.workloads import prepare_program, ref_trace_seed
@@ -300,6 +315,39 @@ def _result_meta(spec: RunSpec, instructions: int, warmup: int,
     }
 
 
+#: Store roots already warned unwritable in this process — the warning
+#: fires once per root, then every matrix against it runs storeless.
+_UNWRITABLE_WARNED: Set[str] = set()
+
+
+def _attach_store(
+    store: Optional[Union[ArtifactCache, ArtifactStore, str]],
+) -> Optional[ArtifactCache]:
+    """Bind the store for one run, probing writability up front.
+
+    An unwritable store root (read-only mount, path shadowed by a
+    regular file, revoked permissions) degrades the run to storeless
+    with a single warning per root — detected at attach time in the
+    parent, not as a surprise ``OSError`` on the first ``put`` inside a
+    worker process.
+    """
+    if store is None:
+        return None
+    artifacts = as_artifact_cache(store)
+    error = artifacts.store.check_writable()
+    if error is None:
+        return artifacts
+    root = str(artifacts.store.root)
+    if root not in _UNWRITABLE_WARNED:
+        _UNWRITABLE_WARNED.add(root)
+        warnings.warn(
+            f"repro.store: store root {root} is not writable ({error}); "
+            f"running without the artifact store",
+            RuntimeWarning, stacklevel=3,
+        )
+    return None
+
+
 def run_matrix(
     benchmarks: Sequence[str],
     widths: Sequence[int] = (8,),
@@ -313,6 +361,8 @@ def run_matrix(
     jobs: int = 1,
     store: Optional[Union[ArtifactCache, ArtifactStore, str]] = None,
     engine_mode: Optional[str] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    resume: bool = False,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
 
@@ -347,9 +397,27 @@ def run_matrix(
     An explicitly provided ``program_cache`` forces the serial path:
     the caller asked for shared already-linked images, which worker
     processes cannot see.
+
+    ``fault_policy`` tunes per-cell fault handling (attempt timeout,
+    retries with deterministic backoff, worker-rebuild budget — see
+    :class:`~repro.exec.policy.FaultPolicy`); both the serial and the
+    pooled path run through :mod:`repro.exec`, so they degrade
+    identically.  A cell that keeps failing under the accelerator is
+    retried once interpreted (with one warning) before it counts as
+    failed; if any cell remains failed after every other cell settles,
+    :class:`~repro.exec.policy.SweepError` names them — everything
+    that completed was already delivered to ``progress`` and persisted
+    to the store and its sweep journal, so a re-run with the same
+    ``store`` resumes instead of starting over.  ``resume=True``
+    (requires ``store``) additionally reports the journaled progress of
+    the interrupted sweep on stderr before running the missing cells.
     """
     if warmup is None:
         warmup = instructions // 3
+    if resume and store is None:
+        raise ValueError(
+            "resume=True requires an artifact store (store=...)"
+        )
     out = RunMatrixResult(instructions=instructions, scale=scale)
 
     specs = [
@@ -371,8 +439,8 @@ def run_matrix(
         for benchmark in benchmarks
         for optimized in layouts
     }
-    if store is not None:
-        artifacts = as_artifact_cache(store)
+    artifacts = _attach_store(store)
+    if artifacts is not None:
         machines = {
             width: default_machine(width).key_payload() for width in widths
         }
@@ -389,20 +457,79 @@ def run_matrix(
                 cached[spec] = hit
 
     misses = [spec for spec in specs if spec not in cached]
+    policy = fault_policy or FaultPolicy()
+    mode = resolve_engine_mode(engine_mode)
 
-    def record(spec: RunSpec, result: SimulationResult) -> None:
-        out.add(spec, result)
-        if progress is not None:
-            progress(result)
+    journal: Optional[SweepJournal] = None
+    if artifacts is not None:
+        sweep_fp = sweep_fingerprint(result_fps.values())
+        journal = SweepJournal(artifacts.store, sweep_fp, len(specs))
+        already = journal.read()
+        if resume:
+            print(
+                f"resume: sweep {sweep_fp[:12]}: {len(already)}/"
+                f"{len(specs)} cell(s) journaled, {len(cached)} served "
+                f"from the store, {len(misses)} to simulate",
+                file=sys.stderr,
+            )
+
+    # Completions arrive out of order from the pool; results and
+    # ``progress`` must still stream in deterministic spec order.  The
+    # frontier advances through ``specs`` as far as settled cells allow,
+    # exactly reproducing the serial ordering.
+    done: Dict[RunSpec, SimulationResult] = dict(cached)
+    frontier = 0
+
+    def advance() -> None:
+        nonlocal frontier
+        while frontier < len(specs) and specs[frontier] in done:
+            result = done[specs[frontier]]
+            out.add(specs[frontier], result)
+            frontier += 1
+            if progress is not None:
+                progress(result)
+
+    if journal is not None:
+        for spec in cached:
+            journal.append(result_fps[spec])
+    advance()
+    if not misses:
+        return out
+
+    def on_completed(job: Job, result: SimulationResult) -> None:
+        # Fires the moment each cell settles, so everything finished is
+        # durable (store + journal) before any later failure can abort
+        # the sweep.
+        spec = job.key
+        if artifacts is not None:
+            artifacts.put_result(
+                result_fps[spec], result,
+                meta=_result_meta(spec, instructions, warmup, scale),
+            )
+            if journal is not None:
+                journal.append(result_fps[spec])
+        done[spec] = result
+        advance()
+
+    def make_job(spec: RunSpec) -> Job:
+        args = (spec, instructions, warmup, scale,
+                program_fps.get((spec.benchmark, spec.optimized)), mode)
+        # An accel cell that exhausts its retries gets one last shot
+        # interpreted — results are bit-identical across engines, so a
+        # kernel-level fault must not fail the sweep.
+        fallback = args[:-1] + ("interp",) if mode == "accel" else None
+        return Job(spec, args, fallback_args=fallback)
+
+    cell_jobs = [make_job(spec) for spec in misses]
 
     if jobs > 1 and len(misses) > 1 and program_cache is None:
         max_workers = max(1, min(jobs, len(misses), os.cpu_count() or 1))
         store_root = artifacts.store.root if artifacts is not None else None
         if multiprocessing.get_start_method() == "fork":
             # Fork server: link or load every missing image once in the
-            # parent; forked workers inherit the warm cache (stored
-            # traces included) and pull cells from the shared queue
-            # without ever linking.
+            # parent; forked workers (including ones rebuilt after a
+            # crash) inherit the warm cache (stored traces included) and
+            # pull cells from the shared queue without ever linking.
             cache = _default_cache()
             needed = {(spec.benchmark, spec.optimized) for spec in misses}
             for benchmark in benchmarks:
@@ -411,83 +538,38 @@ def run_matrix(
                         cache.get(benchmark, optimized, scale,
                                   key=program_fps.get((benchmark, optimized)),
                                   artifacts=artifacts)
-        with ProcessPoolExecutor(
-            max_workers=max_workers, initializer=_worker_init,
-            initargs=(store_root,),
+        with ForkServerPool(
+            max_workers, initializer=_worker_init, initargs=(store_root,),
+            policy=policy,
         ) as pool:
-            futures = {
-                spec: pool.submit(
-                    _run_cell_worker, spec, instructions, warmup, scale,
-                    program_fps.get((spec.benchmark, spec.optimized)),
-                    engine_mode,
-                )
-                for spec in misses
-            }
-            # Collect in spec order so results and progress callbacks
-            # land exactly like the serial path; cached cells stream
-            # through without touching the pool.
-            persisted = set()
-            try:
-                for spec in specs:
-                    result = cached.get(spec)
-                    if result is None:
-                        result = futures[spec].result()
-                        if artifacts is not None:
-                            artifacts.put_result(
-                                result_fps[spec], result,
-                                meta=_result_meta(spec, instructions,
-                                                  warmup, scale),
-                            )
-                            persisted.add(spec)
-                    record(spec, result)
-            finally:
-                if artifacts is not None:
-                    # Workers pull cells out of order, so an interrupt
-                    # mid-collection can leave finished futures the
-                    # in-order loop never reached; persist them rather
-                    # than re-simulating next run.  Cancel what never
-                    # started, wait out cells already running (their
-                    # simulation time is spent either way), then
-                    # persist everything that completed.
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    for spec, future in futures.items():
-                        if spec in persisted or not future.done():
-                            continue
-                        try:
-                            result = future.result()
-                        except BaseException:
-                            continue  # failed/cancelled cell: nothing to save
-                        artifacts.put_result(
-                            result_fps[spec], result,
-                            meta=_result_meta(spec, instructions, warmup,
-                                              scale),
-                        )
+            pool.run(_run_cell_worker, cell_jobs, completed=on_completed)
         return out
 
     cache = program_cache or _default_cache()
     used_programs: Dict[Tuple[str, bool], Program] = {}
+
+    def serial_cell(
+        spec: RunSpec,
+        cell_instructions: int,
+        cell_warmup: int,
+        cell_scale: float,
+        program_key: Optional[str],
+        cell_mode: Optional[str],
+    ) -> SimulationResult:
+        program = cache.get(spec.benchmark, spec.optimized, cell_scale,
+                            key=program_key, artifacts=artifacts)
+        used_programs[(spec.benchmark, spec.optimized)] = program
+        return _run_cell(program, spec.benchmark, spec.optimized,
+                         spec.width, spec.arch, cell_instructions,
+                         cell_warmup, engine_mode=cell_mode)
+
     try:
-        for spec in specs:
-            result = cached.get(spec)
-            if result is None:
-                image_key = (spec.benchmark, spec.optimized)
-                program = cache.get(spec.benchmark, spec.optimized, scale,
-                                    key=program_fps.get(image_key),
-                                    artifacts=artifacts)
-                result = _run_cell(program, spec.benchmark, spec.optimized,
-                                   spec.width, spec.arch, instructions,
-                                   warmup, engine_mode=engine_mode)
-                if artifacts is not None:
-                    artifacts.put_result(
-                        result_fps[spec], result,
-                        meta=_result_meta(spec, instructions, warmup, scale),
-                    )
-                    used_programs[image_key] = program
-            record(spec, result)
+        with SerialPool(policy=policy) as pool:
+            pool.run(serial_cell, cell_jobs, completed=on_completed)
     finally:
-        # Persist grown traces even when a long run is interrupted
-        # mid-matrix (per-cell results above are already durable);
-        # mirrors the per-cell save in _run_cell_worker.
+        # Persist grown traces even when a long run fails or is
+        # interrupted mid-matrix (per-cell results above are already
+        # durable); mirrors the per-cell save in _run_cell_worker.
         if artifacts is not None:
             for (benchmark, optimized), program in used_programs.items():
                 artifacts.save_traces(

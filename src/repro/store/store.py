@@ -36,10 +36,23 @@ STORE_ENV = "REPRO_STORE"
 #: concurrent run's in-flight atomic write.
 TMP_MAX_AGE_SECONDS = 3600.0
 
+#: gc drops sweep journals (see ``runs/``) untouched for this long even
+#: when incomplete — the sweep is presumed abandoned; its results stay
+#: subject to the ordinary index/object policy.
+JOURNAL_MAX_AGE_SECONDS = 30 * 86400.0
+
+#: Fault-injection seam: ``repro.exec.faults`` installs a callable here
+#: (and only then) so tests can interrupt a write between the temp file
+#: and its atomic replace.  ``None`` — the production state — costs one
+#: attribute test per write.  The store must never import ``repro.exec``
+#: itself; the hook is pushed in from the other side.
+_write_fault_hook = None
+
 _FP_CHARS = set("0123456789abcdef")
 
 
-def _atomic_write(path: str, data: bytes) -> None:
+def _atomic_write(path: str, data: bytes,
+                  fault_target: Optional[str] = None) -> None:
     """Write ``data`` to ``path`` atomically (temp file + replace)."""
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
@@ -47,6 +60,9 @@ def _atomic_write(path: str, data: bytes) -> None:
     try:
         with os.fdopen(fd, "wb") as fh:
             fh.write(data)
+        hook = _write_fault_hook
+        if hook is not None and fault_target is not None:
+            hook(fault_target)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -54,6 +70,75 @@ def _atomic_write(path: str, data: bytes) -> None:
         except OSError:
             pass
         raise
+
+
+# ----------------------------------------------------------------------
+# sweep journals (written by repro.exec.journal, collected by gc below)
+# ----------------------------------------------------------------------
+def journal_header_line(sweep_fp: str, cells: int) -> str:
+    """The JSON header line opening a sweep journal."""
+    return json.dumps(
+        {"journal": 1, "sweep": sweep_fp, "cells": cells}, sort_keys=True
+    )
+
+
+def append_journal_lines(path: str, lines: "List[str]") -> None:
+    """Append ``lines`` to a journal in one ``O_APPEND`` write.
+
+    POSIX appends of one small buffer are atomic enough for this
+    format: concurrent writers interleave whole lines, and a writer
+    killed mid-write can at worst leave a torn *final* line, which
+    :func:`read_journal` skips.
+    """
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    data = "".join(line + "\n" for line in lines).encode("ascii")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def read_journal(path: str) -> Optional[dict]:
+    """Parse a sweep journal: ``{"sweep", "cells", "done"}`` or None.
+
+    Tolerant by construction — a missing or unreadable file is None, a
+    torn or alien line is skipped, duplicate headers (two racing runs
+    both opening the journal) collapse to the first.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError:
+        return None
+    sweep: Optional[str] = None
+    cells: Optional[int] = None
+    done: List[str] = []
+    seen = set()
+    for line in raw.decode("ascii", errors="replace").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("{"):
+            try:
+                header = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                sweep is None
+                and isinstance(header, dict)
+                and isinstance(header.get("sweep"), str)
+                and isinstance(header.get("cells"), int)
+            ):
+                sweep = header["sweep"]
+                cells = header["cells"]
+            continue
+        if len(line) == 64 and set(line) <= _FP_CHARS and line not in seen:
+            seen.add(line)
+            done.append(line)
+    if sweep is None and not done:
+        return None
+    return {"sweep": sweep, "cells": cells, "done": done}
 
 
 class ArtifactStore:
@@ -73,11 +158,51 @@ class ArtifactStore:
     def index_dir(self) -> str:
         return os.path.join(self.root, "index")
 
+    @property
+    def runs_dir(self) -> str:
+        """Sweep journals (see :mod:`repro.exec.journal`)."""
+        return os.path.join(self.root, "runs")
+
     def _object_path(self, oid: str) -> str:
         return os.path.join(self.objects_dir, oid[:2], oid[2:])
 
     def _index_path(self, kind: str, fp: str) -> str:
         return os.path.join(self.index_dir, kind, fp + ".json")
+
+    def journal_path(self, sweep_fp: str) -> str:
+        return os.path.join(self.runs_dir, sweep_fp + ".journal")
+
+    def iter_journals(self) -> Iterator[Tuple[str, str]]:
+        """Yield (sweep fingerprint, path) for every journal present."""
+        runs_dir = self.runs_dir
+        if not os.path.isdir(runs_dir):
+            return
+        for name in sorted(os.listdir(runs_dir)):
+            if name.startswith(".tmp-") or not name.endswith(".journal"):
+                continue
+            yield name[: -len(".journal")], os.path.join(runs_dir, name)
+
+    def check_writable(self) -> Optional[str]:
+        """Probe that this store can accept writes.
+
+        Returns None on success, else a human-readable reason.  Run
+        attach points call this so a read-only or otherwise broken
+        store degrades to a storeless run with one up-front warning,
+        instead of failing on the first ``put`` deep inside a worker.
+        The probe file uses the ``.tmp-`` prefix, so an interrupted
+        probe is swept by gc like any stray temp file.
+        """
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, probe = tempfile.mkstemp(dir=self.root, prefix=".tmp-probe-")
+            try:
+                os.write(fd, b"ok")
+            finally:
+                os.close(fd)
+            os.unlink(probe)
+        except OSError as exc:
+            return f"{type(exc).__name__}: {exc}"
+        return None
 
     # ------------------------------------------------------------------
     # read/write
@@ -91,7 +216,8 @@ class ArtifactStore:
         # writing over a *corrupt* object here is what lets a damaged
         # store heal on the recompute path instead of missing forever.
         if self._read_object(oid) is None:
-            _atomic_write(self._object_path(oid), data)
+            _atomic_write(self._object_path(oid), data,
+                          fault_target=f"{kind}/{fp}:object")
         else:
             # Dedup hit: freshen the mtime so gc's racing-writer grace
             # also covers an aged orphan being re-referenced right now.
@@ -103,6 +229,7 @@ class ArtifactStore:
         _atomic_write(
             self._index_path(kind, fp),
             (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8"),
+            fault_target=f"{kind}/{fp}:index",
         )
         return oid
 
@@ -243,6 +370,14 @@ class ArtifactStore:
                 continue
             if oid not in live:
                 orphans += 1
+        journals = 0
+        journal_bytes = 0
+        for _sweep_fp, path in self.iter_journals():
+            journals += 1
+            try:
+                journal_bytes += os.path.getsize(path)
+            except OSError:
+                continue
         return {
             "root": self.root,
             "kinds": kinds,
@@ -250,6 +385,8 @@ class ArtifactStore:
             "object_bytes": object_bytes,
             "orphan_objects": orphans,
             "bad_entries": bad_entries,
+            "journals": journals,
+            "journal_bytes": journal_bytes,
         }
 
     def verify(self) -> dict:
@@ -299,7 +436,15 @@ class ArtifactStore:
            index entries are evicted oldest-first (index mtime — i.e.
            least recently *written*; reads do not refresh entries) until
            the live total fits;
-        4. objects no index entry references are deleted — except
+        4. sweep journals (``runs/``) are pruned: a *complete* journal
+           (every cell it declared is recorded) older than
+           :data:`TMP_MAX_AGE_SECONDS` has served its purpose, and any
+           journal — complete, torn or headerless — untouched for
+           :data:`JOURNAL_MAX_AGE_SECONDS` is an abandoned sweep.
+           Journal lines do **not** pin result entries against the
+           size-cap eviction above: a resumed sweep whose results were
+           evicted simply re-simulates those cells;
+        5. objects no index entry references are deleted — except
            *intact* orphans younger than :data:`TMP_MAX_AGE_SECONDS`,
            which may be a concurrent writer's object whose index entry
            has not landed yet (``put`` writes the object first); a
@@ -311,11 +456,14 @@ class ArtifactStore:
 
         With ``dry_run`` nothing is deleted; the returned summary shows
         what would happen.  Returns ``{"evicted_entries",
-        "deleted_objects", "freed_bytes", "live_bytes", "tmp_removed"}``.
+        "deleted_objects", "freed_bytes", "live_bytes", "tmp_removed",
+        "journals_removed"}``.
         """
         tmp_removed = 0
         now = time.time()
-        for base in (self.objects_dir, self.index_dir):
+        # The whole root: objects/, index/, runs/ and the top level
+        # (where check_writable probes land if interrupted).
+        for base in (self.root,):
             for dirpath, _dirnames, filenames in os.walk(base):
                 for name in filenames:
                     if not name.startswith(".tmp-"):
@@ -425,12 +573,34 @@ class ArtifactStore:
                     os.unlink(path)
                 except OSError:
                     pass
+        journals_removed = 0
+        for _sweep_fp, path in self.iter_journals():
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue
+            record = read_journal(path)
+            complete = (
+                record is not None
+                and record["cells"] is not None
+                and len(record["done"]) >= record["cells"]
+            )
+            stale = age > JOURNAL_MAX_AGE_SECONDS
+            if not ((complete and age > TMP_MAX_AGE_SECONDS) or stale):
+                continue
+            journals_removed += 1
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
         return {
             "evicted_entries": len(evicted),
             "deleted_objects": len(deleted),
             "freed_bytes": freed,
             "live_bytes": sum(object_sizes.get(oid, 0) for oid in live),
             "tmp_removed": tmp_removed,
+            "journals_removed": journals_removed,
             "dry_run": dry_run,
         }
 

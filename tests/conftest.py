@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import signal
 import sys
 
 import pytest
@@ -12,10 +13,20 @@ sys.path.insert(0, os.path.dirname(__file__))
 from helpers import build_tiny_cfg  # noqa: E402
 
 from repro.common.params import default_machine  # noqa: E402
+from repro.exec import faults as _faults  # noqa: E402
 from repro.isa.layout import natural_order  # noqa: E402
 from repro.isa.program import link  # noqa: E402
 from repro.isa.workloads import prepare_program  # noqa: E402
 from repro.memory.hierarchy import MemoryHierarchy  # noqa: E402
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults(timeout=N): fault-injection test; enforced with a "
+        "SIGALRM watchdog (default 120s) so an injected hang that "
+        "escapes its in-test deadline cannot wedge the whole suite",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -36,6 +47,45 @@ def _isolated_artifact_store(monkeypatch):
     # with chains at their default (on); tests that pin a state set
     # ``REPRO_CHAINS`` themselves.
     monkeypatch.delenv("REPRO_CHAINS", raising=False)
+    # And for fault injection: a leftover $REPRO_FAULTS plan must never
+    # leak into (or out of) a test.  ``refresh`` re-reads the cleared
+    # env and uninstalls the store write hook.
+    had_plan = os.environ.get(_faults.FAULTS_ENV) is not None
+    monkeypatch.delenv(_faults.FAULTS_ENV, raising=False)
+    if had_plan:
+        _faults.refresh()
+    yield
+    if os.environ.get(_faults.FAULTS_ENV) is not None:  # pragma: no cover
+        monkeypatch.delenv(_faults.FAULTS_ENV, raising=False)
+    _faults.refresh()
+
+
+@pytest.fixture(autouse=True)
+def _faults_watchdog(request):
+    """Per-test wall-clock limit for ``@pytest.mark.faults`` tests.
+
+    pytest-timeout is not available in this environment, so the limit
+    is hand-rolled with ``SIGALRM``: an injected hang whose in-test
+    deadline machinery is itself broken fails the one test instead of
+    wedging the suite.  The pool's own attempt deadlines nest under
+    this alarm (they restore and re-arm it on exit).
+    """
+    marker = request.node.get_closest_marker("faults")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    limit = float(marker.kwargs.get("timeout", 120.0))
+
+    def _expired(signum, frame):
+        pytest.fail(f"faults watchdog: test exceeded {limit}s", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

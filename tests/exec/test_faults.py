@@ -1,0 +1,116 @@
+"""Tests for the deterministic fault-injection harness (repro.exec.faults)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exec import faults
+from repro.exec.faults import (
+    FAULTS_ENV,
+    FaultSpec,
+    TransientFault,
+    active_plan,
+    encode_plan,
+)
+from repro.store import store as store_module
+from repro.store.store import ArtifactStore
+
+FP = "ab" * 32
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("meteor")
+
+
+def test_encode_plan_roundtrips_through_env(monkeypatch):
+    spec = FaultSpec("exc", match="ev8", times=2, after=1, seconds=3.5,
+                     token="/tmp/tok")
+    monkeypatch.setenv(FAULTS_ENV, encode_plan(spec))
+    faults.refresh()
+    try:
+        assert faults.enabled()
+        assert faults._PLAN == (spec,)
+    finally:
+        monkeypatch.delenv(FAULTS_ENV)
+        faults.refresh()
+    assert not faults.enabled()
+
+
+def test_before_task_gates_on_match_and_attempt():
+    with active_plan(FaultSpec("exc", match="ev8", after=1, times=1)):
+        faults.before_task("cell-ev8", 0)  # before the window
+        with pytest.raises(TransientFault):
+            faults.before_task("cell-ev8", 1)
+        faults.before_task("cell-ev8", 2)  # after the window
+        faults.before_task("cell-stream", 1)  # no substring match
+    faults.before_task("cell-ev8", 1)  # plan deactivated on exit
+
+
+def test_active_plan_restores_previous_env(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, encode_plan(FaultSpec("exc", match="x")))
+    faults.refresh()
+    before = os.environ[FAULTS_ENV]
+    with active_plan(FaultSpec("hang", match="y", seconds=1.0)):
+        assert os.environ[FAULTS_ENV] != before
+    assert os.environ[FAULTS_ENV] == before
+    monkeypatch.delenv(FAULTS_ENV)
+    faults.refresh()
+
+
+def test_unparseable_plan_is_ignored_with_warning(monkeypatch, capsys):
+    monkeypatch.setenv(FAULTS_ENV, "{not json")
+    faults._parse_warned = False
+    faults.refresh()
+    try:
+        assert not faults.enabled()
+        faults.before_task("anything", 0)  # no faults fire
+    finally:
+        monkeypatch.delenv(FAULTS_ENV)
+        faults.refresh()
+    assert "unparseable" in capsys.readouterr().err
+
+
+def test_store_hook_installed_only_while_planned():
+    assert store_module._write_fault_hook is None
+    with active_plan(FaultSpec("store_err", match="result")):
+        assert store_module._write_fault_hook is not None
+    assert store_module._write_fault_hook is None
+    # Task-kind plans never touch the store's write path.
+    with active_plan(FaultSpec("exc", match="x")):
+        assert store_module._write_fault_hook is None
+
+
+def test_store_err_fires_per_target_with_counter_gating(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    with active_plan(FaultSpec("store_err", match="result", times=1)):
+        with pytest.raises(OSError, match="injected store I/O error"):
+            store.put("result", FP, b"payload")
+        # Non-matching kinds are untouched.
+        store.put("trace", FP, b"trace-bytes")
+        # times=1: the second matching write goes through.
+        store.put("result", FP, b"payload")
+    assert store.get("result", FP) == b"payload"
+    assert store.get("trace", FP) == b"trace-bytes"
+
+
+def test_store_fault_token_fires_exactly_once(tmp_path):
+    token = str(tmp_path / "claim.token")
+    store = ArtifactStore(str(tmp_path / "store"))
+    with active_plan(FaultSpec("store_err", match="result", times=99,
+                               token=token)):
+        with pytest.raises(OSError):
+            store.put("result", FP, b"payload")
+        # The token is claimed: every later match passes, despite times.
+        store.put("result", FP, b"payload")
+        store.put("result", "cd" * 32, b"other")
+    assert os.path.exists(token)
+    assert store.get("result", FP) == b"payload"
+
+
+def test_claim_token_single_winner(tmp_path):
+    path = str(tmp_path / "tok")
+    assert faults._claim_token(path)
+    assert not faults._claim_token(path)
