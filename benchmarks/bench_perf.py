@@ -15,6 +15,11 @@ Measures three things:
   overhead** of the fault-tolerant pools (``repro.exec``) both paths
   now run through, so "did the fault machinery slow the fault-free
   path?" is answerable too;
+* **service latency** through :mod:`repro.serve` — an in-process
+  daemon on an ephemeral port answers the same one-cell matrix query
+  cold (simulated) and warm (store-hit replay), so the report states
+  what the wire protocol, admission and store probe cost on top of raw
+  simulation (schema 5);
 * with ``--store DIR``, the artifact-store warm-vs-cold matrix.
 
 The full run writes ``BENCH_perf.json`` at the repo root; that file is
@@ -79,6 +84,10 @@ MATRIX_SCALE = 0.5
 ENGINE_BENCHMARK = "gzip"
 ENGINE_INSTRUCTIONS = 30_000
 QUICK_INSTRUCTIONS = 8_000
+
+#: Serve latency workload (see measure_serve_latency): one small cell,
+#: so the warm request is dominated by service overhead, not payload.
+SERVE_INSTRUCTIONS = 3_000
 
 #: Fail --quick when any engine drops below baseline/1.3 (>30% slower).
 REGRESSION_TOLERANCE = 1.30
@@ -382,6 +391,51 @@ def measure_chain_rates() -> dict:
     }
 
 
+def measure_serve_latency(reps: int = 5) -> dict:
+    """Round-trip request latency through the experiment service.
+
+    An in-process :class:`repro.serve.ExperimentServer` on an ephemeral
+    port with a fresh throwaway store answers the same one-cell matrix
+    query cold (simulated on first contact) and warm (pure store hit).
+    The warm number is the service's overhead floor — connection setup,
+    LDJSON framing, the admission probe and the result decode; the
+    cold number adds one small simulation plus the artifact writes.
+    The scheduler runs serially here so the cold number measures the
+    service, not fork-pool spin-up (that cost is already reported as
+    ``worker_setup_seconds``, and a long-lived daemon keeps its pool
+    resident across requests anyway).  Informational only; never feeds
+    the regression gate.
+    """
+    import tempfile
+
+    from repro.serve import ExperimentServer, ServeClient
+
+    root = tempfile.mkdtemp(prefix="bench-serve-")
+    kwargs = dict(benchmarks=("gzip",), widths=(8,), archs=("stream",),
+                  layouts=(True,), instructions=SERVE_INSTRUCTIONS,
+                  warmup=SERVE_INSTRUCTIONS // 3, scale=MATRIX_SCALE)
+    try:
+        with ExperimentServer(store_root=os.path.join(root, "store"),
+                              max_workers=1, use_fork_pool=False) as server:
+            host, port = server.address
+            client = ServeClient(host, port)
+            ping_seconds = _best_of(reps, client.ping)
+            t0 = time.perf_counter()
+            client.run_matrix(**kwargs)
+            cold_seconds = time.perf_counter() - t0
+            warm_seconds = _best_of(
+                reps, lambda: client.run_matrix(**kwargs)
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "instructions": SERVE_INSTRUCTIONS,
+        "ping_ms": round(ping_seconds * 1e3, 2),
+        "cold_ms": round(cold_seconds * 1e3, 1),
+        "warm_ms": round(warm_seconds * 1e3, 2),
+    }
+
+
 def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
     """Warm-vs-cold wall-clock of the default matrix via the store.
 
@@ -446,6 +500,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
                                               engine_mode="interp")
     matrix = measure_matrix(jobs)
     pool_overhead = measure_pool_overhead()
+    serve = measure_serve_latency()
     chain = measure_chain_rates()
     # The committed floor the --quick gate re-measures against: a few
     # points of slack absorb warmth differences between the full run's
@@ -488,7 +543,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
             seed_matrix * drift / matrix["parallel_seconds"], 2
         )
     report = {
-        "schema": 4,
+        "schema": 5,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
         "calibration_drift_vs_pr3": round(drift_pr3, 3),
@@ -499,6 +554,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
         "quick_engines_interp": quick_engines_interp,
         "matrix": matrix,
         "pool": pool_overhead,
+        "serve": serve,
         "chain": chain,
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
@@ -531,6 +587,9 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
           f"{pool_overhead['serial_us_per_job']:.0f}us/job serial, "
           f"{pool_overhead['fork_us_per_job']:.0f}us/job forked "
           f"(no-op jobs; a simulation cell is >=4 orders larger)")
+    print(f"  serve latency   ping {serve['ping_ms']:.1f}ms; 1-cell "
+          f"matrix cold {serve['cold_ms']:.0f}ms -> warm "
+          f"{serve['warm_ms']:.1f}ms (store-hit replay over the wire)")
     if store_dir:
         # Measured and reported after the JSON above was written:
         # `output` defaults to the committed baseline, and store timings

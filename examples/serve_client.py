@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Talking to the experiment daemon: cold and warm matrix requests.
+
+Asks a running ``python -m repro.serve`` daemon for a small matrix
+twice.  The first (cold) request simulates on the daemon and persists
+every cell to its store; the second (warm) request is answered from
+the store without simulating — both bit-identical to a local
+``run_matrix``.  A second client asking the same cells while the cold
+request is still running would be coalesced onto the in-flight work,
+not queued behind it; `status` shows those counters.
+
+With no daemon address on the command line, the example boots an
+in-process server on an ephemeral port with a throwaway store so it is
+self-contained:
+
+    python examples/serve_client.py              # in-process server
+    python -m repro.serve --store /tmp/s --port 7777 &
+    python examples/serve_client.py 7777         # real daemon
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.experiments.runner import run_matrix  # noqa: E402
+from repro.serve import ExperimentServer, ServeClient  # noqa: E402
+
+BENCHMARKS = ("gzip",)
+KWARGS = dict(widths=(8,), instructions=20_000, scale=0.4)
+
+
+def ask(client: ServeClient, label: str) -> "object":
+    t0 = time.perf_counter()
+    matrix = client.run_matrix(BENCHMARKS, **KWARGS)
+    dt = time.perf_counter() - t0
+    print(f"{label}: {len(matrix.results)} cells in {dt:6.2f}s")
+    return matrix
+
+
+def main() -> None:
+    tmp_store = None
+    server = None
+    if len(sys.argv) > 1:
+        client = ServeClient.at(sys.argv[1])
+    else:
+        tmp_store = tempfile.mkdtemp(prefix="repro-serve-example-")
+        server = ExperimentServer(store_root=tmp_store).start()
+        client = ServeClient(*server.address)
+        print(f"no address given; started an in-process server on "
+              f"{server.address[0]}:{server.address[1]}")
+    try:
+        ping = client.ping()
+        print(f"daemon pid {ping['pid']}, protocol v{ping['version']}")
+
+        cold = ask(client, "cold request (daemon simulates + persists)")
+        warm = ask(client, "warm request (served from the daemon's store)")
+        local = run_matrix(BENCHMARKS, **KWARGS)
+        print("served cells bit-identical to a local run: "
+              f"{cold.results == warm.results == local.results}")
+
+        status = client.status()
+        cells = status["cells"]
+        print(f"daemon status: {status['requests']} requests; "
+              f"{cells['computed']} computed, {cells['coalesced']} "
+              f"coalesced, {cells['failed']} failed; pool "
+              f"{status['pool']['kind']} x{status['pool']['workers']}")
+
+        # The same knob from the CLI: any matrix command accepts
+        # --serve HOST:PORT, and run_matrix(serve=...) falls back to a
+        # local run (one warning) when no daemon answers there.
+        address = f"{client.host}:{client.port}"
+        via = run_matrix(BENCHMARKS, **KWARGS, serve=address)
+        print(f"run_matrix(serve={address!r}) matches: "
+              f"{via.results == local.results}")
+    finally:
+        if server is not None:
+            server.stop()
+        if tmp_store is not None:
+            shutil.rmtree(tmp_store, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

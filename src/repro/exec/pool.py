@@ -190,13 +190,36 @@ class _AttemptTimeout(Exception):
     """Raised inside a serial attempt when its SIGALRM deadline fires."""
 
 
+#: Whether this process already warned that a serial attempt deadline
+#: could not be enforced off the main thread (one warning, then every
+#: further attempt on any thread silently runs deadline-free).
+_deadline_thread_warned = False
+
+
+def _warn_deadline_thread() -> None:
+    global _deadline_thread_warned
+    if _deadline_thread_warned:
+        return
+    _deadline_thread_warned = True
+    warnings.warn(
+        "repro.exec: serial attempt deadlines use SIGALRM, which only "
+        "works on the main thread; attempts driven from other threads "
+        "run without a deadline (use ForkServerPool where hard "
+        "deadlines matter)",
+        RuntimeWarning, stacklevel=4,
+    )
+
+
 class _attempt_deadline:
     """Best-effort serial attempt timeout via ``SIGALRM``.
 
-    Only engages on the main thread of a platform with ``SIGALRM``
-    (the pools are driven from the main thread in practice).  Nests
-    correctly under an outer timer — e.g. a test harness's per-test
-    alarm — by re-arming the outer timer's remaining time on exit.
+    Only engages on the main thread of a platform with ``SIGALRM`` —
+    ``signal.signal`` raises ``ValueError`` anywhere else, and a
+    scheduler thread (the ``repro.serve`` daemon drives serial pools
+    from worker threads) must degrade to no-deadline with a single
+    warning, not crash the attempt.  Nests correctly under an outer
+    timer — e.g. a test harness's per-test alarm — by re-arming the
+    outer timer's remaining time on exit.
     """
 
     def __init__(self, timeout: Optional[float]) -> None:
@@ -207,11 +230,10 @@ class _attempt_deadline:
         self._started = 0.0
 
     def __enter__(self) -> "_attempt_deadline":
-        if (
-            self._timeout is None
-            or not hasattr(signal, "SIGALRM")
-            or threading.current_thread() is not threading.main_thread()
-        ):
+        if self._timeout is None or not hasattr(signal, "SIGALRM"):
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            _warn_deadline_thread()
             return self
 
         def _on_alarm(signum: int, frame: Any) -> None:
@@ -219,7 +241,13 @@ class _attempt_deadline:
                 f"attempt exceeded its {self._timeout}s deadline"
             )
 
-        self._prev_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        try:
+            self._prev_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        except ValueError:
+            # Belt and braces: an embedding where the main-thread test
+            # above passes but handler installation is still refused.
+            _warn_deadline_thread()
+            return self
         self._started = time.monotonic()
         self._prev_delay, _ = signal.setitimer(
             signal.ITIMER_REAL, self._timeout
@@ -347,6 +375,11 @@ class ForkServerPool(Pool):
         self._idle: List[_Worker] = []
         self._pending: deque = deque()
         self._closed = False
+        #: Serializes close/terminate: the serve daemon's watchdog and
+        #: its executor can both tear a pool down, and double-joining /
+        #: double-closing pipes from two threads must be a no-op, not a
+        #: crash.
+        self._shutdown_lock = threading.Lock()
         self._warned_degraded = False
         #: Worker crashes absorbed so far (not timeouts — a deliberate
         #: deadline kill must not push a healthy pool toward serial
@@ -387,17 +420,35 @@ class ForkServerPool(Pool):
         if worker in self._idle:
             self._idle.remove(worker)
 
+    def _take_workers(self) -> List[_Worker]:
+        """Atomically claim every live worker for teardown.
+
+        Exactly one teardown path (close, terminate, or a concurrent
+        duplicate of either) receives each worker, so sentinels, joins
+        and pipe closes happen once no matter how many paths fire —
+        ``close()`` after ``terminate()``, double ``close()``, or a
+        watchdog thread racing the run loop's ``__exit__``.
+        """
+        with self._shutdown_lock:
+            self._closed = True
+            workers = list(self._workers)
+            self._workers.clear()
+            self._idle.clear()
+        return workers
+
     def close(self) -> None:
-        """Graceful shutdown: sentinel the workers, then reap them."""
-        if self._closed:
-            return
-        self._closed = True
-        for worker in list(self._workers):
+        """Graceful shutdown: sentinel the workers, then reap them.
+
+        Idempotent, and safe after :meth:`terminate` or concurrently
+        with it (whichever path claims a worker tears it down).
+        """
+        workers = self._take_workers()
+        for worker in workers:
             try:
                 worker.conn.send(None)
             except (OSError, ValueError):
                 pass
-        for worker in list(self._workers):
+        for worker in workers:
             worker.proc.join(timeout=2.0)
             if worker.proc.is_alive():
                 worker.proc.kill()
@@ -406,13 +457,13 @@ class ForkServerPool(Pool):
                 worker.conn.close()
             except OSError:  # pragma: no cover
                 pass
-        self._workers.clear()
-        self._idle.clear()
 
     def terminate(self) -> None:
-        """Hard shutdown (exception paths): kill everything now."""
-        self._closed = True
-        for worker in list(self._workers):
+        """Hard shutdown (exception paths): kill everything now.
+
+        Idempotent, and safe after or concurrently with :meth:`close`.
+        """
+        for worker in self._take_workers():
             if worker.proc.is_alive():
                 worker.proc.kill()
             worker.proc.join(timeout=5.0)
@@ -420,14 +471,22 @@ class ForkServerPool(Pool):
                 worker.conn.close()
             except OSError:  # pragma: no cover
                 pass
-        self._workers.clear()
-        self._idle.clear()
 
     def __exit__(self, exc_type, *rest: object) -> None:
         if exc_type is None:
             self.close()
         else:
             self.terminate()
+
+    @property
+    def closed(self) -> bool:
+        """Whether the pool has been shut down (no further ``run``)."""
+        return self._closed
+
+    @property
+    def alive_workers(self) -> int:
+        """Resident worker processes currently alive (health surface)."""
+        return sum(1 for w in self._workers if w.proc.is_alive())
 
     # -------------------------------------------------- run loop
     def run(

@@ -87,6 +87,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     _add_store(parser)
     parser.add_argument(
+        "--serve", metavar="HOST:PORT", default=None,
+        help="send the matrix to a running repro.serve daemon (results "
+             "are bit-identical; falls back to local execution if the "
+             "daemon is unreachable or overloaded)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-cell attempt deadline; an over-deadline worker is "
              "killed and the cell retried (default: no deadline)",
@@ -143,6 +149,10 @@ def main(argv: List[str] | None = None) -> int:
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="gc: evict least-recently-written entries "
                               "until live objects fit this many bytes")
+    p_cache.add_argument("--journal-days", type=float, default=None,
+                         metavar="N",
+                         help="gc: drop sweep journals untouched for N "
+                              "days even when incomplete (default: 30)")
     p_cache.add_argument("--dry-run", action="store_true",
                          help="gc: report what would be deleted, delete "
                               "nothing")
@@ -184,7 +194,8 @@ def main(argv: List[str] | None = None) -> int:
         for flag, value in (("--jobs", args.jobs > 1),
                             ("--store", store_flag_given),
                             ("--timeout/--retries", fault_policy is not None),
-                            ("--resume", args.resume)):
+                            ("--resume", args.resume),
+                            ("--serve", args.serve is not None)):
             if value:
                 print(f"note: {flag} is ignored by {args.command} "
                       f"(serial simulation sweep)", file=sys.stderr)
@@ -205,7 +216,8 @@ def main(argv: List[str] | None = None) -> int:
                             scale=args.scale, progress=progress,
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
-                            fault_policy=fault_policy, resume=args.resume)
+                            fault_policy=fault_policy, resume=args.resume,
+                            serve=args.serve)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
@@ -213,7 +225,8 @@ def main(argv: List[str] | None = None) -> int:
                             scale=args.scale, progress=progress,
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
-                            fault_policy=fault_policy, resume=args.resume)
+                            fault_policy=fault_policy, resume=args.resume,
+                            serve=args.serve)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
@@ -223,7 +236,8 @@ def main(argv: List[str] | None = None) -> int:
                             scale=args.scale, progress=progress,
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
-                            fault_policy=fault_policy, resume=args.resume)
+                            fault_policy=fault_policy, resume=args.resume,
+                            serve=args.serve)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(
@@ -291,7 +305,12 @@ def _cache_command(args) -> int:
             print("store is clean")
         return 0 if ok else 1
     # gc
-    report = store.gc(max_bytes=args.max_bytes, dry_run=args.dry_run)
+    journal_max_age = (
+        args.journal_days * 86400.0 if args.journal_days is not None
+        else None
+    )
+    report = store.gc(max_bytes=args.max_bytes, dry_run=args.dry_run,
+                      journal_max_age=journal_max_age)
     verb = "would delete" if args.dry_run else "deleted"
     print(f"{verb} {report['deleted_objects']} objects "
           f"({report['freed_bytes']:,d} bytes), evicted "

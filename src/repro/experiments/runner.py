@@ -211,6 +211,65 @@ class ProgramCache:
         return program
 
 
+def matrix_specs(
+    benchmarks: Sequence[str],
+    widths: Sequence[int],
+    archs: Sequence[str],
+    layouts: Sequence[bool],
+) -> List[RunSpec]:
+    """The deterministic cell enumeration of one matrix cross product.
+
+    This order *is* the contract: results, ``progress`` callbacks and
+    the serve protocol's cell lists all stream in it, so the serial
+    path, the pool path and a daemon answer are comparable
+    element-wise.
+    """
+    return [
+        RunSpec(arch, benchmark, width, optimized)
+        for benchmark in benchmarks
+        for optimized in layouts
+        for width in widths
+        for arch in archs
+    ]
+
+
+def program_fingerprints(
+    specs: Sequence[RunSpec], scale: float
+) -> Dict[Tuple[str, bool], str]:
+    """Program fingerprint per distinct (benchmark, layout) image."""
+    return {
+        (spec.benchmark, spec.optimized):
+            program_fingerprint(spec.benchmark, spec.optimized, scale)
+        for spec in specs
+    }
+
+
+def cell_fingerprints(
+    specs: Sequence[RunSpec],
+    instructions: int,
+    warmup: int,
+    scale: float,
+    program_fps: Optional[Dict[Tuple[str, bool], str]] = None,
+) -> Dict[RunSpec, str]:
+    """Result fingerprint per cell — the identity the store, the sweep
+    journal and the serve daemon's coalescing all key on."""
+    if program_fps is None:
+        program_fps = program_fingerprints(specs, scale)
+    machines = {
+        width: default_machine(width).key_payload()
+        for width in {spec.width for spec in specs}
+    }
+    return {
+        spec: result_fingerprint(
+            program_fps[(spec.benchmark, spec.optimized)],
+            spec.arch, spec.width, instructions, warmup,
+            ref_trace_seed(spec.benchmark),
+            machine=machines[spec.width],
+        )
+        for spec in specs
+    }
+
+
 def _run_cell(
     program: Program,
     benchmark: str,
@@ -315,6 +374,55 @@ def _result_meta(spec: RunSpec, instructions: int, warmup: int,
     }
 
 
+#: Serve addresses already warned unreachable/overloaded here — one
+#: warning, then every further matrix quietly runs locally.
+_SERVE_WARNED: Set[str] = set()
+
+
+def _try_serve(
+    serve: str,
+    benchmarks: Sequence[str],
+    widths: Sequence[int],
+    archs: Sequence[str],
+    layouts: Sequence[bool],
+    instructions: int,
+    warmup: int,
+    scale: float,
+    engine_mode: Optional[str],
+    progress: Optional[Callable[[SimulationResult], None]],
+) -> Optional[RunMatrixResult]:
+    """Ask a serve daemon for the matrix; None means "run locally".
+
+    Unreachable, overloaded or draining daemons degrade to local
+    execution with one warning per address — a missing daemon costs
+    speed, never a result.  Genuine sweep failures
+    (:class:`~repro.exec.policy.SweepError`) and protocol breakage
+    propagate: those are answers, not absence.
+    """
+    from repro.serve.client import (
+        ServeClient,
+        ServeDraining,
+        ServeOverloaded,
+        ServeUnavailable,
+    )
+
+    try:
+        return ServeClient.at(serve).run_matrix(
+            benchmarks, widths=widths, archs=archs, layouts=layouts,
+            instructions=instructions, warmup=warmup, scale=scale,
+            engine_mode=engine_mode, progress=progress,
+        )
+    except (ServeUnavailable, ServeOverloaded, ServeDraining) as exc:
+        if serve not in _SERVE_WARNED:
+            _SERVE_WARNED.add(serve)
+            warnings.warn(
+                f"repro.serve: daemon at {serve} did not take the run "
+                f"({exc}); running locally",
+                RuntimeWarning, stacklevel=4,
+            )
+        return None
+
+
 #: Store roots already warned unwritable in this process — the warning
 #: fires once per root, then every matrix against it runs storeless.
 _UNWRITABLE_WARNED: Set[str] = set()
@@ -363,6 +471,7 @@ def run_matrix(
     engine_mode: Optional[str] = None,
     fault_policy: Optional[FaultPolicy] = None,
     resume: bool = False,
+    serve: Optional[str] = None,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
 
@@ -411,48 +520,42 @@ def run_matrix(
     ``store`` resumes instead of starting over.  ``resume=True``
     (requires ``store``) additionally reports the journaled progress of
     the interrupted sweep on stderr before running the missing cells.
+
+    ``serve="host:port"`` sends the matrix to a running ``repro.serve``
+    daemon instead (bit-identical results — the daemon ships the
+    store's own result encoding); an unreachable or overloaded daemon
+    falls back to local execution with one warning per address.  The
+    daemon applies its own store, worker pool and fault policy, so
+    ``jobs``/``store``/``fault_policy`` govern only the local fallback.
     """
     if warmup is None:
         warmup = instructions // 3
+    if serve is not None:
+        remote = _try_serve(serve, benchmarks, widths, archs, layouts,
+                            instructions, warmup, scale, engine_mode,
+                            progress)
+        if remote is not None:
+            return remote
     if resume and store is None:
         raise ValueError(
             "resume=True requires an artifact store (store=...)"
         )
     out = RunMatrixResult(instructions=instructions, scale=scale)
 
-    specs = [
-        RunSpec(arch, benchmark, width, optimized)
-        for benchmark in benchmarks
-        for optimized in layouts
-        for width in widths
-        for arch in archs
-    ]
+    specs = matrix_specs(benchmarks, widths, archs, layouts)
 
     artifacts: Optional[ArtifactCache] = None
     cached: Dict[RunSpec, SimulationResult] = {}
     result_fps: Dict[RunSpec, str] = {}
     # Computed once per image (not per cell): the fingerprint keys the
     # in-process ProgramCache on storeless runs too.
-    program_fps: Dict[Tuple[str, bool], str] = {
-        (benchmark, optimized):
-            program_fingerprint(benchmark, optimized, scale)
-        for benchmark in benchmarks
-        for optimized in layouts
-    }
+    program_fps = program_fingerprints(specs, scale)
     artifacts = _attach_store(store)
     if artifacts is not None:
-        machines = {
-            width: default_machine(width).key_payload() for width in widths
-        }
+        result_fps = cell_fingerprints(specs, instructions, warmup, scale,
+                                       program_fps=program_fps)
         for spec in specs:
-            fp = result_fingerprint(
-                program_fps[(spec.benchmark, spec.optimized)],
-                spec.arch, spec.width, instructions, warmup,
-                ref_trace_seed(spec.benchmark),
-                machine=machines[spec.width],
-            )
-            result_fps[spec] = fp
-            hit = artifacts.result(fp)
+            hit = artifacts.result(result_fps[spec])
             if hit is not None:
                 cached[spec] = hit
 

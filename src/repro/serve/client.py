@@ -1,0 +1,217 @@
+"""Client side of the serve protocol.
+
+:class:`ServeClient` speaks one request per connection (the daemon is
+connection-per-thread; short connections keep a slow client from
+pinning a handler thread between requests) and surfaces the protocol's
+typed errors as typed exceptions, so callers can distinguish "back off"
+(:class:`ServeOverloaded`), "daemon going away" (:class:`ServeDraining`)
+and "no daemon there at all" (:class:`ServeUnavailable`) — the
+distinction :func:`repro.experiments.runner.run_matrix`'s ``serve=``
+path uses to fall back to local execution.
+
+:meth:`ServeClient.run_matrix` mirrors the local
+:func:`~repro.experiments.runner.run_matrix` contract: it returns a
+:class:`~repro.experiments.runner.RunMatrixResult` whose cells are
+bit-identical to a local run (the daemon ships the store's own result
+encoding), raises :class:`~repro.exec.policy.SweepError` naming cells
+that failed or missed the deadline after delivering everything that
+completed, and streams ``progress`` in deterministic spec order.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import SimulationResult
+from repro.exec.policy import SweepError
+from repro.serve import protocol
+
+__all__ = [
+    "ServeClient",
+    "ServeDraining",
+    "ServeError",
+    "ServeOverloaded",
+    "ServeUnavailable",
+    "parse_address",
+]
+
+
+class ServeError(Exception):
+    """Any client-visible failure talking to a serve daemon."""
+
+
+class ServeUnavailable(ServeError):
+    """No daemon reachable at the address (or it hung up mid-request)."""
+
+
+class ServeOverloaded(ServeError):
+    """The daemon refused admission; back off and retry (or run local)."""
+
+
+class ServeDraining(ServeError):
+    """The daemon is shutting down and no longer admits work."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` or bare ``"port"`` -> ``(host, port)``."""
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        host = "127.0.0.1"
+        port = address
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ServeError(f"bad serve address {address!r} "
+                         f"(want host:port)") from None
+
+
+class ServeClient:
+    """A daemon handle; methods open one connection per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 connect_timeout: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+
+    @classmethod
+    def at(cls, address: str, **kwargs: Any) -> "ServeClient":
+        host, port = parse_address(address)
+        return cls(host, port, **kwargs)
+
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """One request/response round trip; raises typed errors.
+
+        ``timeout`` bounds the wait for the *response* (connection
+        establishment has its own ``connect_timeout``); None waits
+        indefinitely — matrix requests bound themselves via the
+        protocol-level ``deadline`` instead, so the daemon answers with
+        partial results rather than the socket going dark.
+        """
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"no serve daemon at {self.host}:{self.port} ({exc})"
+            ) from None
+        try:
+            sock.settimeout(timeout)
+            with sock.makefile("rwb") as stream:
+                protocol.write_message(stream, message)
+                try:
+                    response = protocol.read_message(stream)
+                except protocol.ProtocolError as exc:
+                    raise ServeError(f"bad response: {exc}") from None
+        except socket.timeout:
+            raise ServeError(
+                f"daemon at {self.host}:{self.port} did not answer "
+                f"within {timeout}s"
+            ) from None
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"connection to {self.host}:{self.port} failed ({exc})"
+            ) from None
+        finally:
+            sock.close()
+        if response is None:
+            raise ServeUnavailable(
+                f"daemon at {self.host}:{self.port} hung up mid-request"
+            )
+        if response.get("ok"):
+            return response
+        code = response.get("error")
+        message_text = response.get("message", "")
+        if code == protocol.ERROR_OVERLOADED:
+            raise ServeOverloaded(message_text)
+        if code == protocol.ERROR_DRAINING:
+            raise ServeDraining(message_text)
+        raise ServeError(f"{code}: {message_text}")
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"}, timeout=self.connect_timeout)
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"}, timeout=self.connect_timeout)
+
+    def drain(self) -> Dict[str, Any]:
+        return self.request({"op": "drain"}, timeout=self.connect_timeout)
+
+    def matrix(self, query: protocol.MatrixQuery) -> Dict[str, Any]:
+        """The raw matrix response (``cells`` undecoded)."""
+        # The socket wait is bounded only when the query is: a bit of
+        # slack over the protocol deadline covers transfer time.
+        timeout = (query.deadline + 30.0
+                   if query.deadline is not None else None)
+        return self.request(query.to_wire(), timeout=timeout)
+
+    def run_matrix(
+        self,
+        benchmarks: Sequence[str],
+        widths: Sequence[int] = (8,),
+        archs: Optional[Sequence[str]] = None,
+        layouts: Sequence[bool] = (False, True),
+        instructions: int = 100_000,
+        warmup: Optional[int] = None,
+        scale: float = 1.0,
+        engine_mode: Optional[str] = None,
+        deadline: Optional[float] = None,
+        progress: Optional[Callable[[SimulationResult], None]] = None,
+    ) -> "Any":
+        """Remote ``run_matrix``: same arguments, same result contract."""
+        from repro.experiments.configs import ARCHITECTURES
+        from repro.experiments.runner import (
+            RunMatrixResult,
+            RunSpec,
+            matrix_specs,
+        )
+
+        if archs is None:
+            archs = tuple(ARCHITECTURES)
+        query = protocol.MatrixQuery(
+            benchmarks=tuple(benchmarks), widths=tuple(widths),
+            archs=tuple(archs), layouts=tuple(layouts),
+            instructions=instructions,
+            warmup=instructions // 3 if warmup is None else warmup,
+            scale=float(scale), engine_mode=engine_mode, deadline=deadline,
+        )
+        response = self.matrix(query)
+        cells = response.get("cells")
+        specs = matrix_specs(query.benchmarks, query.widths, query.archs,
+                             query.layouts)
+        if not isinstance(cells, list) or len(cells) != len(specs):
+            raise ServeError(
+                f"daemon answered {len(cells) if isinstance(cells, list) else 'no'} "
+                f"cells for a {len(specs)}-cell matrix"
+            )
+        out = RunMatrixResult(instructions=instructions, scale=query.scale)
+        failures: Dict[Any, List[str]] = {}
+        for spec, cell in zip(specs, cells):
+            wire_spec = RunSpec(cell.get("arch"), cell.get("benchmark"),
+                                cell.get("width"), cell.get("optimized"))
+            if wire_spec != spec:
+                raise ServeError(
+                    f"daemon cell order diverged: expected {spec}, "
+                    f"got {wire_spec}"
+                )
+            status = cell.get("status")
+            if status == protocol.CELL_OK:
+                result = protocol.decode_result(cell["result"])
+                out.add(spec, result)
+                if progress is not None:
+                    progress(result)
+            elif status == protocol.CELL_DEADLINE:
+                failures[spec] = [
+                    f"deadline: not finished within {deadline}s"
+                ]
+            else:
+                failures[spec] = [cell.get("error") or "failed"]
+        if failures:
+            raise SweepError(failures, completed=len(out.results))
+        return out

@@ -36,11 +36,14 @@ from repro.store.fingerprint import (
     result_fingerprint,
     trace_fingerprint,
 )
+from repro.store.pending import PendingCell, PendingRegistry
 from repro.store.store import ArtifactStore
 
 __all__ = [
     "ArtifactCache",
     "ArtifactStore",
+    "PendingCell",
+    "PendingRegistry",
     "as_artifact_cache",
     "code_version",
     "fingerprint",

@@ -418,9 +418,16 @@ class ArtifactStore:
         }
 
     def gc(
-        self, max_bytes: Optional[int] = None, dry_run: bool = False
+        self,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+        journal_max_age: Optional[float] = None,
     ) -> dict:
         """Collect garbage; optionally evict down to a size cap.
+
+        ``journal_max_age`` (seconds) overrides the default
+        :data:`JOURNAL_MAX_AGE_SECONDS` abandoned-sweep rule in step 4
+        below — the CLI exposes it as ``cache gc --journal-days``.
 
         Policy, in order:
 
@@ -574,6 +581,10 @@ class ArtifactStore:
                 except OSError:
                     pass
         journals_removed = 0
+        journal_age_limit = (
+            JOURNAL_MAX_AGE_SECONDS if journal_max_age is None
+            else journal_max_age
+        )
         for _sweep_fp, path in self.iter_journals():
             try:
                 age = now - os.path.getmtime(path)
@@ -585,7 +596,7 @@ class ArtifactStore:
                 and record["cells"] is not None
                 and len(record["done"]) >= record["cells"]
             )
-            stale = age > JOURNAL_MAX_AGE_SECONDS
+            stale = age > journal_age_limit
             if not ((complete and age > TMP_MAX_AGE_SECONDS) or stale):
                 continue
             journals_removed += 1

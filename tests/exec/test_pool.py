@@ -213,3 +213,105 @@ def test_fork_pool_unpicklable_result_is_a_job_failure_not_a_crash():
     assert "not transmittable" in str(excinfo.value)
     # The worker survived the failed send: no rebuild happened.
     assert pool.rebuilds == 0
+
+
+# ----------------------------------------------------------------------
+# shutdown hardening (the serve daemon closes pools from several paths)
+# ----------------------------------------------------------------------
+def test_fork_pool_close_is_idempotent_and_mixes_with_terminate():
+    pool = ForkServerPool(2)
+    pool.run(operator.add, [Job(i, (i, 1)) for i in range(4)])
+    assert pool.alive_workers > 0
+    pool.close()
+    assert pool.closed
+    assert pool.alive_workers == 0
+    # Every further teardown path is a no-op, in any order.
+    pool.close()
+    pool.terminate()
+    pool.close()
+    assert pool.closed and pool.alive_workers == 0
+
+
+def test_fork_pool_terminate_then_close():
+    pool = ForkServerPool(2)
+    pool.run(operator.add, [Job(i, (i, 1)) for i in range(4)])
+    procs = [w.proc for w in pool._workers]
+    pool.terminate()
+    pool.terminate()
+    pool.close()
+    assert pool.closed
+    assert all(not proc.is_alive() for proc in procs)
+
+
+def test_fork_pool_concurrent_close_from_two_threads():
+    import threading as _threading
+
+    pool = ForkServerPool(2)
+    pool.run(operator.add, [Job(i, (i, 1)) for i in range(4)])
+    errors = []
+
+    def teardown(fn):
+        try:
+            fn()
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [
+        _threading.Thread(target=teardown, args=(pool.close,)),
+        _threading.Thread(target=teardown, args=(pool.terminate,)),
+        _threading.Thread(target=teardown, args=(pool.close,)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert pool.closed and pool.alive_workers == 0
+
+
+def test_fork_pool_reusable_across_runs():
+    # The serve daemon keeps one resident pool across many sweeps.
+    with ForkServerPool(2) as pool:
+        first = pool.run(operator.add, [Job(i, (i, 1)) for i in range(3)])
+        pids_before = {w.proc.pid for w in pool._workers}
+        second = pool.run(operator.mul, [Job(i, (i, 2)) for i in range(3)])
+        pids_after = {w.proc.pid for w in pool._workers}
+    assert first == {i: i + 1 for i in range(3)}
+    assert second == {i: i * 2 for i in range(3)}
+    # Workers stayed resident between runs (no respawn).
+    assert pids_before == pids_after and pids_before
+
+
+# ----------------------------------------------------------------------
+# serial deadlines off the main thread (daemon scheduler threads)
+# ----------------------------------------------------------------------
+def test_serial_deadline_off_main_thread_degrades_with_one_warning():
+    import threading as _threading
+
+    from repro.exec import pool as pool_module
+
+    policy = FaultPolicy(timeout=30.0, retries=0, backoff=0.0)
+    outcomes = {}
+
+    def drive(tag):
+        outcomes[tag] = SerialPool(policy=policy).run(
+            operator.add, [Job(f"{tag}-job", (1, 2))]
+        )
+
+    saved = pool_module._deadline_thread_warned
+    pool_module._deadline_thread_warned = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for tag in ("first", "second"):
+                thread = _threading.Thread(target=drive, args=(tag,))
+                thread.start()
+                thread.join(timeout=60)
+    finally:
+        pool_module._deadline_thread_warned = saved
+    # Both runs completed (no ValueError from signal.signal), results
+    # intact, and exactly one warn-once across both threads.
+    assert outcomes == {"first": {"first-job": 3}, "second": {"second-job": 3}}
+    relevant = [w for w in caught if "main thread" in str(w.message)]
+    assert len(relevant) == 1
+    assert issubclass(relevant[0].category, RuntimeWarning)

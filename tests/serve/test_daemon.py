@@ -1,0 +1,101 @@
+"""End-to-end daemon smoke tests: a real ``python -m repro.serve``
+subprocess on an ephemeral port, driven through the public client."""
+
+from __future__ import annotations
+
+import socket
+import warnings
+
+import pytest
+from helpers import result_digest
+
+from repro.experiments.runner import run_matrix
+from repro.serve.__main__ import _Daemon
+from repro.serve.client import ServeError, ServeUnavailable
+
+MATRIX = dict(benchmarks=("gzip",), widths=(8,), archs=("stream",),
+              layouts=(True,), instructions=3000, warmup=1000, scale=0.3)
+
+
+def test_daemon_smoke_cold_warm_bitidentical_drain(tmp_path):
+    """Boot, serve one cold + one warm query bit-identically, drain."""
+    base = run_matrix(**MATRIX)
+    with _Daemon(str(tmp_path / "store")) as daemon:
+        ping = daemon.client.ping()
+        assert ping["ok"] and ping["pid"] == daemon.proc.pid
+
+        cold = daemon.client.run_matrix(**MATRIX)
+        assert cold.results == base.results
+        assert [result_digest(r) for r in cold.results.values()] == \
+            [result_digest(r) for r in base.results.values()]
+
+        warm = daemon.client.run_matrix(**MATRIX)
+        assert warm.results == base.results
+
+        status = daemon.client.status()
+        assert status["cells"]["computed"] == 1  # the warm hit cost 0
+        assert status["requests"] == 2
+        assert status["store"]["hits"]["result"] >= 1
+        assert not status["draining"]
+
+        assert daemon.drain_and_wait() == 0
+
+
+def test_run_matrix_serve_param_uses_daemon_and_falls_back(tmp_path):
+    """The runner's serve= path: daemon when present, local otherwise."""
+    base = run_matrix(**MATRIX)
+    with _Daemon(str(tmp_path / "store")) as daemon:
+        address = f"{daemon.client.host}:{daemon.client.port}"
+        seen = []
+        remote = run_matrix(**MATRIX, serve=address,
+                            progress=seen.append)
+        assert remote.results == base.results
+        assert len(seen) == 1  # progress streamed per cell
+        assert daemon.client.status()["requests"] == 1
+        assert daemon.drain_and_wait() == 0
+
+    # Nothing listens there anymore: one warning, then a local run
+    # that still returns the identical matrix.
+    import repro.experiments.runner as runner_module
+    runner_module._SERVE_WARNED.discard(address)
+    with pytest.warns(RuntimeWarning, match="running locally"):
+        fallback = run_matrix(**MATRIX, serve=address)
+    assert fallback.results == base.results
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second failure is quiet
+        again = run_matrix(**MATRIX, serve=address)
+    assert again.results == base.results
+
+
+def test_daemon_answers_bad_requests_typed(tmp_path):
+    with _Daemon(None) as daemon:
+        with pytest.raises(ServeError, match="bad_request"):
+            daemon.client.request({"op": "matrix",
+                                   "benchmarks": ["nope"]})
+        with pytest.raises(ServeError, match="bad_request"):
+            daemon.client.request({"op": "frobnicate"})
+        # Garbage framing gets a typed error too, then the daemon
+        # still serves the next connection.
+        with socket.create_connection(
+            (daemon.client.host, daemon.client.port), timeout=10
+        ) as sock:
+            sock.sendall(b"this is not json\n")
+            assert b"bad_request" in sock.makefile("rb").readline()
+        assert daemon.client.ping()["ok"]
+        assert daemon.drain_and_wait() == 0
+
+
+def test_client_unavailable_is_typed():
+    client_error = None
+    # A port nothing listens on (bind-then-close reserves a dead one).
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    from repro.serve.client import ServeClient
+
+    try:
+        ServeClient("127.0.0.1", port).ping()
+    except ServeUnavailable as exc:
+        client_error = exc
+    assert client_error is not None

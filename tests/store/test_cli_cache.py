@@ -109,3 +109,28 @@ class TestCacheSubcommand:
         capsys.readouterr()
         assert ArtifactStore(populated).stats()[
             "kinds"]["result"]["entries"] == 4
+
+    def test_gc_journal_days_overrides_30_day_rule(self, populated,
+                                                   capsys, monkeypatch):
+        """``--journal-days N`` prunes abandoned journals younger than
+        the hardcoded 30-day default (and 0 prunes immediately)."""
+        import time
+
+        from repro.exec.journal import SweepJournal
+
+        store = ArtifactStore(populated)
+        # An incomplete (abandoned) sweep journal: 1 of 5 cells done.
+        journal = SweepJournal(store, "f" * 64, cells=5)
+        journal.append("a" * 64)
+        path = store.journal_path("f" * 64)
+        # Age it two days: the default 30-day rule must keep it...
+        two_days_ago = time.time() - 2 * 86400
+        os.utime(path, (two_days_ago, two_days_ago))
+        assert main(["cache", "gc", "--store", populated]) == 0
+        assert "0 sweep journals" in capsys.readouterr().out
+        assert os.path.exists(path)
+        # ...a --journal-days 1 override prunes it.
+        assert main(["cache", "gc", "--store", populated,
+                     "--journal-days", "1"]) == 0
+        assert "1 sweep journals" in capsys.readouterr().out
+        assert not os.path.exists(path)
