@@ -20,6 +20,10 @@ Measures three things:
   cold (simulated) and warm (store-hit replay), so the report states
   what the wire protocol, admission and store probe cost on top of raw
   simulation (schema 5);
+* **observability overhead** (schema 6): the per-cell cost of the
+  disabled-mode ``repro.obs`` hook, stated as a fraction of the
+  fastest quick cell in both engine modes, plus an on/off
+  bit-identity check;
 * with ``--store DIR``, the artifact-store warm-vs-cold matrix.
 
 The full run writes ``BENCH_perf.json`` at the repo root; that file is
@@ -37,8 +41,10 @@ baseline's ``quick_engines`` (accel) and ``quick_engines_interp``
 sections, plus the per-engine accel/interp ratio and the default-matrix
 **chain hit rate** gated against the committed ``chain.floor`` (schema
 4).  A regression of more than ``REGRESSION_TOLERANCE`` (30%) on any
-engine in either mode — or a chain hit rate below the floor — fails
-loudly (exit code 1).
+engine in either mode — or a chain hit rate below the floor, or an
+observability hook costing more than ``OBS_OVERHEAD_LIMIT`` (2%) of
+the fastest cell, or results diverging with recording on vs off —
+fails loudly (exit code 1).
 
 ``--store DIR`` measurements never feed the regression gate, and the
 ``--quick`` gate never touches a store — the gate always measures cold
@@ -91,6 +97,14 @@ SERVE_INSTRUCTIONS = 3_000
 
 #: Fail --quick when any engine drops below baseline/1.3 (>30% slower).
 REGRESSION_TOLERANCE = 1.30
+
+#: Fail --quick when the disabled-mode observability hook costs more
+#: than this fraction of even the *fastest* quick-mode cell.  The obs
+#: layer instruments at cell boundaries only, so its per-cell cost is
+#: a fixed few microseconds regardless of cell size; gating against
+#: the quick workload's smallest cell is the strictest version of the
+#: "near-zero on the hot path" contract.
+OBS_OVERHEAD_LIMIT = 0.02
 
 #: Default worker cap for the parallel matrix measurement.  Fork-server
 #: pool setup costs a few hundred milliseconds per measurement; beyond
@@ -391,6 +405,81 @@ def measure_chain_rates() -> dict:
     }
 
 
+def measure_obs_hook(reps: int = 3, calls: int = 20_000) -> float:
+    """Per-call seconds of the disabled-mode ``obs.observe_cell`` hook.
+
+    This is the *entire* per-cell cost observability adds when no
+    flight recorder is attached (the default): a handful of counter
+    increments and one histogram observe.  Wall-clock A/B of whole
+    runs cannot resolve a few microseconds against seconds of
+    simulation, so the gate times the hook itself deterministically
+    and divides by a measured cell duration instead.
+    """
+    from repro import obs
+
+    program = _engine_program()
+    processor = build_processor(
+        "stream", program, 8,
+        benchmark=ENGINE_BENCHMARK, optimized=True,
+        trace_seed=ref_trace_seed(ENGINE_BENCHMARK),
+    )
+    result = processor.run(2_000)
+
+    def hammer():
+        for _ in range(calls):
+            obs.observe_cell("accel", result, 0.01, 0.01)
+
+    seconds = _best_of(reps, hammer)
+    # The hammering inflated the core counters; zero them so a later
+    # exposition of this process's registry reads clean.
+    obs.reset_metrics()
+    return seconds / calls
+
+
+def check_obs_identity() -> bool:
+    """Results must be bit-identical with recording on vs disabled.
+
+    Two storeless runs of a tiny matrix: one with a flight recorder
+    attached (events stream to disk), one under ``REPRO_OBS=0``.
+    Observability is a window, never an input — any divergence here is
+    a bug in the instrumentation, not noise.
+    """
+    import tempfile
+
+    from repro import obs
+
+    kwargs = dict(benchmarks=("gzip",), widths=(8,),
+                  archs=("stream", "ev8"), layouts=(True,),
+                  instructions=2_000, scale=0.3)
+    root = tempfile.mkdtemp(prefix="bench-obs-")
+    prior = os.environ.pop("REPRO_OBS", None)
+    try:
+        recorder = obs.sweep_recorder(os.path.join(root, "gate.events"))
+        try:
+            recorded = run_matrix(**kwargs)
+        finally:
+            if recorder is not None:
+                obs.detach(recorder)
+        os.environ["REPRO_OBS"] = "0"
+        silent = run_matrix(**kwargs)
+        return recorded.results == silent.results
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_OBS", None)
+        else:
+            os.environ["REPRO_OBS"] = prior
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _obs_fractions(hook_seconds: float, engines_by_mode: dict) -> dict:
+    """Hook cost as a fraction of each mode's fastest measured cell."""
+    out = {}
+    for mode, engines in engines_by_mode.items():
+        fastest = min(row["seconds"] for row in engines.values())
+        out[mode] = round(hook_seconds / fastest, 6)
+    return out
+
+
 def measure_serve_latency(reps: int = 5) -> dict:
     """Round-trip request latency through the experiment service.
 
@@ -502,6 +591,18 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     pool_overhead = measure_pool_overhead()
     serve = measure_serve_latency()
     chain = measure_chain_rates()
+    hook_seconds = measure_obs_hook()
+    obs_row = {
+        "hook_us_per_cell": round(hook_seconds * 1e6, 2),
+        # Fraction of the *fastest quick-mode cell* — the strictest
+        # denominator the quick gate will ever divide by.
+        "overhead_fraction": _obs_fractions(hook_seconds, {
+            "accel": quick_engines,
+            "interp": quick_engines_interp,
+        }),
+        "limit": OBS_OVERHEAD_LIMIT,
+        "bit_identical": check_obs_identity(),
+    }
     # The committed floor the --quick gate re-measures against: a few
     # points of slack absorb warmth differences between the full run's
     # and the quick run's in-process measurement order.
@@ -543,7 +644,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
             seed_matrix * drift / matrix["parallel_seconds"], 2
         )
     report = {
-        "schema": 5,
+        "schema": 6,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
         "calibration_drift_vs_pr3": round(drift_pr3, 3),
@@ -556,6 +657,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
         "pool": pool_overhead,
         "serve": serve,
         "chain": chain,
+        "obs": obs_row,
         "seed_baseline": SEED_BASELINE,
         "pr3_baseline": PR3_BASELINE,
         "pr4_baseline": PR4_BASELINE,
@@ -590,6 +692,11 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     print(f"  serve latency   ping {serve['ping_ms']:.1f}ms; 1-cell "
           f"matrix cold {serve['cold_ms']:.0f}ms -> warm "
           f"{serve['warm_ms']:.1f}ms (store-hit replay over the wire)")
+    print(f"  obs hook        {obs_row['hook_us_per_cell']:.2f}us/cell "
+          f"({obs_row['overhead_fraction']['accel'] * 100:.3f}% of the "
+          f"fastest accel cell, "
+          f"{obs_row['overhead_fraction']['interp'] * 100:.3f}% interp; "
+          f"bit-identical on/off: {obs_row['bit_identical']})")
     if store_dir:
         # Measured and reported after the JSON above was written:
         # `output` defaults to the committed baseline, and store timings
@@ -692,6 +799,31 @@ def quick_run(baseline_path: str) -> int:
                   f">{(REGRESSION_TOLERANCE - 1) * 100:.0f}% "
                   f"on: {', '.join(failed)}")
             return 1
+
+    # Observability gate: the disabled-mode per-cell hook must stay
+    # invisible next to even the fastest quick cell, in both engine
+    # modes.  Measured directly (microseconds per call) rather than by
+    # wall-clock A/B, which cannot resolve 2% under host noise.
+    hook_seconds = measure_obs_hook()
+    fractions = _obs_fractions(hook_seconds, currents)
+    print(f"  obs hook {hook_seconds * 1e6:.2f}us/cell:")
+    obs_failed = []
+    for mode, fraction in sorted(fractions.items()):
+        status = "ok" if fraction < OBS_OVERHEAD_LIMIT else "REGRESSION"
+        print(f"    {mode:6s} {fraction * 100:.3f}% of the fastest cell "
+              f"(limit {OBS_OVERHEAD_LIMIT * 100:.0f}%) {status}")
+        if fraction >= OBS_OVERHEAD_LIMIT:
+            obs_failed.append(mode)
+    if obs_failed:
+        print(f"obs hook overhead exceeds "
+              f"{OBS_OVERHEAD_LIMIT * 100:.0f}% of a cell "
+              f"on: {', '.join(obs_failed)}")
+        return 1
+    if not check_obs_identity():
+        print("results diverge with observability on vs off "
+              "(instrumentation is contaminating the simulation)")
+        return 1
+    print("  obs on/off bit-identity: ok")
 
     # Chain-hit-rate gate: unlike the ips floors this is a property of
     # the *code*, not the host — simulation is deterministic — so a

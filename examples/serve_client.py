@@ -66,10 +66,23 @@ def main() -> None:
 
         status = client.status()
         cells = status["cells"]
-        print(f"daemon status: {status['requests']} requests; "
+        queue = status["queue"]
+        print(f"daemon status: up {status['uptime']:.1f}s, "
+              f"{status['requests']} requests; "
               f"{cells['computed']} computed, {cells['coalesced']} "
-              f"coalesced, {cells['failed']} failed; pool "
+              f"coalesced, {cells['failed']} failed, "
+              f"{cells['in_flight']} in flight; queue "
+              f"{queue['backlog']}/{queue['limit']}; pool "
               f"{status['pool']['kind']} x{status['pool']['workers']}")
+
+        # The metrics op serves the same counters (plus store, exec and
+        # core families) in Prometheus text format — point a scraper at
+        # it, or grep it like any text:
+        metrics = client.metrics()
+        for line in metrics.splitlines():
+            if line.startswith(("repro_serve_requests_total",
+                                "repro_serve_cells_total")):
+                print(f"  {line}")
 
         # The same knob from the CLI: any matrix command accepts
         # --serve HOST:PORT, and run_matrix(serve=...) falls back to a

@@ -30,10 +30,11 @@ it (see benchmarks/README.md, "Accelerator").
 from __future__ import annotations
 
 import os
-import warnings
 from typing import Callable, Optional
 
+from repro import obs
 from repro.accel.codegen import clear_compile_cache
+from repro.common.warnonce import reset_warn_once, warn_once
 
 __all__ = [
     "ACCEL_ENV",
@@ -52,9 +53,6 @@ _OFF_VALUES = frozenset(
 )
 _ON_VALUES = frozenset({"1", "true", "yes", "on", "accel", "auto", ""})
 
-_warned_fallback = False
-_warned_env = False
-
 
 def resolve_engine_mode(mode: Optional[str] = None) -> str:
     """Normalize an engine-mode request to ``"accel"`` or ``"interp"``.
@@ -63,7 +61,6 @@ def resolve_engine_mode(mode: Optional[str] = None) -> str:
     environment), ``"auto"`` / ``None`` (consult ``$REPRO_ACCEL``,
     default on), or a bool.
     """
-    global _warned_env
     if mode == "accel" or mode is True:
         return "accel"
     if mode == "interp" or mode is False:
@@ -72,12 +69,11 @@ def resolve_engine_mode(mode: Optional[str] = None) -> str:
         env = os.environ.get(ACCEL_ENV, "").strip().lower()
         if env in _OFF_VALUES:
             return "interp"
-        if env not in _ON_VALUES and not _warned_env:
-            _warned_env = True
-            warnings.warn(
+        if env not in _ON_VALUES:
+            warn_once(
+                "accel.env",
                 f"repro.accel: unrecognized ${ACCEL_ENV}={env!r}; "
                 "expected accel/interp/auto (or 1/0) — using accel",
-                RuntimeWarning,
                 stacklevel=2,
             )
         return "accel"
@@ -88,21 +84,18 @@ def resolve_engine_mode(mode: Optional[str] = None) -> str:
 
 def reset_fallback_warning() -> None:
     """Re-arm the warn-once fallback notice (tests)."""
-    global _warned_fallback
-    _warned_fallback = False
+    reset_warn_once("accel.fallback")
 
 
 def _warn_fallback(exc: BaseException) -> None:
-    global _warned_fallback
-    if not _warned_fallback:
-        _warned_fallback = True
-        warnings.warn(
-            f"repro.accel: kernel generation failed ({exc!r}); "
-            "falling back to the interpreted engine (results are "
-            "identical, only slower)",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+    obs.ACCEL_FALLBACKS.inc()
+    warn_once(
+        "accel.fallback",
+        f"repro.accel: kernel generation failed ({exc!r}); "
+        "falling back to the interpreted engine (results are "
+        "identical, only slower)",
+        stacklevel=3,
+    )
 
 
 def compiled_run(processor) -> Optional[Callable]:

@@ -23,6 +23,8 @@ import linecache
 from string import Template
 from typing import Callable, Dict, Tuple
 
+from repro import obs
+
 __all__ = [
     "CompiledKernel",
     "clear_compile_cache",
@@ -86,6 +88,7 @@ def compile_kernel(
     kernel = _COMPILE_CACHE.get(cache_key)
     if kernel is not None:
         return kernel
+    obs.ACCEL_KERNEL_COMPILES.inc()
     source = render(template, consts)
     filename = f"<repro.accel:{name}:{'-'.join(map(str, config_key))}>"
     # optimize=2 strips asserts (pure guards on the interpreted path —

@@ -9,6 +9,7 @@ from repro.common.params import (
     default_machine,
 )
 from repro.common.stats import CounterBag
+from repro.common.warnonce import reset_warn_once, warn_once, warned
 
 __all__ = [
     "BranchKind",
@@ -19,4 +20,7 @@ __all__ = [
     "MachineParams",
     "default_machine",
     "CounterBag",
+    "reset_warn_once",
+    "warn_once",
+    "warned",
 ]

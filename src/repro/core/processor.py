@@ -29,9 +29,11 @@ Per cycle:
 from __future__ import annotations
 
 import copy
+import time
 from collections import deque
 from typing import Deque, Optional, Tuple
 
+from repro import obs
 from repro.common.params import MachineParams
 from repro.common.types import INSTRUCTION_BYTES, BranchKind
 from repro.core.backend import DataflowBackend, shared_schedule_templates
@@ -149,8 +151,17 @@ class Processor:
         together; results must be identical either way (it also forces
         the interpreted path, bypassing any bound accel kernel).
         """
+        # Observability happens only here, at the cell boundary — one
+        # timestamp pair around the whole run, never inside the cycle
+        # loop (the bench gate pins the hook's cost under 2%).
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
         if self._accel_run is not None and not _reference_dispatch:
-            return self._accel_run(max_instructions, warmup)
+            result = self._accel_run(max_instructions, warmup)
+            obs.observe_cell("accel", result,
+                             time.perf_counter() - wall0,
+                             time.process_time() - cpu0)
+            return result
         core = self.machine.core
         engine = self.engine
         cursor = self.cursor
@@ -452,6 +463,9 @@ class Processor:
             "chain_hits": chained,
             "chain_hit_rate": (chained / segs) if segs else 0.0,
         }
+        obs.observe_cell("interp", result,
+                         time.perf_counter() - wall0,
+                         time.process_time() - cpu0)
         return result
 
     # ------------------------------------------------------------------

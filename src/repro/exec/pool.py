@@ -54,13 +54,15 @@ import signal
 import threading
 import time
 import traceback
-import warnings
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, \
+    Tuple
 
 import multiprocessing
 from multiprocessing.connection import wait as _mp_wait
 
+from repro import obs
+from repro.common.warnonce import warn_once
 from repro.exec import faults
 from repro.exec.policy import FaultPolicy, SweepError, backoff_delay
 
@@ -97,7 +99,10 @@ class Pool:
 
     def __init__(self, policy: Optional[FaultPolicy] = None) -> None:
         self.policy = policy or FaultPolicy()
-        self._warned_fallback = False
+        #: Per-pool warn-once registry (see repro.common.warn_once):
+        #: fallback/degradation notices fire once per *pool*, not once
+        #: per process.
+        self._warn_keys: Set[str] = set()
 
     def run(
         self,
@@ -126,14 +131,17 @@ class Pool:
     # shared failure bookkeeping
     # ------------------------------------------------------------------
     def _warn_fallback(self, job: Job) -> None:
-        if not self._warned_fallback:
-            self._warned_fallback = True
-            warnings.warn(
-                f"repro.exec: cell {job.key} exhausted its "
-                f"{self.policy.retries + 1} primary attempt(s); retrying "
-                f"once with its fallback arguments",
-                RuntimeWarning, stacklevel=3,
-            )
+        obs.EXEC_FALLBACKS.inc()
+        obs.record_event(
+            "fallback", cell=str(job.key), attempts=len(job.failures),
+        )
+        warn_once(
+            "exec.fallback",
+            f"repro.exec: cell {job.key} exhausted its "
+            f"{self.policy.retries + 1} primary attempt(s); retrying "
+            f"once with its fallback arguments",
+            stacklevel=3, registry=self._warn_keys,
+        )
 
     def _next_action(self, job: Job, message: str) -> Tuple[str, float]:
         """Record one failed attempt; decide ``(action, delay)``.
@@ -145,6 +153,11 @@ class Pool:
         job.failures.append(message)
         if len(job.failures) <= self.policy.retries:
             job.attempt += 1
+            obs.EXEC_RETRIES.inc()
+            obs.record_event(
+                "retry", cell=str(job.key), attempt=job.attempt,
+                error=message,
+            )
             return "retry", backoff_delay(self.policy, job.key, job.attempt)
         if job.fallback_args is not None and not job.used_fallback:
             job.used_fallback = True
@@ -153,6 +166,11 @@ class Pool:
             self._warn_fallback(job)
             return "fallback", backoff_delay(self.policy, job.key,
                                              job.attempt)
+        obs.EXEC_JOBS.inc(status="failed")
+        obs.record_event(
+            "job_failed", cell=str(job.key), attempts=len(job.failures),
+            error=message,
+        )
         return "fail", 0.0
 
     def _run_job_inline(
@@ -180,6 +198,7 @@ class Pool:
                 if delay > 0:
                     time.sleep(delay)
                 continue
+            obs.EXEC_JOBS.inc(status="ok")
             results[job.key] = result
             if completed is not None:
                 completed(job, result)
@@ -190,23 +209,16 @@ class _AttemptTimeout(Exception):
     """Raised inside a serial attempt when its SIGALRM deadline fires."""
 
 
-#: Whether this process already warned that a serial attempt deadline
-#: could not be enforced off the main thread (one warning, then every
-#: further attempt on any thread silently runs deadline-free).
-_deadline_thread_warned = False
-
-
 def _warn_deadline_thread() -> None:
-    global _deadline_thread_warned
-    if _deadline_thread_warned:
-        return
-    _deadline_thread_warned = True
-    warnings.warn(
+    # Once per process (the global warn-once registry): every further
+    # attempt on any thread silently runs deadline-free.
+    warn_once(
+        "exec.deadline-thread",
         "repro.exec: serial attempt deadlines use SIGALRM, which only "
         "works on the main thread; attempts driven from other threads "
         "run without a deadline (use ForkServerPool where hard "
         "deadlines matter)",
-        RuntimeWarning, stacklevel=4,
+        stacklevel=4,
     )
 
 
@@ -380,7 +392,6 @@ class ForkServerPool(Pool):
         #: double-closing pipes from two threads must be a no-op, not a
         #: crash.
         self._shutdown_lock = threading.Lock()
-        self._warned_degraded = False
         #: Worker crashes absorbed so far (not timeouts — a deliberate
         #: deadline kill must not push a healthy pool toward serial
         #: degradation, where hangs could no longer be preempted).
@@ -657,6 +668,7 @@ class ForkServerPool(Pool):
                 f"while expecting {getattr(job, 'key', None)!r}"
             )
         if status == "ok":
+            obs.EXEC_JOBS.inc(status="ok")
             results[key] = message[2]
             if completed is not None:
                 completed(job, message[2])
@@ -669,9 +681,14 @@ class ForkServerPool(Pool):
         job: Optional[Job],
         schedule_failure: Callable[[Job, str], None],
     ) -> None:
+        self._discard(worker)  # joins, so the exit code is available
         exitcode = worker.proc.exitcode
-        self._discard(worker)
         self.rebuilds += 1
+        obs.EXEC_REBUILDS.inc()
+        obs.record_event(
+            "worker_crash", exitcode=exitcode,
+            cell=str(job.key) if job is not None else None,
+        )
         if job is not None:
             worker_desc = (
                 f"worker crashed (exit code {exitcode})"
@@ -690,6 +707,10 @@ class ForkServerPool(Pool):
         self.timeouts += 1
         self._discard(worker, kill=True)
         assert job is not None
+        obs.EXEC_TIMEOUTS.inc()
+        obs.record_event(
+            "timeout", cell=str(job.key), timeout=self.policy.timeout,
+        )
         schedule_failure(
             job,
             f"attempt {job.attempt}: timed out after "
@@ -699,14 +720,15 @@ class ForkServerPool(Pool):
     def _degrade(self) -> None:
         """Parallel → serial: the degradation ladder's last rung."""
         self.degraded = True
-        if not self._warned_degraded:
-            self._warned_degraded = True
-            warnings.warn(
-                f"repro.exec: {self.rebuilds} worker crashes exceeded "
-                f"max_rebuilds={self.policy.max_rebuilds}; finishing the "
-                f"sweep serially in the parent process",
-                RuntimeWarning, stacklevel=4,
-            )
+        obs.EXEC_DEGRADATIONS.inc()
+        obs.record_event("degraded", rebuilds=self.rebuilds)
+        warn_once(
+            "exec.degraded",
+            f"repro.exec: {self.rebuilds} worker crashes exceeded "
+            f"max_rebuilds={self.policy.max_rebuilds}; finishing the "
+            f"sweep serially in the parent process",
+            stacklevel=4, registry=self._warn_keys,
+        )
         # In-flight jobs go back to the queue without consuming retry
         # budget — their workers are being torn down by us, not failing.
         requeued: List[Job] = []

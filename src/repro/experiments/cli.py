@@ -16,6 +16,7 @@ Examples::
     repro-experiments cache stats                   # store maintenance
     repro-experiments cache verify
     repro-experiments cache gc --max-bytes 500000000
+    repro-experiments obs summary                   # flight recorder
 
 ``--store DIR`` (default: the ``REPRO_STORE`` environment variable)
 points every matrix-driven command at a persistent artifact store:
@@ -36,11 +37,9 @@ cite before/after profiles instead of guessing.
 from __future__ import annotations
 
 import argparse
-import cProfile
-import pstats
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.exec.policy import FaultPolicy
 from repro.experiments import ablations
@@ -113,6 +112,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "optimized layout) under cProfile and print "
                              "the top-20 cumulative entries instead of "
                              "running the command")
+    parser.add_argument("--profile-dir", metavar="DIR", default=None,
+                        help="with --profile: also dump the raw pstats "
+                             "to DIR/<cell-fingerprint>.pstats for "
+                             "offline comparison")
     parser.add_argument("--quiet", action="store_true")
 
 
@@ -157,7 +160,18 @@ def main(argv: List[str] | None = None) -> int:
                          help="gc: report what would be deleted, delete "
                               "nothing")
 
+    p_obs = sub.add_parser(
+        "obs", help="inspect flight-recorder event files "
+                    "(dump/tail/summary; see python -m repro.obs)"
+    )
+    p_obs.add_argument("obs_args", nargs=argparse.REMAINDER,
+                       help="arguments for repro.obs "
+                            "(e.g. 'summary', 'tail PATH -n 50')")
+
     args = parser.parse_args(argv)
+    if args.command == "obs":
+        from repro.obs.inspect import main as obs_main
+        return obs_main(args.obs_args)
     store_flag_given = args.store is not None
     if args.store is None:
         args.store = default_store_root()
@@ -277,8 +291,15 @@ def _cache_command(args) -> int:
               f"{stats['object_bytes']:>12,d} bytes  "
               f"({stats['orphan_objects']} orphans)")
         if stats.get("journals"):
+            complete = stats.get("journals_complete", 0)
+            ages = ""
+            oldest = stats.get("journal_oldest_seconds")
+            newest = stats.get("journal_newest_seconds")
+            if oldest is not None and newest is not None:
+                ages = (f"  ({complete} complete, ages "
+                        f"{_fmt_age(newest)}..{_fmt_age(oldest)})")
             print(f"  journals {stats['journals']:6d} sweeps   "
-                  f"{stats['journal_bytes']:>12,d} bytes")
+                  f"{stats['journal_bytes']:>12,d} bytes{ages}")
         if stats["bad_entries"]:
             print(f"  WARNING: {stats['bad_entries']} unreadable index "
                   f"entries (run gc)")
@@ -321,11 +342,24 @@ def _cache_command(args) -> int:
     return 0
 
 
+def _fmt_age(seconds: Optional[float]) -> str:
+    """A compact human age: ``42s``, ``13m``, ``6h``, ``12d``."""
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, seconds)
+    for unit, span in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= span:
+            return f"{seconds / span:.0f}{unit}"
+    return f"{seconds:.0f}s"
+
+
 def _profile_cell(args) -> int:
     """Run one representative cell under cProfile; print top-20 by
-    cumulative time."""
+    cumulative time (and persist the pstats with --profile-dir)."""
     from repro.experiments.configs import ARCHITECTURES, build_processor
+    from repro.experiments.runner import RunSpec, cell_fingerprints
     from repro.isa.workloads import prepare_program, ref_trace_seed
+    from repro.obs.profiling import profile_call
 
     arch = args.profile
     if arch not in ARCHITECTURES:
@@ -341,13 +375,22 @@ def _profile_cell(args) -> int:
         trace_seed=ref_trace_seed(benchmark),
         engine_mode=args.engine_mode,
     )
+    # The same fingerprint the store/journal would use for this cell
+    # (warmup 0 — the profiling run has none), so before/after pstats
+    # files from identical configurations land on identical names.
+    spec = RunSpec(arch, benchmark, width, True)
+    fingerprint = cell_fingerprints(
+        [spec], args.instructions, 0, args.scale
+    )[spec]
     print(f"profiling {arch}/{benchmark}/w{width} for "
           f"{args.instructions} instructions", file=sys.stderr)
-    profiler = cProfile.Profile()
-    profiler.enable()
-    processor.run(args.instructions)
-    profiler.disable()
-    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    profiled = profile_call(
+        processor.run, args.instructions,
+        fingerprint=fingerprint, out_dir=args.profile_dir,
+    )
+    profiled.print_stats()
+    if profiled.pstats_path is not None:
+        print(f"pstats written to {profiled.pstats_path}", file=sys.stderr)
     return 0
 
 

@@ -40,13 +40,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, \
-    Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.accel import resolve_engine_mode
 from repro.common.params import default_machine
+from repro.common.warnonce import warn_once
 from repro.core.results import SimulationResult
 from repro.exec.journal import SweepJournal, sweep_fingerprint
 from repro.exec.policy import FaultPolicy, SweepError
@@ -374,11 +374,6 @@ def _result_meta(spec: RunSpec, instructions: int, warmup: int,
     }
 
 
-#: Serve addresses already warned unreachable/overloaded here — one
-#: warning, then every further matrix quietly runs locally.
-_SERVE_WARNED: Set[str] = set()
-
-
 def _try_serve(
     serve: str,
     benchmarks: Sequence[str],
@@ -413,19 +408,15 @@ def _try_serve(
             engine_mode=engine_mode, progress=progress,
         )
     except (ServeUnavailable, ServeOverloaded, ServeDraining) as exc:
-        if serve not in _SERVE_WARNED:
-            _SERVE_WARNED.add(serve)
-            warnings.warn(
-                f"repro.serve: daemon at {serve} did not take the run "
-                f"({exc}); running locally",
-                RuntimeWarning, stacklevel=4,
-            )
+        # Keyed per address: one warning, then every further matrix
+        # against that daemon quietly runs locally.
+        warn_once(
+            f"serve.unreachable:{serve}",
+            f"repro.serve: daemon at {serve} did not take the run "
+            f"({exc}); running locally",
+            stacklevel=4,
+        )
         return None
-
-
-#: Store roots already warned unwritable in this process — the warning
-#: fires once per root, then every matrix against it runs storeless.
-_UNWRITABLE_WARNED: Set[str] = set()
 
 
 def _attach_store(
@@ -446,13 +437,14 @@ def _attach_store(
     if error is None:
         return artifacts
     root = str(artifacts.store.root)
-    if root not in _UNWRITABLE_WARNED:
-        _UNWRITABLE_WARNED.add(root)
-        warnings.warn(
-            f"repro.store: store root {root} is not writable ({error}); "
-            f"running without the artifact store",
-            RuntimeWarning, stacklevel=3,
-        )
+    # Keyed per root: the warning fires once per root, then every
+    # matrix against it runs storeless.
+    warn_once(
+        f"store.unwritable:{root}",
+        f"repro.store: store root {root} is not writable ({error}); "
+        f"running without the artifact store",
+        stacklevel=3,
+    )
     return None
 
 
@@ -564,6 +556,7 @@ def run_matrix(
     mode = resolve_engine_mode(engine_mode)
 
     journal: Optional[SweepJournal] = None
+    recorder = None
     if artifacts is not None:
         sweep_fp = sweep_fingerprint(result_fps.values())
         journal = SweepJournal(artifacts.store, sweep_fp, len(specs))
@@ -575,6 +568,26 @@ def run_matrix(
                 f"from the store, {len(misses)} to simulate",
                 file=sys.stderr,
             )
+        # The sweep's flight recorder rides next to its journal.  It is
+        # attached *before* any pool starts, so fork-platform workers
+        # inherit the sink and their cell events append (O_APPEND, one
+        # line per write) to the same file as the parent's crash/retry
+        # events.  None when REPRO_OBS disables recording.
+        recorder = obs.sweep_recorder(artifacts.store.events_path(sweep_fp))
+        if recorder is not None:
+            obs.record_event(
+                "sweep_begin", sweep=sweep_fp, cells=len(specs),
+                cached=len(cached), misses=len(misses), jobs=jobs,
+                engine=mode,
+            )
+
+    def finish_recording() -> None:
+        if recorder is not None:
+            obs.record_event(
+                "sweep_end", sweep=sweep_fp, completed=len(done),
+                cells=len(specs),
+            )
+            obs.detach(recorder)
 
     # Completions arrive out of order from the pool; results and
     # ``progress`` must still stream in deterministic spec order.  The
@@ -597,6 +610,7 @@ def run_matrix(
             journal.append(result_fps[spec])
     advance()
     if not misses:
+        finish_recording()
         return out
 
     def on_completed(job: Job, result: SimulationResult) -> None:
@@ -641,11 +655,15 @@ def run_matrix(
                         cache.get(benchmark, optimized, scale,
                                   key=program_fps.get((benchmark, optimized)),
                                   artifacts=artifacts)
-        with ForkServerPool(
-            max_workers, initializer=_worker_init, initargs=(store_root,),
-            policy=policy,
-        ) as pool:
-            pool.run(_run_cell_worker, cell_jobs, completed=on_completed)
+        try:
+            with ForkServerPool(
+                max_workers, initializer=_worker_init,
+                initargs=(store_root,), policy=policy,
+            ) as pool:
+                pool.run(_run_cell_worker, cell_jobs,
+                         completed=on_completed)
+        finally:
+            finish_recording()
         return out
 
     cache = program_cache or _default_cache()
@@ -678,4 +696,5 @@ def run_matrix(
                 artifacts.save_traces(
                     program, program_fps[(benchmark, optimized)]
                 )
+        finish_recording()
     return out

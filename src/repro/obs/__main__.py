@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — inspect flight-recorder files."""
+
+from repro.obs.inspect import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Flight-recorder inspection: the ``obs dump|tail|summary`` commands.
+
+Shared by ``python -m repro.obs`` and the ``repro-experiments obs``
+subcommand.  The target may be a recorder file, a directory holding
+``*.events`` files (a store root or its ``runs/`` subdirectory), or
+omitted entirely — then the default store's newest recorder is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .events import read_events
+
+__all__ = ["main", "resolve_target", "summarize"]
+
+
+def _candidate_files(directory: str) -> List[str]:
+    files = glob.glob(os.path.join(directory, "*.events"))
+    files += glob.glob(os.path.join(directory, "runs", "*.events"))
+    return files
+
+
+def resolve_target(target: Optional[str]) -> Optional[str]:
+    """Map a file/directory/None target to one recorder file.
+
+    Directories resolve to their most recently modified ``*.events``
+    file (looking in the directory itself and a ``runs/`` child, so a
+    store root works directly).  ``None`` starts from the default
+    store root.  Returns ``None`` when nothing matches.
+    """
+    if target is None:
+        from repro.store.store import default_store_root
+
+        target = default_store_root()
+        if not target:
+            return None
+    if os.path.isfile(target):
+        return target
+    if os.path.isdir(target):
+        files = _candidate_files(target)
+        if not files:
+            return None
+        return max(files, key=lambda path: os.path.getmtime(path))
+    return None
+
+
+def _format_ts(ts: object) -> str:
+    if not isinstance(ts, (int, float)) or ts <= 0:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def summarize(path: str, events: List[Dict[str, object]]) -> str:
+    """Human-readable digest: span, counts by type, notable events."""
+    lines = [f"{path}: {len(events)} event(s)"]
+    if not events:
+        return lines[0]
+    first, last = events[0].get("ts"), events[-1].get("ts")
+    lines.append(
+        f"  span     {_format_ts(first)} .. {_format_ts(last)}"
+    )
+    counts: Dict[str, int] = {}
+    for event in events:
+        ev = str(event.get("ev"))
+        counts[ev] = counts.get(ev, 0) + 1
+    for ev in sorted(counts):
+        lines.append(f"  {ev:16s} {counts[ev]:6d}")
+    notable = [
+        event for event in events
+        if event.get("ev") in (
+            "warning", "worker_crash", "timeout", "degraded", "job_failed",
+        )
+    ]
+    if notable:
+        lines.append("  notable:")
+        for event in notable[-10:]:
+            detail = {
+                key: value for key, value in event.items()
+                if key not in ("ev", "ts")
+            }
+            lines.append(
+                f"    {_format_ts(event.get('ts'))} {event.get('ev')} "
+                f"{json.dumps(detail, sort_keys=True, default=str)}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect repro flight-recorder (*.events) files",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("dump", "print every recorded event as JSON lines"),
+        ("tail", "print the last N recorded events"),
+        ("summary", "digest: span, counts by type, notable events"),
+    ):
+        p = sub.add_parser(action, help=help_text)
+        p.add_argument(
+            "target", nargs="?", default=None,
+            help="recorder file, or a directory/store root to pick the "
+                 "newest *.events from (default: the default store)",
+        )
+        p.add_argument("-n", "--count", type=int, default=20,
+                       help="tail: events to show (default: 20)")
+    args = parser.parse_args(argv)
+
+    path = resolve_target(args.target)
+    if path is None:
+        where = args.target or "the default store"
+        print(f"no recorder file found in {where}", file=sys.stderr)
+        return 1
+    events = read_events(path)
+    if args.action == "summary":
+        print(summarize(path, events))
+        return 0
+    if args.action == "tail":
+        events = events[-max(args.count, 0):]
+    for event in events:
+        print(json.dumps(event, sort_keys=True, default=str))
+    return 0

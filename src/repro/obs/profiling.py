@@ -1,0 +1,79 @@
+"""Per-cell profiling hooks: cProfile capture keyed by fingerprint.
+
+Generalizes the CLI's ``--profile`` one-off: any callable can be run
+under :mod:`cProfile`, the raw profile optionally persisted as a
+``.pstats`` file named after the cell's fingerprint (so profiles from
+different cells, machines, or PRs can be diffed offline with
+``pstats.Stats``), and a top-N cumulative table printed.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Callable, Optional
+
+__all__ = ["CellProfile", "profile_call"]
+
+#: Default number of rows in the printed top-N table.
+DEFAULT_TOP = 20
+
+
+class CellProfile:
+    """One captured profile: the callable's result plus the stats."""
+
+    __slots__ = ("result", "profiler", "fingerprint", "pstats_path")
+
+    def __init__(
+        self,
+        result: object,
+        profiler: cProfile.Profile,
+        fingerprint: Optional[str],
+        pstats_path: Optional[str],
+    ) -> None:
+        self.result = result
+        self.profiler = profiler
+        self.fingerprint = fingerprint
+        self.pstats_path = pstats_path
+
+    def print_stats(
+        self,
+        top: int = DEFAULT_TOP,
+        sort: str = "cumulative",
+        stream=None,
+    ) -> None:
+        """Print the top-``top`` functions by ``sort`` order."""
+        if stream is not None:
+            stats = pstats.Stats(self.profiler, stream=stream)
+        else:
+            stats = pstats.Stats(self.profiler)
+        stats.sort_stats(sort).print_stats(top)
+
+
+def profile_call(
+    fn: Callable[..., object],
+    *args: object,
+    fingerprint: Optional[str] = None,
+    out_dir: Optional[str] = None,
+    **kwargs: object,
+) -> CellProfile:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    With both ``out_dir`` and ``fingerprint``, the raw profile is
+    dumped to ``out_dir/<fingerprint>.pstats`` (directory created on
+    demand) — the file a later ``pstats.Stats(path)`` can reload, so
+    top-N tables are reproducible without re-running the cell.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    pstats_path = None
+    if out_dir is not None and fingerprint:
+        os.makedirs(out_dir, exist_ok=True)
+        pstats_path = os.path.join(out_dir, f"{fingerprint}.pstats")
+        profiler.dump_stats(pstats_path)
+    return CellProfile(result, profiler, fingerprint, pstats_path)

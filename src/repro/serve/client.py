@@ -140,6 +140,12 @@ class ServeClient:
     def status(self) -> Dict[str, Any]:
         return self.request({"op": "status"}, timeout=self.connect_timeout)
 
+    def metrics(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        response = self.request({"op": "metrics"},
+                                timeout=self.connect_timeout)
+        return response.get("text", "")
+
     def drain(self) -> Dict[str, Any]:
         return self.request({"op": "drain"}, timeout=self.connect_timeout)
 

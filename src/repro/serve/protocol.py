@@ -12,6 +12,7 @@ Requests::
 
     {"op": "ping"}
     {"op": "status"}
+    {"op": "metrics"}
     {"op": "drain"}
     {"op": "matrix", "benchmarks": [...], "widths": [...],
      "archs": [...], "layouts": [...], "instructions": N,
@@ -70,7 +71,7 @@ CELL_OK = "ok"
 CELL_FAILED = "failed"
 CELL_DEADLINE = "deadline"
 
-_OPS = ("ping", "status", "matrix", "drain")
+_OPS = ("ping", "status", "metrics", "matrix", "drain")
 
 
 class ProtocolError(Exception):

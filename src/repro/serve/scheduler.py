@@ -47,9 +47,11 @@ import threading
 import time
 import warnings
 from collections import deque
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.accel import resolve_engine_mode
+from repro.common.warnonce import warn_once
 from repro.exec.journal import SweepJournal, sweep_fingerprint
 from repro.exec.policy import FaultPolicy, SweepError
 from repro.exec.pool import ForkServerPool, Job, Pool, SerialPool
@@ -213,6 +215,14 @@ class ExperimentScheduler:
             ArtifactCache(ArtifactStore(store_root))
             if store_root is not None else None
         )
+        #: Daemon-lifetime flight recorder at ``runs/daemon.events``
+        #: (requests overlap inside shared batches, so per-request
+        #: recorders would misattribute cells; one stream per daemon is
+        #: the honest granularity).  None when storeless or REPRO_OBS=0.
+        self._recorder = (
+            obs.sweep_recorder(self._artifacts.store.events_path("daemon"))
+            if self._artifacts is not None else None
+        )
         self._registry = PendingRegistry()
         self._lock = threading.Condition()
         self._queue: deque = deque()
@@ -231,7 +241,9 @@ class ExperimentScheduler:
         self._pool_strikes = 0
         self._pool_rebuilds = 0
         self._serial_pinned = not self._use_fork_pool
-        self._warned_pinned = False
+        #: Per-scheduler warn-once registry (one pinned notice per
+        #: scheduler, matching the retired per-instance flag).
+        self._warn_keys: Set[str] = set()
 
         # counters (status surface)
         self.started = time.monotonic()
@@ -287,6 +299,14 @@ class ExperimentScheduler:
                     f"would exceed queue_limit={self.queue_limit}"
                 )
             self.requests += 1
+            obs.SERVE_ADMISSIONS.inc()
+            coalesced = len(cold) - len(owned)
+            if coalesced:
+                obs.SERVE_COALESCED.inc(coalesced)
+            obs.record_event(
+                "admit", cells=len(specs), warm=len(warm),
+                owned=len(owned), coalesced=coalesced,
+            )
             journal = self._make_journal(specs, fps, warm, owned)
             for spec in specs:  # deterministic queue order
                 if spec not in claims or not claims[spec][1]:
@@ -305,6 +325,7 @@ class ExperimentScheduler:
                         self._journals.setdefault(fps[spec], []) \
                             .append(journal)
             self._backlog += len(owned)
+            obs.SERVE_QUEUE_DEPTH.set(self._backlog)
             self._lock.notify_all()
 
         return MatrixTicket(self, query, specs, fps, warm, claims)
@@ -358,6 +379,7 @@ class ExperimentScheduler:
                     # it unrun (the registry already forgot the cell).
                     self._forget_journals(task.fp)
                     self.cells_dropped += 1
+                    obs.SERVE_CELLS.inc(outcome="dropped")
                     self._settle_backlog(1)
                     continue
                 task.cell.mark_started()
@@ -365,10 +387,15 @@ class ExperimentScheduler:
             if runnable:
                 self._run_batch(runnable)
         self._teardown_pool()
+        if self._recorder is not None:
+            obs.record_event("drained", requests=self.requests,
+                             computed=self.cells_computed)
+            obs.detach(self._recorder)
 
     def _settle_backlog(self, n: int) -> None:
         with self._lock:
             self._backlog -= n
+            obs.SERVE_QUEUE_DEPTH.set(self._backlog)
 
     def _forget_journals(self, fp: str) -> None:
         with self._journal_lock:
@@ -448,14 +475,13 @@ class ExperimentScheduler:
         if self._pool_strikes >= self.max_pool_strikes \
                 and not self._serial_pinned:
             self._serial_pinned = True
-            if not self._warned_pinned:
-                self._warned_pinned = True
-                warnings.warn(
-                    f"repro.serve: {self._pool_strikes} consecutive worker "
-                    f"pools failed; running all further cells serially in "
-                    f"the daemon process",
-                    RuntimeWarning, stacklevel=3,
-                )
+            warn_once(
+                "serve.pinned",
+                f"repro.serve: {self._pool_strikes} consecutive worker "
+                f"pools failed; running all further cells serially in "
+                f"the daemon process",
+                stacklevel=3, registry=self._warn_keys,
+            )
 
     def _teardown_pool(self) -> None:
         self._retire_pool(strike=False)
@@ -481,6 +507,7 @@ class ExperimentScheduler:
             self._journal_settled(task.fp)
             self._registry.resolve(task.fp, result)
             self.cells_computed += 1
+            obs.SERVE_CELLS.inc(outcome="computed")
             self._settle_backlog(1)
 
         try:
@@ -525,6 +552,10 @@ class ExperimentScheduler:
         self._forget_journals(task.fp)
         self._registry.fail(task.fp, error)
         self.cells_failed += 1
+        obs.SERVE_CELLS.inc(outcome="failed")
+        obs.record_event(
+            "cell_failed", cell=str(task.spec), fp=task.fp, error=error,
+        )
         self._settle_backlog(1)
 
     # ------------------------------------------------------------------
@@ -557,6 +588,9 @@ class ExperimentScheduler:
                 "dropped": self.cells_dropped,
                 "coalesced": self._registry.coalesced,
                 "pending": self._registry.depth(),
+                # Owned cells handed to the pool but not yet settled —
+                # the backlog minus what still sits in the queue.
+                "in_flight": max(0, queue["backlog"] - queue["queued"]),
             },
             "queue": queue,
             "pool": {

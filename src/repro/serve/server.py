@@ -22,6 +22,7 @@ import threading
 import time
 from typing import Any, Dict, Optional
 
+from repro import obs
 from repro.serve import protocol
 from repro.serve.scheduler import Draining, ExperimentScheduler, Overloaded
 
@@ -89,6 +90,8 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     # ------------------------------------------------------------------
     def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
         op = message.get("op")
+        if op in protocol._OPS:
+            obs.SERVE_REQUESTS.inc(op=op)
         if op == "ping":
             return {
                 "ok": True, "op": "ping", "pid": os.getpid(),
@@ -101,11 +104,24 @@ class _TCPServer(socketserver.ThreadingTCPServer):
                 version=protocol.PROTOCOL_VERSION,
             )
             return status
+        if op == "metrics":
+            # Prometheus text covering this process's registry — store,
+            # exec, serve, accel and core families alike, since they
+            # all share the process-global registry.
+            return {"ok": True, "op": "metrics",
+                    "content_type": obs.PROMETHEUS_CONTENT_TYPE,
+                    "text": obs.render_prometheus()}
         if op == "drain":
             self.begin_drain()
             return {"ok": True, "op": "drain", "draining": True}
         if op == "matrix":
-            return self._matrix(message)
+            started = time.perf_counter()
+            try:
+                return self._matrix(message)
+            finally:
+                obs.SERVE_REQUEST_SECONDS.observe(
+                    time.perf_counter() - started
+                )
         raise protocol.ProtocolError(f"unknown op: {op!r}")
 
     def _matrix(self, message: Dict[str, Any]) -> Dict[str, Any]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Dict, Optional, Union
 
+from repro import obs
 from repro.core.results import SimulationResult
 from repro.isa.program import Program
 from repro.isa.workloads import (
@@ -51,6 +52,14 @@ class ArtifactCache:
         self._programs_ensured: set = set()
         self._write_failure_warned = False
 
+    def _hit(self, kind: str) -> None:
+        self.hits[kind] += 1
+        obs.STORE_HITS.inc(kind=kind)
+
+    def _miss(self, kind: str) -> None:
+        self.misses[kind] += 1
+        obs.STORE_MISSES.inc(kind=kind)
+
     def _put(
         self,
         kind: str,
@@ -77,6 +86,10 @@ class ArtifactCache:
             # PicklingError, ...), and any of them aborting a completed
             # simulation would break the contract above.  The warning
             # keeps genuine bugs visible.
+            obs.STORE_WRITE_FAILURES.inc()
+            obs.record_event(
+                "store_write_failure", kind=kind, fp=fp, error=str(exc),
+            )
             if not self._write_failure_warned:
                 self._write_failure_warned = True
                 print(
@@ -115,10 +128,10 @@ class ArtifactCache:
             except ArtifactDecodeError:
                 program = None
         if program is not None:
-            self.hits["program"] += 1
+            self._hit("program")
             self._programs_ensured.add(program_fp)
         else:
-            self.misses["program"] += 1
+            self._miss("program")
             program = prepare_program(
                 benchmark, optimized=optimized, scale=scale,
                 base_address=base_address,
@@ -195,7 +208,7 @@ class ArtifactCache:
                 record = None
             if record is not None:
                 program._trace_records[seed] = record
-                self.hits["trace"] += 1
+                self._hit("trace")
                 return True
             # Hash-valid bytes that do not decode: remember *which*
             # object failed so save_traces rewrites exactly it.
@@ -207,7 +220,7 @@ class ArtifactCache:
             # :meth:`save_traces` armed, or a racing short-trace worker
             # could overwrite a longer record another worker just saved.
             self._trace_load_failures[trace_fp] = entry["object"]
-        self.misses["trace"] += 1
+        self._miss("trace")
         return False
 
     def save_traces(self, program: Program, program_fp: str) -> int:
@@ -244,11 +257,15 @@ class ArtifactCache:
                     stored = entry.get("meta", {}).get("n_blocks", 0)
                     if isinstance(stored, int) and stored >= n_blocks:
                         continue
+            healing = trace_fp in self._trace_load_failures
             if self._put(
                 "trace", trace_fp,
                 lambda record=record: serialize.dump_trace(record),
                 meta={"seed": seed, "n_blocks": n_blocks},
             ):
+                if healing:
+                    obs.STORE_HEALS.inc()
+                    obs.record_event("store_heal", kind="trace", fp=trace_fp)
                 self._trace_load_failures.pop(trace_fp, None)
                 written += 1
         return written
@@ -265,9 +282,9 @@ class ArtifactCache:
             except ArtifactDecodeError:
                 result = None
             if result is not None:
-                self.hits["result"] += 1
+                self._hit("result")
                 return result
-        self.misses["result"] += 1
+        self._miss("result")
         return None
 
     def put_result(

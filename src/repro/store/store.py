@@ -29,6 +29,8 @@ import tempfile
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
+
 #: Environment variable naming the default store directory.
 STORE_ENV = "REPRO_STORE"
 
@@ -171,6 +173,10 @@ class ArtifactStore:
 
     def journal_path(self, sweep_fp: str) -> str:
         return os.path.join(self.runs_dir, sweep_fp + ".journal")
+
+    def events_path(self, sweep_fp: str) -> str:
+        """The flight-recorder file living next to a sweep's journal."""
+        return os.path.join(self.runs_dir, sweep_fp + ".events")
 
     def iter_journals(self) -> Iterator[Tuple[str, str]]:
         """Yield (sweep fingerprint, path) for every journal present."""
@@ -372,10 +378,21 @@ class ArtifactStore:
                 orphans += 1
         journals = 0
         journal_bytes = 0
+        journals_complete = 0
+        ages: List[float] = []
+        now = time.time()
         for _sweep_fp, path in self.iter_journals():
             journals += 1
+            record = read_journal(path)
+            if (
+                record is not None
+                and record["cells"] is not None
+                and len(record["done"]) >= record["cells"]
+            ):
+                journals_complete += 1
             try:
                 journal_bytes += os.path.getsize(path)
+                ages.append(max(0.0, now - os.path.getmtime(path)))
             except OSError:
                 continue
         return {
@@ -387,6 +404,9 @@ class ArtifactStore:
             "bad_entries": bad_entries,
             "journals": journals,
             "journal_bytes": journal_bytes,
+            "journals_complete": journals_complete,
+            "journal_oldest_seconds": max(ages) if ages else None,
+            "journal_newest_seconds": min(ages) if ages else None,
         }
 
     def verify(self) -> dict:
@@ -581,14 +601,17 @@ class ArtifactStore:
                 except OSError:
                     pass
         journals_removed = 0
+        events_removed = 0
+        handled_sweeps: set = set()
         journal_age_limit = (
             JOURNAL_MAX_AGE_SECONDS if journal_max_age is None
             else journal_max_age
         )
-        for _sweep_fp, path in self.iter_journals():
+        for sweep_fp, path in self.iter_journals():
             try:
                 age = now - os.path.getmtime(path)
             except OSError:
+                handled_sweeps.add(sweep_fp)
                 continue
             record = read_journal(path)
             complete = (
@@ -598,6 +621,7 @@ class ArtifactStore:
             )
             stale = age > journal_age_limit
             if not ((complete and age > TMP_MAX_AGE_SECONDS) or stale):
+                handled_sweeps.add(sweep_fp)
                 continue
             journals_removed += 1
             if not dry_run:
@@ -605,15 +629,62 @@ class ArtifactStore:
                     os.unlink(path)
                 except OSError:
                     pass
-        return {
+            # The flight recorder rides with its journal: same sweep,
+            # same lifetime.  (Counting the sweep as kept stops the
+            # orphan loop below from double-counting on a dry run.)
+            handled_sweeps.add(sweep_fp)
+            events = self.events_path(sweep_fp)
+            if os.path.exists(events):
+                events_removed += 1
+                if not dry_run:
+                    try:
+                        os.unlink(events)
+                    except OSError:
+                        pass
+        # Orphan recorders (journal long gone, or never written) age out
+        # under the same abandoned-sweep rule.
+        if os.path.isdir(self.runs_dir):
+            for name in sorted(os.listdir(self.runs_dir)):
+                if name.startswith(".tmp-") or not name.endswith(".events"):
+                    continue
+                if name[: -len(".events")] in handled_sweeps:
+                    continue
+                path = os.path.join(self.runs_dir, name)
+                try:
+                    if now - os.path.getmtime(path) <= journal_age_limit:
+                        continue
+                except OSError:
+                    continue
+                events_removed += 1
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        report = {
             "evicted_entries": len(evicted),
             "deleted_objects": len(deleted),
             "freed_bytes": freed,
             "live_bytes": sum(object_sizes.get(oid, 0) for oid in live),
             "tmp_removed": tmp_removed,
             "journals_removed": journals_removed,
+            "events_removed": events_removed,
             "dry_run": dry_run,
         }
+        if not dry_run:
+            obs.STORE_GC_RUNS.inc()
+            for what, count in (
+                ("object", len(deleted)), ("entry", len(evicted)),
+                ("tmp", tmp_removed), ("journal", journals_removed),
+                ("events", events_removed),
+            ):
+                if count:
+                    obs.STORE_GC_REMOVED.inc(count, what=what)
+            obs.record_event("gc", root=self.root, **{
+                key: value for key, value in report.items()
+                if key != "dry_run"
+            })
+        return report
 
 
 def default_store_root() -> Optional[str]:

@@ -43,6 +43,10 @@ def _isolated_artifact_store(monkeypatch):
     """
     monkeypatch.delenv("REPRO_STORE", raising=False)
     monkeypatch.delenv("REPRO_ACCEL", raising=False)
+    # Observability runs at its default (recording enabled) regardless
+    # of the invoking shell; tests that pin a state set ``REPRO_OBS``
+    # themselves.
+    monkeypatch.delenv("REPRO_OBS", raising=False)
     # Same reasoning for the chained-template switch: the suite runs
     # with chains at their default (on); tests that pin a state set
     # ``REPRO_CHAINS`` themselves.

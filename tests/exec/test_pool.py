@@ -288,7 +288,7 @@ def test_fork_pool_reusable_across_runs():
 def test_serial_deadline_off_main_thread_degrades_with_one_warning():
     import threading as _threading
 
-    from repro.exec import pool as pool_module
+    from repro.common import reset_warn_once
 
     policy = FaultPolicy(timeout=30.0, retries=0, backoff=0.0)
     outcomes = {}
@@ -298,8 +298,7 @@ def test_serial_deadline_off_main_thread_degrades_with_one_warning():
             operator.add, [Job(f"{tag}-job", (1, 2))]
         )
 
-    saved = pool_module._deadline_thread_warned
-    pool_module._deadline_thread_warned = False
+    reset_warn_once("exec.deadline-thread")
     try:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
@@ -308,7 +307,7 @@ def test_serial_deadline_off_main_thread_degrades_with_one_warning():
                 thread.start()
                 thread.join(timeout=60)
     finally:
-        pool_module._deadline_thread_warned = saved
+        reset_warn_once("exec.deadline-thread")
     # Both runs completed (no ValueError from signal.signal), results
     # intact, and exactly one warn-once across both threads.
     assert outcomes == {"first": {"first-job": 3}, "second": {"second-job": 3}}

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_MAX_SERIES,
+    OVERFLOW_LABEL_VALUE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_value_total():
+    c = Counter("c_total", "help", labels=("kind",))
+    c.inc(kind="a")
+    c.inc(2, kind="a")
+    c.inc(kind="b")
+    assert c.value(kind="a") == 3
+    assert c.value(kind="b") == 1
+    assert c.value(kind="missing") == 0
+    assert c.total() == 4
+
+
+def test_counter_rejects_decrease_and_bad_labels():
+    c = Counter("c_total", labels=("kind",))
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1, kind="a")
+    with pytest.raises(ValueError, match="takes labels"):
+        c.inc()  # missing label
+    with pytest.raises(ValueError, match="takes labels"):
+        c.inc(kind="a", extra="b")  # extra label
+    with pytest.raises(ValueError, match="takes labels"):
+        c.inc(wrong="a")  # wrong name
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("g")
+    g.set(5)
+    g.inc(2)
+    g.dec()
+    assert g.value() == 6
+
+
+def test_histogram_observe_and_cumulative_render():
+    h = Histogram("h_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(value)
+    lines = h.render()
+    assert "# TYPE h_seconds histogram" in lines
+    # Buckets render cumulatively; values above every bound count only
+    # toward +Inf.
+    assert 'h_seconds_bucket{le="0.1"} 1' in lines
+    assert 'h_seconds_bucket{le="1"} 3' in lines
+    assert 'h_seconds_bucket{le="10"} 4' in lines
+    assert 'h_seconds_bucket{le="+Inf"} 5' in lines
+    assert "h_seconds_count 5" in lines
+    (sum_line,) = [l for l in lines if l.startswith("h_seconds_sum")]
+    assert float(sum_line.split()[1]) == pytest.approx(56.05)
+
+
+def test_bounded_cardinality_folds_into_overflow():
+    c = Counter("c_total", labels=("fp",), max_series=3)
+    for i in range(10):
+        c.inc(fp=f"cell-{i}")
+    samples = dict(c.samples())
+    # Three real series plus the single overflow fold.
+    assert len(samples) == 4
+    assert samples[(OVERFLOW_LABEL_VALUE,)] == 7
+    assert c.dropped_series == 7
+    # The bound holds no matter how many more distinct labels arrive.
+    for i in range(100):
+        c.inc(fp=f"more-{i}")
+    assert len(c.samples()) == 4
+
+
+def test_registry_get_or_create_and_mismatch():
+    r = MetricsRegistry()
+    c1 = r.counter("x_total", "help", ("kind",))
+    c2 = r.counter("x_total", "other help", ("kind",))
+    assert c1 is c2
+    with pytest.raises(ValueError, match="already registered as counter"):
+        r.gauge("x_total")
+    with pytest.raises(ValueError, match="already registered with labels"):
+        r.counter("x_total", labels=("other",))
+    assert r.get("x_total") is c1
+    assert r.get("nope") is None
+
+
+def test_render_prometheus_format():
+    r = MetricsRegistry()
+    c = r.counter("repro_test_hits_total", "Test hits.", ("kind",))
+    c.inc(kind="result")
+    g = r.gauge("repro_test_depth", "Test depth.")
+    g.set(3)
+    text = r.render_prometheus()
+    assert "# HELP repro_test_hits_total Test hits.\n" in text
+    assert "# TYPE repro_test_hits_total counter\n" in text
+    assert 'repro_test_hits_total{kind="result"} 1\n' in text
+    assert "# TYPE repro_test_depth gauge\n" in text
+    assert "repro_test_depth 3\n" in text
+    assert text.endswith("\n")
+
+
+def test_label_values_escaped_in_exposition():
+    r = MetricsRegistry()
+    c = r.counter("esc_total", labels=("k",))
+    c.inc(k='sa"id\nline\\x')
+    text = r.render_prometheus()
+    assert 'esc_total{k="sa\\"id\\nline\\\\x"} 1' in text
+
+
+def test_reset_zeroes_but_keeps_instruments():
+    r = MetricsRegistry()
+    c = r.counter("z_total", labels=("k",), max_series=2)
+    c.inc(k="a")
+    c.inc(k="b")
+    c.inc(k="c")  # overflow
+    assert c.dropped_series == 1
+    r.reset()
+    assert c.total() == 0
+    assert c.dropped_series == 0
+    assert r.get("z_total") is c
+
+
+def test_default_max_series_is_sane():
+    assert DEFAULT_MAX_SERIES >= 16

@@ -1,0 +1,80 @@
+"""Unit tests for the shared warn-once helper (repro.common.warnonce)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.common import reset_warn_once, warn_once, warned
+from repro.obs.events import FlightRecorder
+
+KEY = "test.warnonce"
+
+
+@pytest.fixture(autouse=True)
+def _clean_key():
+    reset_warn_once(KEY)
+    yield
+    reset_warn_once(KEY)
+
+
+def test_warns_once_per_key_but_counts_every_call():
+    before = obs.WARNINGS.value(key=KEY)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert warn_once(KEY, "first notice") is True
+        assert warn_once(KEY, "second notice") is False
+        assert warn_once(KEY, "third notice") is False
+    assert len(caught) == 1
+    assert "first notice" in str(caught[0].message)
+    assert issubclass(caught[0].category, RuntimeWarning)
+    # The metric sees the full history, not just the emitted warning.
+    assert obs.WARNINGS.value(key=KEY) - before == 3
+    assert warned(KEY)
+
+
+def test_every_call_records_an_obs_event(tmp_path):
+    rec = obs.attach(FlightRecorder(str(tmp_path / "w.events")))
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            warn_once(KEY, "boom")
+            warn_once(KEY, "boom again")
+    finally:
+        obs.detach(rec)
+    events = [e for e in rec.events() if e["ev"] == "warning"]
+    assert [e["message"] for e in events] == ["boom", "boom again"]
+    assert all(e["key"] == KEY for e in events)
+
+
+def test_reset_rearms():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_once(KEY, "one")
+        reset_warn_once(KEY)
+        warn_once(KEY, "two")
+    assert [str(w.message) for w in caught] == ["one", "two"]
+
+
+def test_custom_category():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_once(KEY, "deprecated", category=DeprecationWarning)
+    assert issubclass(caught[0].category, DeprecationWarning)
+
+
+def test_private_registry_scopes_onceness():
+    pool_a: set = set()
+    pool_b: set = set()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert warn_once(KEY, "a", registry=pool_a) is True
+        assert warn_once(KEY, "a again", registry=pool_a) is False
+        # A second instance with its own registry warns independently.
+        assert warn_once(KEY, "b", registry=pool_b) is True
+    assert [str(w.message) for w in caught] == ["a", "b"]
+    assert warned(KEY, registry=pool_a)
+    assert warned(KEY, registry=pool_b)
+    assert not warned(KEY)  # the global registry never saw it

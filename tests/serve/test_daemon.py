@@ -56,8 +56,8 @@ def test_run_matrix_serve_param_uses_daemon_and_falls_back(tmp_path):
 
     # Nothing listens there anymore: one warning, then a local run
     # that still returns the identical matrix.
-    import repro.experiments.runner as runner_module
-    runner_module._SERVE_WARNED.discard(address)
+    from repro.common import reset_warn_once
+    reset_warn_once(f"serve.unreachable:{address}")
     with pytest.warns(RuntimeWarning, match="running locally"):
         fallback = run_matrix(**MATRIX, serve=address)
     assert fallback.results == base.results
