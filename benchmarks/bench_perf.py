@@ -24,6 +24,11 @@ Measures three things:
   disabled-mode ``repro.obs`` hook, stated as a fraction of the
   fastest quick cell in both engine modes, plus an on/off
   bit-identity check;
+* **cluster dispatch overhead** (schema 7): a small matrix through
+  :mod:`repro.cluster` against two in-process daemons, cold
+  (simulated remotely) and warm (store-hit round trips), next to the
+  same matrix run locally — what fleet dispatch costs per cell on top
+  of the local pools;
 * with ``--store DIR``, the artifact-store warm-vs-cold matrix.
 
 The full run writes ``BENCH_perf.json`` at the repo root; that file is
@@ -525,6 +530,61 @@ def measure_serve_latency(reps: int = 5) -> dict:
     }
 
 
+def measure_cluster_latency(reps: int = 3) -> dict:
+    """Per-cell dispatch overhead of the cluster pool vs local pools.
+
+    Two in-process :class:`repro.serve.ExperimentServer` "nodes" on
+    ephemeral ports with throwaway stores serve the same small matrix
+    through ``run_matrix(cluster=...)`` cold (each node simulates its
+    cells) and warm (pure store-hit round trips).  The same matrix is
+    also run locally, so the report states what fleet dispatch —
+    connection setup, one-cell framing, admission probes, result
+    decode and ingest bookkeeping — costs per cell on top of the
+    local serial pool.  Informational only; never feeds the
+    regression gate.
+    """
+    import tempfile
+
+    from repro.serve import ExperimentServer
+
+    kwargs = dict(benchmarks=("gzip",), widths=(8,),
+                  archs=("stream", "ev8"), layouts=(True,),
+                  instructions=SERVE_INSTRUCTIONS,
+                  warmup=SERVE_INSTRUCTIONS // 3, scale=MATRIX_SCALE)
+    cells = 2
+    local_seconds = _best_of(reps, lambda: run_matrix(**kwargs))
+    root = tempfile.mkdtemp(prefix="bench-cluster-")
+    try:
+        with ExperimentServer(store_root=os.path.join(root, "a"),
+                              max_workers=1,
+                              use_fork_pool=False) as node_a, \
+                ExperimentServer(store_root=os.path.join(root, "b"),
+                                 max_workers=1,
+                                 use_fork_pool=False) as node_b:
+            fleet = ["%s:%d" % node_a.address, "%s:%d" % node_b.address]
+            t0 = time.perf_counter()
+            run_matrix(cluster=fleet, **kwargs)
+            cold_seconds = time.perf_counter() - t0
+            warm_seconds = _best_of(
+                reps, lambda: run_matrix(cluster=fleet, **kwargs)
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "instructions": SERVE_INSTRUCTIONS,
+        "cells": cells,
+        "nodes": 2,
+        "local_ms": round(local_seconds * 1e3, 1),
+        "cold_ms": round(cold_seconds * 1e3, 1),
+        "warm_ms": round(warm_seconds * 1e3, 2),
+        # The marginal cost of sending one already-computed cell
+        # through the fleet instead of reading it locally.
+        "warm_ms_per_cell": round(warm_seconds / cells * 1e3, 2),
+        "cold_overhead_ms_per_cell": round(
+            (cold_seconds - local_seconds) / cells * 1e3, 1),
+    }
+
+
 def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
     """Warm-vs-cold wall-clock of the default matrix via the store.
 
@@ -590,6 +650,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     matrix = measure_matrix(jobs)
     pool_overhead = measure_pool_overhead()
     serve = measure_serve_latency()
+    cluster = measure_cluster_latency()
     chain = measure_chain_rates()
     hook_seconds = measure_obs_hook()
     obs_row = {
@@ -644,7 +705,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
             seed_matrix * drift / matrix["parallel_seconds"], 2
         )
     report = {
-        "schema": 6,
+        "schema": 7,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
         "calibration_drift_vs_pr3": round(drift_pr3, 3),
@@ -656,6 +717,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
         "matrix": matrix,
         "pool": pool_overhead,
         "serve": serve,
+        "cluster": cluster,
         "chain": chain,
         "obs": obs_row,
         "seed_baseline": SEED_BASELINE,
@@ -692,6 +754,10 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     print(f"  serve latency   ping {serve['ping_ms']:.1f}ms; 1-cell "
           f"matrix cold {serve['cold_ms']:.0f}ms -> warm "
           f"{serve['warm_ms']:.1f}ms (store-hit replay over the wire)")
+    print(f"  cluster 2-node  {cluster['cells']}-cell matrix local "
+          f"{cluster['local_ms']:.0f}ms, cold {cluster['cold_ms']:.0f}ms "
+          f"(+{cluster['cold_overhead_ms_per_cell']:.0f}ms/cell) -> warm "
+          f"{cluster['warm_ms_per_cell']:.1f}ms/cell dispatch overhead")
     print(f"  obs hook        {obs_row['hook_us_per_cell']:.2f}us/cell "
           f"({obs_row['overhead_fraction']['accel'] * 100:.3f}% of the "
           f"fastest accel cell, "

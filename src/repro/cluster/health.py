@@ -1,0 +1,187 @@
+"""Per-node health tracking for the cluster pool.
+
+Each fleet node carries a small state machine driven by dispatch
+outcomes and heartbeat pings::
+
+    healthy ──failure──▶ suspect ──failures──▶ dead
+       ▲                    │                   │ breaker backoff
+       │                    └──success──▶ healthy
+       │                                        ▼
+       └──────── success ◀── probation ◀── ping succeeds
+                                │
+                                └─ failure ──▶ dead (breaker re-trips)
+
+* **healthy → suspect**: ``suspect_after`` consecutive transport
+  failures.  A suspect node still receives work — one flaky request
+  must not idle a node — but the pool prefers healthier peers.
+* **suspect → dead**: ``dead_after`` consecutive failures trip the
+  node's circuit breaker: no dispatches, and a probe (ping) is
+  scheduled after an exponential backoff with the same sha256-derived
+  deterministic jitter as :func:`repro.exec.policy.backoff_delay`,
+  keyed on ``(address, trip number)`` — a fleet of clients probing a
+  recovering node does not stampede it in lockstep.
+* **dead → probation**: a probe ping succeeds.  Probation admits real
+  work again, but the first failure re-trips the breaker immediately
+  (with the next, longer backoff) instead of walking back through
+  suspect.
+* **probation → healthy**: one successful dispatch (or ping round).
+
+All timing is ``time.monotonic``; the machine itself never sleeps —
+:class:`~repro.cluster.pool.ClusterPool`'s run loop consults
+:meth:`NodeHealth.due_for_probe` and does the waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.exec.policy import FaultPolicy, backoff_delay
+
+__all__ = [
+    "DEAD",
+    "HEALTHY",
+    "HealthPolicy",
+    "NodeHealth",
+    "PROBATION",
+    "SUSPECT",
+]
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+PROBATION = "probation"
+DEAD = "dead"
+
+#: Numeric encoding for the ``repro_cluster_node_health`` gauge.
+_HEALTH_LEVELS = {HEALTHY: 3, SUSPECT: 2, PROBATION: 1, DEAD: 0}
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds and breaker timing for one node's state machine."""
+
+    #: Consecutive transport failures before healthy demotes to suspect.
+    suspect_after: int = 1
+    #: Consecutive transport failures before the breaker trips (dead).
+    dead_after: int = 3
+    #: Breaker backoff before probe ``k`` (1-based):
+    #: ``probe_backoff * probe_backoff_factor**(k-1)`` seconds, plus
+    #: deterministic jitter, capped at ``probe_backoff_max``.
+    probe_backoff: float = 0.5
+    probe_backoff_factor: float = 2.0
+    probe_backoff_max: float = 15.0
+    probe_jitter: float = 0.25
+
+    def breaker_policy(self) -> FaultPolicy:
+        """The probe timing as a :class:`FaultPolicy` so the breaker
+        reuses :func:`backoff_delay` (and its deterministic jitter)."""
+        return FaultPolicy(
+            timeout=None,
+            backoff=self.probe_backoff,
+            backoff_factor=self.probe_backoff_factor,
+            backoff_max=self.probe_backoff_max,
+            jitter=self.probe_jitter,
+        )
+
+
+class NodeHealth:
+    """One node's health state, stats, and circuit breaker."""
+
+    def __init__(self, address: str,
+                 policy: Optional[HealthPolicy] = None) -> None:
+        self.address = address
+        self.policy = policy or HealthPolicy()
+        self._breaker = self.policy.breaker_policy()
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        #: Breaker trips (entries into ``dead``) over the node's life;
+        #: also the 1-based attempt number of the *next* probe backoff,
+        #: so repeated trips back off further and further.
+        self.breaker_trips = 0
+        #: Consecutive failed probes since the last successful contact.
+        self.failed_probes = 0
+        self.retry_at = 0.0  # monotonic time the next probe is due
+        # Utilization stats (the cluster's per-"worker" surface).
+        self.dispatched = 0
+        self.completed = 0
+        self.failures = 0
+        self.busy = 0  # in-flight dispatches right now
+        self._publish()
+
+    # ------------------------------------------------------------------
+    def _publish(self) -> None:
+        obs.CLUSTER_NODE_HEALTH.set(
+            _HEALTH_LEVELS[self.state], node=self.address
+        )
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        previous, self.state = self.state, state
+        self._publish()
+        obs.record_event(
+            "cluster_node", node=self.address, state=state, was=previous,
+            failures=self.failures, trips=self.breaker_trips,
+        )
+
+    # ------------------------------------------------------------------
+    def usable(self) -> bool:
+        """Whether the pool may dispatch real work here right now."""
+        return self.state != DEAD
+
+    def due_for_probe(self, now: float) -> bool:
+        return self.state == DEAD and now >= self.retry_at
+
+    def record_success(self) -> None:
+        """A dispatch (or ping) completed: the node answered."""
+        self.consecutive_failures = 0
+        self.failed_probes = 0
+        self._transition(HEALTHY)
+
+    def record_failure(self, now: float) -> None:
+        """A transport-level failure talking to the node."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == PROBATION:
+            # A node that just came back and immediately failed again
+            # does not get the benefit of the suspect ramp.
+            self._trip(now)
+        elif self.consecutive_failures >= self.policy.dead_after:
+            self._trip(now)
+        elif self.consecutive_failures >= self.policy.suspect_after:
+            self._transition(SUSPECT)
+
+    def record_probe(self, now: float, alive: bool) -> None:
+        """Outcome of a heartbeat ping against a dead node."""
+        if alive:
+            self.consecutive_failures = 0
+            self.failed_probes = 0
+            self._transition(PROBATION)
+        else:
+            self.failed_probes += 1
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.breaker_trips += 1
+        obs.CLUSTER_BREAKER_TRIPS.inc(node=self.address)
+        self.retry_at = now + backoff_delay(
+            self._breaker, self.address, self.breaker_trips
+        )
+        self._transition(DEAD)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "node": self.address,
+            "state": self.state,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "failures": self.failures,
+            "breaker_trips": self.breaker_trips,
+            "busy": self.busy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NodeHealth({self.address!r}, {self.state}, "
+                f"{self.completed}/{self.dispatched})")

@@ -28,6 +28,16 @@ Hook points:
   semantics *across* processes (a retried cell must not be killed again
   by the replacement worker) — by a ``token`` file created with
   ``O_EXCL``: only the creator injects.
+* the serve protocol's framing path
+  (``repro.serve.protocol._net_fault_hook``) — kinds ``net_refuse``
+  (raise ``ConnectionRefusedError``), ``net_drop`` (write half the
+  frame, then raise ``ConnectionResetError`` — the peer sees a
+  mid-frame reset), ``net_delay`` (sleep ``seconds``, then deliver
+  normally) and ``net_garbage`` (replace the frame with undecodable
+  bytes).  ``match`` tests the routing target (``"host:port"`` on the
+  client side) *and* the frame text, so a plan can partition one node
+  of a fleet or strike one request op.  Gating mirrors the store
+  kinds: per-process match counter or cross-process ``O_EXCL`` token.
 
 When no plan is active every hook is a single ``is-None`` check; the
 fault-free hot path does not pay for this module's existence.
@@ -54,6 +64,8 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 _TASK_KINDS = frozenset({"kill", "hang", "exc"})
 _STORE_KINDS = frozenset({"store_err", "store_kill"})
+_NET_KINDS = frozenset({"net_refuse", "net_drop", "net_delay",
+                        "net_garbage"})
 
 
 class TransientFault(RuntimeError):
@@ -81,7 +93,7 @@ class FaultSpec:
     token: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in _TASK_KINDS | _STORE_KINDS:
+        if self.kind not in _TASK_KINDS | _STORE_KINDS | _NET_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
 
@@ -89,6 +101,8 @@ class FaultSpec:
 _PLAN: Tuple[FaultSpec, ...] = ()
 #: Per-process match counters for store-fault gating.
 _STORE_COUNTS: Dict[Tuple[str, str], int] = {}
+#: Per-process match counters for net-fault gating.
+_NET_COUNTS: Dict[Tuple[str, str], int] = {}
 _parse_warned = False
 
 
@@ -146,7 +160,9 @@ def refresh() -> None:
     raw = os.environ.get(FAULTS_ENV, "")
     _PLAN = _parse_plan(raw) if raw else ()
     _STORE_COUNTS.clear()
+    _NET_COUNTS.clear()
     _install_store_hook()
+    _install_net_hook()
 
 
 def enabled() -> bool:
@@ -166,6 +182,22 @@ def _install_store_hook() -> None:
     from repro.store import store as store_module
 
     store_module._write_fault_hook = _store_write_hook if wants else None
+
+
+def _install_net_hook() -> None:
+    """Point the serve protocol's framing hook at us iff needed.
+
+    Same shape as :func:`_install_store_hook`: lazy, one-directional
+    (``repro.serve.protocol`` never imports ``repro.exec``), and with
+    no net faults planned an already-imported protocol module is reset
+    to a ``None`` hook.
+    """
+    wants = any(spec.kind in _NET_KINDS for spec in _PLAN)
+    if not wants and "repro.serve.protocol" not in sys.modules:
+        return
+    from repro.serve import protocol as protocol_module
+
+    protocol_module._net_fault_hook = _net_fault_hook if wants else None
 
 
 class active_plan:
@@ -245,6 +277,68 @@ def _store_write_hook(target: str) -> None:
         if spec.kind == "store_err":
             raise OSError(f"injected store I/O error at {target}")
         os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _net_fault_hook(direction: str, target: str, stream: object,
+                    data: bytes) -> bool:
+    """Protocol framing hook: emulate refused/reset/slow/noisy links.
+
+    Runs in whichever process calls ``write_message``/``read_message``
+    (client or daemon).  A spec matches when ``spec.match`` appears in
+    the routing target *or* in the frame text; write-direction calls
+    carry the full frame, read-direction calls only the target, so
+    content-matched specs strike the sender while target-matched specs
+    (the per-node partition case) strike both directions.
+    """
+    if not _PLAN:  # pragma: no cover - uninstalled on refresh
+        return False
+    text = data.decode("utf-8", "replace") if data else ""
+    for spec in _PLAN:
+        if spec.kind not in _NET_KINDS:
+            continue
+        if spec.match and spec.match not in target and spec.match not in text:
+            continue
+        if direction == "read" and spec.kind != "net_delay":
+            # Non-delay kinds fire once per round trip, on the write
+            # side (a dropped/refused/garbled frame already implies the
+            # response never arrives intact).
+            continue
+        if spec.token:
+            if not _claim_token(spec.token):
+                continue
+        else:
+            gate = (spec.kind, spec.match)
+            count = _NET_COUNTS.get(gate, 0)
+            _NET_COUNTS[gate] = count + 1
+            if not (spec.after <= count < spec.after + spec.times):
+                continue
+        if spec.kind == "net_refuse":
+            raise ConnectionRefusedError(
+                f"injected connection refusal ({target or 'local'})")
+        if spec.kind == "net_delay":
+            time.sleep(spec.seconds)
+            continue
+        write = getattr(stream, "write", None)
+        flush = getattr(stream, "flush", None)
+        if spec.kind == "net_drop":
+            # Half a frame, then a reset: the peer sees a line that
+            # never terminates and a connection that dies mid-read.
+            try:
+                if write is not None:
+                    write(data[: max(1, len(data) // 2)])
+                if flush is not None:
+                    flush()
+            except OSError:
+                pass
+            raise ConnectionResetError(
+                f"injected mid-frame reset ({target or 'local'})")
+        # net_garbage: the frame arrives, but as undecodable bytes.
+        if write is not None:
+            write(b"\xfe\xedgarbage\xff\x00 not json\n")
+        if flush is not None:
+            flush()
+        return True
+    return False
 
 
 # Pick the plan up at import time: forked workers inherit module state

@@ -103,6 +103,24 @@ class Pool:
         #: fallback/degradation notices fire once per *pool*, not once
         #: per process.
         self._warn_keys: Set[str] = set()
+        #: Utilization surface, uniform across backends: job *attempts*
+        #: handed to an execution slot, and attempts that came back
+        #: successfully.  Backends with real workers also break these
+        #: down per slot (see :meth:`worker_stats`).
+        self.jobs_dispatched = 0
+        self.jobs_completed = 0
+
+    def worker_stats(self) -> Dict[str, Any]:
+        """Dispatch/completion counts, pool-wide and per worker slot.
+
+        The base shape (``workers=[]``) covers in-process backends; the
+        forked pool fills ``workers`` with one entry per live worker.
+        """
+        return {
+            "dispatched": self.jobs_dispatched,
+            "completed": self.jobs_completed,
+            "workers": [],
+        }
 
     def run(
         self,
@@ -184,6 +202,7 @@ class Pool:
         """The serial attempt loop (also the forked pool's degraded
         mode): run one job to settlement in the calling process."""
         while True:
+            self.jobs_dispatched += 1
             try:
                 with _attempt_deadline(self.policy.timeout):
                     faults.before_task(job.key, job.attempt)
@@ -199,6 +218,7 @@ class Pool:
                     time.sleep(delay)
                 continue
             obs.EXEC_JOBS.inc(status="ok")
+            self.jobs_completed += 1
             results[job.key] = result
             if completed is not None:
                 completed(job, result)
@@ -349,13 +369,20 @@ def _pool_worker_main(conn, initializer, initargs) -> None:
 
 
 class _Worker:
-    __slots__ = ("proc", "conn", "job", "deadline")
+    __slots__ = ("proc", "conn", "job", "deadline", "slot", "dispatched",
+                 "completed")
 
-    def __init__(self, proc, conn) -> None:
+    def __init__(self, proc, conn, slot: int = 0) -> None:
         self.proc = proc
         self.conn = conn
         self.job: Optional[Job] = None
         self.deadline: Optional[float] = None
+        #: Stable slot id: a worker rebuilt after a crash inherits the
+        #: slot of the worker it replaces (spawn counter modulo
+        #: max_workers), so per-slot metrics stay bounded.
+        self.slot = slot
+        self.dispatched = 0
+        self.completed = 0
 
 
 class ForkServerPool(Pool):
@@ -398,6 +425,7 @@ class ForkServerPool(Pool):
         self.rebuilds = 0
         self.timeouts = 0
         self.degraded = False
+        self._spawned = 0
 
     # -------------------------------------------------- worker lifecycle
     def _spawn(self) -> _Worker:
@@ -409,7 +437,9 @@ class ForkServerPool(Pool):
         )
         proc.start()
         child_conn.close()
-        worker = _Worker(proc, parent_conn)
+        worker = _Worker(proc, parent_conn,
+                         slot=self._spawned % self.max_workers)
+        self._spawned += 1
         self._workers.append(worker)
         self._idle.append(worker)
         return worker
@@ -498,6 +528,26 @@ class ForkServerPool(Pool):
     def alive_workers(self) -> int:
         """Resident worker processes currently alive (health surface)."""
         return sum(1 for w in self._workers if w.proc.is_alive())
+
+    def worker_stats(self) -> Dict[str, Any]:
+        """Pool totals plus one entry per resident worker.
+
+        Pool totals survive worker rebuilds and degradation (they live
+        on the pool); the per-worker list reflects only current
+        residents, keyed by their stable slot id.
+        """
+        stats = super().worker_stats()
+        stats["workers"] = [
+            {
+                "slot": w.slot,
+                "alive": w.proc.is_alive(),
+                "busy": w.job is not None,
+                "dispatched": w.dispatched,
+                "completed": w.completed,
+            }
+            for w in sorted(self._workers, key=lambda w: w.slot)
+        ]
+        return stats
 
     # -------------------------------------------------- run loop
     def run(
@@ -588,6 +638,9 @@ class ForkServerPool(Pool):
             self._on_crash(worker, None, lambda *_: None)
             return False
         worker.job = job
+        worker.dispatched += 1
+        self.jobs_dispatched += 1
+        obs.EXEC_WORKER_DISPATCHED.inc(slot=str(worker.slot))
         if self.policy.timeout is not None:
             worker.deadline = time.monotonic() + self.policy.timeout
         return True
@@ -669,6 +722,9 @@ class ForkServerPool(Pool):
             )
         if status == "ok":
             obs.EXEC_JOBS.inc(status="ok")
+            worker.completed += 1
+            self.jobs_completed += 1
+            obs.EXEC_WORKER_COMPLETED.inc(slot=str(worker.slot))
             results[key] = message[2]
             if completed is not None:
                 completed(job, message[2])

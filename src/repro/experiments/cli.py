@@ -92,6 +92,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "daemon is unreachable or overloaded)",
     )
     parser.add_argument(
+        "--cluster", metavar="HOST:PORT,HOST:PORT", default=None,
+        help="shard missing cells across a fleet of repro.serve "
+             "daemons (bit-identical results; dead or partitioned "
+             "nodes are redispatched around, and a fully unreachable "
+             "fleet falls back to local execution)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-cell attempt deadline; an over-deadline worker is "
              "killed and the cell retried (default: no deadline)",
@@ -209,7 +216,8 @@ def main(argv: List[str] | None = None) -> int:
                             ("--store", store_flag_given),
                             ("--timeout/--retries", fault_policy is not None),
                             ("--resume", args.resume),
-                            ("--serve", args.serve is not None)):
+                            ("--serve", args.serve is not None),
+                            ("--cluster", args.cluster is not None)):
             if value:
                 print(f"note: {flag} is ignored by {args.command} "
                       f"(serial simulation sweep)", file=sys.stderr)
@@ -231,7 +239,7 @@ def main(argv: List[str] | None = None) -> int:
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
                             fault_policy=fault_policy, resume=args.resume,
-                            serve=args.serve)
+                            serve=args.serve, cluster=args.cluster)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
@@ -240,7 +248,7 @@ def main(argv: List[str] | None = None) -> int:
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
                             fault_policy=fault_policy, resume=args.resume,
-                            serve=args.serve)
+                            serve=args.serve, cluster=args.cluster)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
@@ -251,7 +259,7 @@ def main(argv: List[str] | None = None) -> int:
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
                             fault_policy=fault_policy, resume=args.resume,
-                            serve=args.serve)
+                            serve=args.serve, cluster=args.cluster)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(

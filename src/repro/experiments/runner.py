@@ -41,7 +41,8 @@ import multiprocessing
 import os
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, \
+    Tuple, Union
 
 from repro import obs
 from repro.accel import resolve_engine_mode
@@ -50,7 +51,7 @@ from repro.common.warnonce import warn_once
 from repro.core.results import SimulationResult
 from repro.exec.journal import SweepJournal, sweep_fingerprint
 from repro.exec.policy import FaultPolicy, SweepError
-from repro.exec.pool import ForkServerPool, Job, SerialPool
+from repro.exec.pool import ForkServerPool, Job, Pool, SerialPool
 from repro.experiments.configs import ARCHITECTURES, build_processor
 from repro.isa.program import Program
 from repro.isa.workloads import prepare_program, ref_trace_seed
@@ -464,6 +465,7 @@ def run_matrix(
     fault_policy: Optional[FaultPolicy] = None,
     resume: bool = False,
     serve: Optional[str] = None,
+    cluster: Optional[Union[str, Sequence[str], Any]] = None,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
 
@@ -519,6 +521,18 @@ def run_matrix(
     falls back to local execution with one warning per address.  The
     daemon applies its own store, worker pool and fault policy, so
     ``jobs``/``store``/``fault_policy`` govern only the local fallback.
+
+    ``cluster`` shards the *missing* cells across a fleet of serve
+    daemons instead of local workers: a comma-separated address string
+    (``"host:port,host:port"``), a sequence of addresses, or an
+    already-constructed :class:`~repro.cluster.pool.ClusterPool`.
+    Unlike ``serve=``, the cluster path keeps the local store in the
+    loop — cached cells are never sent anywhere, remote results are
+    ingested byte-for-byte into the store and journal as they settle,
+    and ``fault_policy.timeout`` propagates as the per-request serve
+    deadline.  Dead or partitioned nodes cost redispatches; an
+    entirely unreachable fleet degrades (warn-once) to the local pool
+    the run would otherwise have used.
     """
     if warmup is None:
         warmup = instructions // 3
@@ -638,6 +652,72 @@ def run_matrix(
         return Job(spec, args, fallback_args=fallback)
 
     cell_jobs = [make_job(spec) for spec in misses]
+
+    if cluster is not None:
+        from repro.cluster.pool import ClusterPool
+
+        fb_store_root = (
+            artifacts.store.root if artifacts is not None else None
+        )
+
+        def _local_fallback_pool() -> Pool:
+            # Mirror the pool this run would have used without a
+            # fleet, so full-fleet degradation behaves exactly like a
+            # plain local run.
+            if jobs > 1 and len(misses) > 1:
+                workers = max(1, min(jobs, len(misses),
+                                     os.cpu_count() or 1))
+                return ForkServerPool(
+                    workers, initializer=_worker_init,
+                    initargs=(fb_store_root,), policy=policy,
+                )
+            return SerialPool(policy=policy)
+
+        if isinstance(cluster, ClusterPool):
+            cluster_pool = cluster
+            owns_pool = False
+        else:
+            addresses = (
+                [a.strip() for a in cluster.split(",") if a.strip()]
+                if isinstance(cluster, str)
+                else [str(a) for a in cluster]
+            )
+            cluster_pool = ClusterPool(
+                addresses, policy=policy,
+                fallback_factory=_local_fallback_pool,
+            )
+            owns_pool = True
+
+        def on_cluster_completed(job: Job,
+                                 result: SimulationResult) -> None:
+            spec = job.key
+            raw = cluster_pool.take_raw(spec)
+            if artifacts is not None:
+                meta = _result_meta(spec, instructions, warmup, scale)
+                ingested = None
+                if raw is not None:
+                    # Remote-result ingest: persist the daemon's wire
+                    # bytes verbatim (already the store's canonical
+                    # encoding), validated by decode.
+                    ingested = artifacts.put_result_bytes(
+                        result_fps[spec], raw, meta=meta
+                    )
+                if ingested is None:
+                    artifacts.put_result(result_fps[spec], result,
+                                         meta=meta)
+                if journal is not None:
+                    journal.append(result_fps[spec])
+            done[spec] = result
+            advance()
+
+        try:
+            cluster_pool.run(_run_cell_worker, cell_jobs,
+                             completed=on_cluster_completed)
+        finally:
+            if owns_pool:
+                cluster_pool.close()
+            finish_recording()
+        return out
 
     if jobs > 1 and len(misses) > 1 and program_cache is None:
         max_workers = max(1, min(jobs, len(misses), os.cpu_count() or 1))

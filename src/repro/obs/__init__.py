@@ -187,6 +187,14 @@ EXEC_REBUILDS = _R.counter(
 EXEC_DEGRADATIONS = _R.counter(
     "repro_exec_degradations_total",
     "Pools degraded to serial in-process execution.")
+EXEC_WORKER_DISPATCHED = _R.gauge(
+    "repro_exec_worker_dispatched",
+    "Job attempts dispatched, by worker slot (slot ids are stable "
+    "across rebuilds: a replacement worker inherits its slot).",
+    ("slot",))
+EXEC_WORKER_COMPLETED = _R.gauge(
+    "repro_exec_worker_completed",
+    "Job attempts completed successfully, by worker slot.", ("slot",))
 
 # serve
 SERVE_REQUESTS = _R.counter(
@@ -205,6 +213,29 @@ SERVE_QUEUE_DEPTH = _R.gauge(
 SERVE_REQUEST_SECONDS = _R.histogram(
     "repro_serve_request_seconds",
     "Wall-clock latency of daemon matrix requests.")
+
+# cluster
+CLUSTER_DISPATCHES = _R.counter(
+    "repro_cluster_dispatches_total",
+    "Cells dispatched to fleet nodes, by node address.", ("node",))
+CLUSTER_REDISPATCHES = _R.counter(
+    "repro_cluster_redispatches_total",
+    "Cells re-dispatched after a node/transport failure.")
+CLUSTER_CELLS = _R.counter(
+    "repro_cluster_cells_total",
+    "Cluster dispatch outcomes (ok/failed/deadline/net/busy).",
+    ("outcome",))
+CLUSTER_BREAKER_TRIPS = _R.counter(
+    "repro_cluster_breaker_trips_total",
+    "Per-node circuit-breaker trips (node declared dead).", ("node",))
+CLUSTER_NODE_HEALTH = _R.gauge(
+    "repro_cluster_node_health",
+    "Node health (3 healthy, 2 suspect, 1 probation, 0 dead).",
+    ("node",))
+CLUSTER_LOCAL_FALLBACKS = _R.counter(
+    "repro_cluster_local_fallbacks_total",
+    "Sweeps (or sweep remainders) degraded to a local pool because "
+    "the whole fleet was unreachable.")
 
 # accel
 ACCEL_KERNEL_COMPILES = _R.counter(

@@ -97,24 +97,60 @@ MATRIX = dict(
 N_CELLS = 2
 
 
+def free_port(host: str = "127.0.0.1") -> int:
+    """Reserve an OS-assigned port and release it immediately.
+
+    Fleet helper: a fault plan that partitions *one node* needs to
+    name that node's ``host:port`` before its daemon boots, which an
+    ephemeral ``--port 0`` cannot provide.  The release-then-rebind
+    race is theoretical in the selftest harness (nothing else binds
+    localhost ports between the two calls).
+    """
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
 class _Daemon:
-    """One daemon subprocess with ready-line port discovery."""
+    """One daemon subprocess with ready-line port discovery.
+
+    ``port=0`` (the default) binds an ephemeral port, discovered from
+    the ready line; a fixed ``port`` (see :func:`free_port`) lets the
+    caller know the daemon's address in advance — the cluster
+    selftest's per-node fault plans need that.
+    """
 
     def __init__(self, store: Optional[str], *extra: str,
-                 faults: Optional[str] = None) -> None:
+                 faults: Optional[str] = None, port: int = 0) -> None:
         env = dict(os.environ)
         env.pop(FAULTS_ENV, None)
         env.pop("REPRO_STORE", None)  # hermetic: --store or nothing
         if faults is not None:
             env[FAULTS_ENV] = faults
+        # The subprocess must import repro however the parent did
+        # (examples insert src/ into sys.path, not PYTHONPATH).
+        import repro
+
+        src_root = os.path.dirname(
+            os.path.abspath(list(repro.__path__)[0]))
+        path = env.get("PYTHONPATH", "")
+        if src_root not in path.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src_root + (os.pathsep + path if path else "")
+            )
         cmd = [sys.executable, "-m", "repro.serve",
-               "--host", "127.0.0.1", "--port", "0"]
+               "--host", "127.0.0.1", "--port", str(port)]
         if store is not None:
             cmd += ["--store", store]
         cmd += list(extra)
+        # Own process group: a SIGKILL must take the pool workers down
+        # with the daemon, or their inherited connection FDs keep the
+        # "dead" node's sockets established.
         self.proc = subprocess.Popen(
             cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
-            text=True,
+            text=True, start_new_session=True,
         )
         assert self.proc.stdout is not None
         line = self.proc.stdout.readline()
@@ -128,20 +164,30 @@ class _Daemon:
         # daemon can never block on a full pipe.
         threading.Thread(target=self.proc.stdout.read, daemon=True).start()
 
+    @property
+    def address(self) -> str:
+        return f"{self.client.host}:{self.client.port}"
+
     def kill(self) -> None:
-        self.proc.kill()
+        self._kill_group()
         self.proc.wait(timeout=60)
 
     def drain_and_wait(self, timeout: float = 300.0) -> int:
         self.client.drain()
         return self.proc.wait(timeout=timeout)
 
+    def _kill_group(self) -> None:
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            self.proc.kill()
+
     def __enter__(self) -> "_Daemon":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self.proc.poll() is None:
-            self.proc.kill()
+            self._kill_group()
             self.proc.wait(timeout=60)
 
 

@@ -20,14 +20,17 @@ completed, and streams ``progress`` in deterministic spec order.
 
 from __future__ import annotations
 
+import errno
 import socket
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import SimulationResult
-from repro.exec.policy import SweepError
+from repro.exec.policy import FaultPolicy, SweepError, backoff_delay
 from repro.serve import protocol
 
 __all__ = [
+    "DEFAULT_MATRIX_TIMEOUT",
     "ServeClient",
     "ServeDraining",
     "ServeError",
@@ -35,6 +38,19 @@ __all__ = [
     "ServeUnavailable",
     "parse_address",
 ]
+
+#: Default read-timeout for matrix requests whose query carries no
+#: deadline.  Without it ``timeout=None`` waits forever on a daemon
+#: that accepted the connection and then hung — a cluster dispatch
+#: must always come back with *something* so the pool can redispatch.
+DEFAULT_MATRIX_TIMEOUT = 600.0
+
+#: Connect-phase errnos worth retrying: a daemon that is restarting
+#: (refused) or dropped the handshake (reset) is transiently gone, not
+#: absent.  Anything else (EHOSTUNREACH, DNS failure, ...) fails fast.
+_TRANSIENT_CONNECT_ERRNOS = frozenset({
+    errno.ECONNREFUSED, errno.ECONNRESET,
+})
 
 
 class ServeError(Exception):
@@ -71,10 +87,25 @@ class ServeClient:
     """A daemon handle; methods open one connection per request."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 connect_timeout: float = 5.0) -> None:
+                 connect_timeout: float = 5.0,
+                 connect_retries: int = 2,
+                 connect_backoff: float = 0.2,
+                 matrix_timeout: Optional[float] = DEFAULT_MATRIX_TIMEOUT,
+                 ) -> None:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
+        self.connect_retries = max(0, int(connect_retries))
+        self.connect_backoff = connect_backoff
+        self.matrix_timeout = matrix_timeout
+        self._backoff_policy = FaultPolicy(
+            timeout=None, retries=self.connect_retries,
+            backoff=connect_backoff, backoff_max=2.0,
+        )
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
 
     @classmethod
     def at(cls, address: str, **kwargs: Any) -> "ServeClient":
@@ -82,30 +113,51 @@ class ServeClient:
         return cls(host, port, **kwargs)
 
     # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        """Connect with bounded retries on transient refusals.
+
+        ECONNREFUSED/ECONNRESET during the handshake get
+        ``connect_retries`` more chances, spaced by the same
+        deterministically-jittered exponential backoff the pools use
+        (keyed on the address, so a fleet of clients does not retry in
+        lockstep).  Everything else raises immediately.
+        """
+        last: Optional[OSError] = None
+        for attempt in range(self.connect_retries + 1):
+            try:
+                return socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last = exc
+                if exc.errno not in _TRANSIENT_CONNECT_ERRNOS:
+                    break
+                if attempt < self.connect_retries:
+                    time.sleep(backoff_delay(
+                        self._backoff_policy, self.address, attempt + 1))
+        raise ServeUnavailable(
+            f"no serve daemon at {self.address} ({last})"
+        ) from None
+
     def request(self, message: Dict[str, Any],
                 timeout: Optional[float] = None) -> Dict[str, Any]:
         """One request/response round trip; raises typed errors.
 
         ``timeout`` bounds the wait for the *response* (connection
-        establishment has its own ``connect_timeout``); None waits
-        indefinitely — matrix requests bound themselves via the
-        protocol-level ``deadline`` instead, so the daemon answers with
-        partial results rather than the socket going dark.
+        establishment has its own ``connect_timeout`` and retry
+        budget); None waits indefinitely — matrix requests bound
+        themselves via :attr:`matrix_timeout` or the protocol-level
+        ``deadline`` instead, so the daemon answers with partial
+        results rather than the socket going dark.
         """
-        try:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout
-            )
-        except OSError as exc:
-            raise ServeUnavailable(
-                f"no serve daemon at {self.host}:{self.port} ({exc})"
-            ) from None
+        sock = self._connect()
         try:
             sock.settimeout(timeout)
             with sock.makefile("rwb") as stream:
-                protocol.write_message(stream, message)
+                protocol.write_message(stream, message, target=self.address)
                 try:
-                    response = protocol.read_message(stream)
+                    response = protocol.read_message(
+                        stream, target=self.address)
                 except protocol.ProtocolError as exc:
                     raise ServeError(f"bad response: {exc}") from None
         except socket.timeout:
@@ -151,10 +203,14 @@ class ServeClient:
 
     def matrix(self, query: protocol.MatrixQuery) -> Dict[str, Any]:
         """The raw matrix response (``cells`` undecoded)."""
-        # The socket wait is bounded only when the query is: a bit of
-        # slack over the protocol deadline covers transfer time.
-        timeout = (query.deadline + 30.0
-                   if query.deadline is not None else None)
+        # A deadline-carrying query bounds the socket wait with a bit
+        # of slack for transfer time; a deadline-less one falls back to
+        # the client-level matrix_timeout (which may be None for the
+        # old unbounded behavior, but defaults bounded).
+        if query.deadline is not None:
+            timeout: Optional[float] = query.deadline + 30.0
+        else:
+            timeout = self.matrix_timeout
         return self.request(query.to_wire(), timeout=timeout)
 
     def run_matrix(

@@ -78,23 +78,45 @@ class ProtocolError(Exception):
     """A malformed or oversized message (maps to ``bad_request``)."""
 
 
+#: Late-bound network fault-injection seam.  ``repro.exec.faults``
+#: points this at its handler when an active ``$REPRO_FAULTS`` plan
+#: carries ``net_*`` kinds; otherwise it stays ``None`` and framing
+#: pays one attribute test per message.  Called as
+#: ``hook(direction, target, stream, data)`` with ``direction`` in
+#: ``("write", "read")``, ``target`` the caller-supplied routing label
+#: (the client passes ``"host:port"``; servers pass ``""``) and
+#: ``data`` the encoded line about to be written (``b""`` for reads).
+#: A truthy return means the hook consumed the write (nothing more is
+#: sent); it may also sleep or raise ``OSError`` subclasses to emulate
+#: refused/reset/slow links.
+_net_fault_hook = None
+
+
 # ----------------------------------------------------------------------
 # framing
 # ----------------------------------------------------------------------
-def write_message(stream: IO[bytes], message: Dict[str, Any]) -> None:
+def write_message(stream: IO[bytes], message: Dict[str, Any],
+                  target: str = "") -> None:
     """Serialize one message as a JSON line and flush it."""
     data = json.dumps(message, separators=(",", ":"),
-                      sort_keys=True).encode("utf-8")
-    stream.write(data + b"\n")
+                      sort_keys=True).encode("utf-8") + b"\n"
+    hook = _net_fault_hook
+    if hook is not None and hook("write", target, stream, data):
+        return
+    stream.write(data)
     stream.flush()
 
 
-def read_message(stream: IO[bytes]) -> Optional[Dict[str, Any]]:
+def read_message(stream: IO[bytes],
+                 target: str = "") -> Optional[Dict[str, Any]]:
     """Read one JSON-line message; None on a clean EOF.
 
     Raises :class:`ProtocolError` on an oversized line, non-JSON bytes,
     or a line that is not a JSON object.
     """
+    hook = _net_fault_hook
+    if hook is not None:
+        hook("read", target, stream, b"")
     line = stream.readline(MAX_LINE_BYTES + 1)
     if not line:
         return None

@@ -601,6 +601,11 @@ class ExperimentScheduler:
                 "builds": self._pool_rebuilds,
                 "strikes": self._pool_strikes,
                 "serial_pinned": self._serial_pinned,
+                # Uniform utilization surface (attempts dispatched /
+                # completed, per slot for worker-backed pools) — the
+                # same shape ClusterPool reports per node.
+                "utilization": (pool.worker_stats()
+                                if pool is not None else None),
             },
             "resident": {
                 "programs": len(cache._cache),

@@ -298,6 +298,31 @@ class ArtifactCache:
             meta=meta,
         )
 
+    def put_result_bytes(
+        self,
+        result_fp: str,
+        data: bytes,
+        meta: Optional[dict] = None,
+    ) -> Optional[SimulationResult]:
+        """Ingest an already-encoded result (the remote-cell path).
+
+        A serve daemon ships results in the store's own object
+        encoding, so a cluster sweep can persist the *wire bytes*
+        verbatim — the local store entry is then bit-identical to the
+        one the daemon wrote, with no decode/re-encode round trip in
+        between.  The bytes are validated by decoding first; bytes a
+        different code version produced (undecodable here) are
+        rejected — stored, they would poison every later run's cache —
+        and the caller falls back to re-encoding its decoded result.
+        Returns the decoded result on success, None on rejection.
+        """
+        try:
+            result = serialize.load_result(data)
+        except ArtifactDecodeError:
+            return None
+        self._put("result", result_fp, lambda: data, meta=meta)
+        return result
+
 
 def as_artifact_cache(
     store: Union[ArtifactCache, ArtifactStore, str]

@@ -1,0 +1,118 @@
+"""The per-node health state machine and its circuit breaker."""
+
+from __future__ import annotations
+
+from repro.cluster.health import (
+    DEAD,
+    HEALTHY,
+    PROBATION,
+    SUSPECT,
+    HealthPolicy,
+    NodeHealth,
+)
+from repro.exec.policy import backoff_delay
+
+POLICY = HealthPolicy(suspect_after=1, dead_after=3,
+                      probe_backoff=0.5, probe_backoff_max=15.0)
+
+
+def test_failures_walk_healthy_suspect_dead():
+    node = NodeHealth("10.0.0.1:4000", POLICY)
+    assert node.state == HEALTHY and node.usable()
+    node.record_failure(now=100.0)
+    assert node.state == SUSPECT
+    assert node.usable()  # suspect nodes still take work
+    node.record_failure(now=101.0)
+    assert node.state == SUSPECT
+    node.record_failure(now=102.0)
+    assert node.state == DEAD
+    assert not node.usable()
+    assert node.breaker_trips == 1
+    assert node.failures == 3
+
+
+def test_success_resets_the_consecutive_count():
+    node = NodeHealth("10.0.0.1:4000", POLICY)
+    for _ in range(2):  # one short of dead_after
+        node.record_failure(now=0.0)
+    node.record_success()
+    assert node.state == HEALTHY
+    assert node.consecutive_failures == 0
+    # The slate is clean: it takes dead_after fresh failures again.
+    node.record_failure(now=0.0)
+    node.record_failure(now=0.0)
+    assert node.state == SUSPECT
+
+
+def test_breaker_backoff_is_deterministic_and_grows():
+    a = NodeHealth("10.0.0.1:4000", POLICY)
+    b = NodeHealth("10.0.0.1:4000", POLICY)
+    for node in (a, b):
+        for _ in range(3):
+            node.record_failure(now=1000.0)
+    # Same address, same trip number -> bit-equal probe schedule
+    # (sha256-derived jitter, no RNG).
+    assert a.retry_at == b.retry_at
+    expected = 1000.0 + backoff_delay(POLICY.breaker_policy(),
+                                      "10.0.0.1:4000", 1)
+    assert a.retry_at == expected
+    # A second trip backs off further (attempt number advances).
+    a.record_probe(now=2000.0, alive=True)
+    a.record_failure(now=2000.0)  # probation failure re-trips
+    assert a.breaker_trips == 2
+    assert a.retry_at == 2000.0 + backoff_delay(
+        POLICY.breaker_policy(), "10.0.0.1:4000", 2)
+    # And a different address gets a different (deterministic) jitter.
+    other = NodeHealth("10.0.0.2:4000", POLICY)
+    for _ in range(3):
+        other.record_failure(now=1000.0)
+    assert other.retry_at != a.retry_at
+
+
+def test_probe_success_walks_dead_to_probation_to_healthy():
+    node = NodeHealth("n:1", POLICY)
+    for _ in range(3):
+        node.record_failure(now=0.0)
+    assert node.state == DEAD
+    assert node.due_for_probe(node.retry_at)
+    assert not node.due_for_probe(node.retry_at - 0.001)
+    node.record_probe(node.retry_at, alive=True)
+    assert node.state == PROBATION
+    assert node.usable()  # probation admits real work again
+    node.record_success()
+    assert node.state == HEALTHY
+
+
+def test_probation_failure_retrips_immediately():
+    node = NodeHealth("n:1", POLICY)
+    for _ in range(3):
+        node.record_failure(now=0.0)
+    node.record_probe(10.0, alive=True)
+    assert node.state == PROBATION
+    # No suspect ramp for a node that just came back and failed.
+    node.record_failure(now=10.0)
+    assert node.state == DEAD
+    assert node.breaker_trips == 2
+
+
+def test_failed_probes_count_until_contact():
+    node = NodeHealth("n:1", POLICY)
+    for _ in range(3):
+        node.record_failure(now=0.0)
+    node.record_probe(5.0, alive=False)
+    node.record_probe(9.0, alive=False)
+    assert node.failed_probes == 2
+    assert node.breaker_trips == 3  # each failed probe re-trips
+    node.record_probe(20.0, alive=True)
+    assert node.failed_probes == 0
+    assert node.state == PROBATION
+
+
+def test_stats_shape_matches_worker_surface():
+    node = NodeHealth("n:1", POLICY)
+    node.dispatched, node.completed, node.busy = 5, 4, 1
+    stats = node.stats()
+    assert stats == {
+        "node": "n:1", "state": HEALTHY, "dispatched": 5,
+        "completed": 4, "failures": 0, "breaker_trips": 0, "busy": 1,
+    }

@@ -1,0 +1,73 @@
+"""Per-worker utilization counters on the pools (the uniform surface
+the cluster scheduler and ``serve status`` report)."""
+
+from __future__ import annotations
+
+import operator
+import os
+
+from repro.exec import FaultPolicy, ForkServerPool, Job, SerialPool
+
+
+def _victim_or_ok(flag: str) -> str:
+    if flag == "die":
+        os._exit(11)
+    return flag
+
+
+def test_serial_pool_counts_dispatches_and_completions():
+    pool = SerialPool()
+    pool.run(operator.mul, [Job(i, (i, 2)) for i in range(5)])
+    assert pool.jobs_dispatched == 5
+    assert pool.jobs_completed == 5
+    stats = pool.worker_stats()
+    assert stats == {"dispatched": 5, "completed": 5, "workers": []}
+
+
+def test_serial_pool_counts_retries_as_dispatches():
+    flaky = {"left": 2}
+
+    def wobbly(n):
+        if flaky["left"]:
+            flaky["left"] -= 1
+            raise RuntimeError("transient")
+        return n
+
+    pool = SerialPool(policy=FaultPolicy(retries=3, backoff=0.0))
+    pool.run(wobbly, [Job("cell", (7,))])
+    assert pool.jobs_dispatched == 3  # two failed attempts + success
+    assert pool.jobs_completed == 1
+
+
+def test_fork_pool_reports_per_worker_slots():
+    with ForkServerPool(2) as pool:
+        pool.run(operator.mul, [Job(i, (i, 3)) for i in range(6)])
+        stats = pool.worker_stats()
+    assert stats["dispatched"] == 6
+    assert stats["completed"] == 6
+    workers = stats["workers"]
+    assert [w["slot"] for w in workers] == [0, 1]
+    assert sum(w["dispatched"] for w in workers) == 6
+    assert sum(w["completed"] for w in workers) == 6
+    assert all(set(w) == {"slot", "alive", "busy", "dispatched",
+                          "completed"} for w in workers)
+
+
+def test_fork_pool_worker_counters_survive_rebuilds():
+    # A crashed worker's replacement reuses its slot; pool-level
+    # totals keep counting across the rebuild.
+    jobs = [Job("victim", ("die",), fallback_args=("ok",))] + [
+        Job(f"ok-{i}", (f"v{i}",)) for i in range(3)
+    ]
+    with ForkServerPool(2, policy=FaultPolicy(retries=0,
+                                              backoff=0.0)) as pool:
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            results = pool.run(_victim_or_ok, jobs)
+        stats = pool.worker_stats()
+    assert len(results) == 4
+    assert stats["completed"] == 4
+    assert stats["dispatched"] >= 5  # the crashed attempt counted too
+    assert [w["slot"] for w in stats["workers"]] == [0, 1]

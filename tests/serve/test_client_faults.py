@@ -1,0 +1,234 @@
+"""Client error taxonomy under injected socket failures.
+
+Every way a connection can go wrong maps to one typed exception and
+never to a hang: refused connections (with a bounded, deterministic
+retry budget), resets mid-frame, garbage frames, oversized frames, and
+the ``net_*`` fault-injection kinds that emulate all of the above.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.exec.faults import FaultSpec, active_plan
+from repro.exec.policy import backoff_delay
+from repro.serve import protocol
+from repro.serve.client import (
+    DEFAULT_MATRIX_TIMEOUT,
+    ServeClient,
+    ServeError,
+    ServeUnavailable,
+)
+
+
+def _dead_port() -> int:
+    """A port nothing listens on (bind-then-close reserves a dead one)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _serve_once(payload: bytes, rst: bool = False) -> int:
+    """One-shot server: accept, read the request line, answer
+    ``payload`` verbatim, close (with an RST instead of a FIN when
+    ``rst``).  Returns the port."""
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+
+    def run() -> None:
+        conn, _ = server.accept()
+        try:
+            conn.makefile("rb").readline()
+            if payload:
+                conn.sendall(payload)
+            if rst:
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+        finally:
+            conn.close()
+            server.close()
+
+    threading.Thread(target=run, daemon=True).start()
+    return port
+
+
+# ----------------------------------------------------------------------
+# connect-phase failures
+# ----------------------------------------------------------------------
+def test_refused_is_unavailable_without_retries():
+    client = ServeClient("127.0.0.1", _dead_port(), connect_retries=0)
+    with pytest.raises(ServeUnavailable, match="no serve daemon"):
+        client.ping()
+
+
+def test_transient_refusals_retry_with_deterministic_backoff(monkeypatch):
+    attempts = []
+    delays = []
+
+    def refuse(address, timeout=None):
+        attempts.append(address)
+        raise ConnectionRefusedError(errno.ECONNREFUSED, "refused")
+
+    monkeypatch.setattr(socket, "create_connection", refuse)
+    monkeypatch.setattr(time, "sleep", delays.append)
+    client = ServeClient("127.0.0.1", 1234, connect_retries=2,
+                         connect_backoff=0.2)
+    with pytest.raises(ServeUnavailable):
+        client.ping()
+    assert len(attempts) == 3  # initial + 2 retries
+    # The same sha256-derived jittered schedule the pools use, keyed
+    # on the address: a fleet of clients never retries in lockstep.
+    expected = [backoff_delay(client._backoff_policy, client.address, n)
+                for n in (1, 2)]
+    assert delays == expected
+    assert all(d > 0 for d in delays)
+
+
+def test_non_transient_connect_errors_fail_fast(monkeypatch):
+    attempts = []
+
+    def unreachable(address, timeout=None):
+        attempts.append(address)
+        raise OSError(errno.EHOSTUNREACH, "no route to host")
+
+    monkeypatch.setattr(socket, "create_connection", unreachable)
+    client = ServeClient("127.0.0.1", 1234, connect_retries=5)
+    with pytest.raises(ServeUnavailable, match="no route"):
+        client.ping()
+    assert len(attempts) == 1  # no retry budget burned on a dead route
+
+
+# ----------------------------------------------------------------------
+# response-phase failures (real sockets, one-shot servers)
+# ----------------------------------------------------------------------
+def test_hangup_before_response_is_unavailable():
+    port = _serve_once(b"")
+    client = ServeClient("127.0.0.1", port, connect_retries=0)
+    with pytest.raises(ServeUnavailable, match="hung up"):
+        client.request({"op": "ping"}, timeout=10)
+
+
+def test_reset_mid_frame_is_unavailable():
+    # Half a frame, then an RST: readline blocks on the missing
+    # newline until the reset surfaces as a typed error, not a hang.
+    port = _serve_once(b'{"ok": tru', rst=True)
+    client = ServeClient("127.0.0.1", port, connect_retries=0)
+    with pytest.raises(ServeUnavailable, match="failed"):
+        client.request({"op": "ping"}, timeout=10)
+
+
+def test_truncated_frame_is_typed_error():
+    # Half a frame then a clean FIN: an undecodable line, not a hang.
+    port = _serve_once(b'{"ok": tru')
+    client = ServeClient("127.0.0.1", port, connect_retries=0)
+    with pytest.raises(ServeError, match="bad response"):
+        client.request({"op": "ping"}, timeout=10)
+
+
+def test_garbage_frame_is_typed_error():
+    port = _serve_once(b"\xfe\xed not json at all\xff\n")
+    client = ServeClient("127.0.0.1", port, connect_retries=0)
+    with pytest.raises(ServeError, match="bad response"):
+        client.request({"op": "ping"}, timeout=10)
+
+
+def test_oversized_frame_is_typed_error(monkeypatch):
+    monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 64)
+    payload = b'{"ok": true, "pad": "' + b"x" * 200 + b'"}\n'
+    port = _serve_once(payload)
+    client = ServeClient("127.0.0.1", port, connect_retries=0)
+    with pytest.raises(ServeError, match="bad response"):
+        client.request({"op": "ping"}, timeout=10)
+
+
+# ----------------------------------------------------------------------
+# injected net_* faults drive the same taxonomy
+# ----------------------------------------------------------------------
+def test_net_refuse_fault_maps_to_unavailable():
+    port = _serve_once(b'{"ok": true}\n')
+    client = ServeClient("127.0.0.1", port, connect_retries=0)
+    with active_plan(FaultSpec("net_refuse", match=client.address,
+                               times=1)):
+        with pytest.raises(ServeUnavailable):
+            client.request({"op": "ping"}, timeout=10)
+
+
+def test_net_drop_fault_writes_half_then_resets():
+    stream = io.BytesIO()
+    with active_plan(FaultSpec("net_drop", times=1)):
+        with pytest.raises(ConnectionResetError):
+            protocol.write_message(stream, {"op": "ping"}, target="x:1")
+    full = b'{"op":"ping"}\n'
+    assert stream.getvalue() == full[:len(full) // 2]
+
+
+def test_net_garbage_fault_consumes_the_write():
+    stream = io.BytesIO()
+    with active_plan(FaultSpec("net_garbage", times=1)):
+        protocol.write_message(stream, {"op": "ping"}, target="x:1")
+    garbage = stream.getvalue()
+    assert garbage.endswith(b"\n") and b"ping" not in garbage
+    with pytest.raises(protocol.ProtocolError):
+        protocol.read_message(io.BytesIO(garbage))
+
+
+def test_net_delay_fault_sleeps_then_delivers():
+    stream = io.BytesIO()
+    with active_plan(FaultSpec("net_delay", times=1, seconds=0.05)):
+        started = time.monotonic()
+        protocol.write_message(stream, {"op": "ping"}, target="x:1")
+        elapsed = time.monotonic() - started
+    assert elapsed >= 0.05
+    assert protocol.read_message(io.BytesIO(stream.getvalue())) == \
+        {"op": "ping"}
+
+
+def test_net_fault_match_routes_by_address():
+    # A plan scoped to one node's address leaves other targets alone.
+    stream = io.BytesIO()
+    with active_plan(FaultSpec("net_refuse", match="10.0.0.9:4242",
+                               times=8)):
+        protocol.write_message(stream, {"op": "ping"},
+                               target="127.0.0.1:1111")
+        with pytest.raises(ConnectionRefusedError):
+            protocol.write_message(stream, {"op": "ping"},
+                                   target="10.0.0.9:4242")
+    assert protocol.read_message(io.BytesIO(stream.getvalue())) == \
+        {"op": "ping"}
+
+
+# ----------------------------------------------------------------------
+# deadline-less requests stay bounded
+# ----------------------------------------------------------------------
+def test_matrix_requests_have_a_bounded_default_timeout():
+    captured = []
+
+    class Spy(ServeClient):
+        def request(self, message, timeout=None):
+            captured.append(timeout)
+            return {"ok": True, "cells": []}
+
+    query = protocol.MatrixQuery(
+        benchmarks=("gzip",), widths=(8,), archs=("stream",),
+        layouts=(True,), instructions=1000, warmup=100, scale=0.3,
+    )
+    spy = Spy()
+    spy.matrix(query)
+    assert captured == [DEFAULT_MATRIX_TIMEOUT]
+    spy.matrix(protocol.MatrixQuery(
+        benchmarks=("gzip",), widths=(8,), archs=("stream",),
+        layouts=(True,), instructions=1000, warmup=100, scale=0.3,
+        deadline=5.0,
+    ))
+    assert captured[1] == pytest.approx(35.0)  # deadline + slack
