@@ -585,6 +585,73 @@ def measure_cluster_latency(reps: int = 3) -> dict:
     }
 
 
+def measure_remote_store_latency(reps: int = 3) -> dict:
+    """Per-artifact latency of the federated store's three outcomes.
+
+    One in-process daemon holds a fixed-size artifact; a
+    :class:`~repro.store.remote.tiered.TieredStore` client measures
+    what each read costs: a **local hit** (the artifact already landed
+    in the local layer — the steady state), a **peer hit** (local
+    miss, remote read-through fill: one round trip plus the base64
+    decode, oid re-hash and atomic local put), and a **peer miss**
+    (absent everywhere: one round trip that answers ``found: false``
+    before the sweep recomputes).  Each peer-hit reading uses a fresh
+    local root, since the first fill makes every later read local —
+    that is the point of the tier.  Informational only; never feeds
+    the regression gate.
+    """
+    import tempfile
+
+    from repro.serve import ExperimentServer
+    from repro.store.remote.tiered import TieredStore
+    from repro.store.store import ArtifactStore
+
+    payload = bytes(range(256)) * 256  # 64 KiB, deterministic
+    fp = "fe" * 32
+    absent_fp = "ab" * 32
+    root = tempfile.mkdtemp(prefix="bench-remote-store-")
+    tiers = []
+    try:
+        peer_root = os.path.join(root, "peer")
+        with ExperimentServer(store_root=peer_root, max_workers=1,
+                              use_fork_pool=False) as server:
+            address = "%s:%d" % server.address
+            ArtifactStore(peer_root).put("result", fp, payload,
+                                         {"bench": True})
+
+            def _tier(name):
+                tier = TieredStore(os.path.join(root, name), address,
+                                   replicate_async=False)
+                tiers.append(tier)
+                return tier
+
+            probe = _tier("tier-miss")
+            # Absent on both sides: every call pays the round trip.
+            miss_seconds = _best_of(
+                reps, lambda: probe.get("result", absent_fp))
+
+            fill_times = []
+            for i in range(reps):
+                tier = _tier(f"tier-fill-{i}")
+                t0 = time.perf_counter()
+                got = tier.get("result", fp)
+                fill_times.append(time.perf_counter() - t0)
+                assert got == payload
+            # The last fill's tier now holds the artifact locally.
+            local_seconds = _best_of(
+                reps, lambda: tiers[-1].get("result", fp))
+    finally:
+        for tier in tiers:
+            tier.close(timeout=1.0)
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "payload_bytes": len(payload),
+        "local_hit_ms": round(local_seconds * 1e3, 3),
+        "peer_hit_ms": round(min(fill_times) * 1e3, 2),
+        "peer_miss_ms": round(miss_seconds * 1e3, 2),
+    }
+
+
 def measure_store_matrix(store_dir: str, reps: int = 3) -> dict:
     """Warm-vs-cold wall-clock of the default matrix via the store.
 
@@ -651,6 +718,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
     pool_overhead = measure_pool_overhead()
     serve = measure_serve_latency()
     cluster = measure_cluster_latency()
+    remote_store = measure_remote_store_latency()
     chain = measure_chain_rates()
     hook_seconds = measure_obs_hook()
     obs_row = {
@@ -705,7 +773,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
             seed_matrix * drift / matrix["parallel_seconds"], 2
         )
     report = {
-        "schema": 7,
+        "schema": 8,
         "calibration_seconds": round(calibration, 5),
         "calibration_drift_vs_seed": round(drift, 3),
         "calibration_drift_vs_pr3": round(drift_pr3, 3),
@@ -718,6 +786,7 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
         "pool": pool_overhead,
         "serve": serve,
         "cluster": cluster,
+        "remote_store": remote_store,
         "chain": chain,
         "obs": obs_row,
         "seed_baseline": SEED_BASELINE,
@@ -758,6 +827,11 @@ def full_run(jobs: int, output: str, store_dir=None) -> dict:
           f"{cluster['local_ms']:.0f}ms, cold {cluster['cold_ms']:.0f}ms "
           f"(+{cluster['cold_overhead_ms_per_cell']:.0f}ms/cell) -> warm "
           f"{cluster['warm_ms_per_cell']:.1f}ms/cell dispatch overhead")
+    print(f"  remote store    "
+          f"{remote_store['payload_bytes'] // 1024}KiB artifact: local "
+          f"hit {remote_store['local_hit_ms']:.2f}ms, peer hit "
+          f"{remote_store['peer_hit_ms']:.1f}ms (read-through fill), "
+          f"peer miss {remote_store['peer_miss_ms']:.1f}ms")
     print(f"  obs hook        {obs_row['hook_us_per_cell']:.2f}us/cell "
           f"({obs_row['overhead_fraction']['accel'] * 100:.3f}% of the "
           f"fastest accel cell, "

@@ -1,0 +1,83 @@
+"""Shared transport plumbing for anything that dials a serve daemon.
+
+Both :class:`repro.serve.client.ServeClient` and the remote-store
+client (:mod:`repro.store.remote.client`) need the same connect-phase
+behavior: retry transient refusals a bounded number of times, spaced
+by the sha256-derived deterministically-jittered exponential backoff
+that :func:`repro.exec.policy.backoff_delay` provides (keyed on the
+address, so a fleet of clients does not retry in lockstep), and fail
+fast on anything that is not transient.  This module is that one
+implementation; the clients wrap the raised :class:`OSError` in their
+own typed exceptions.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+import time
+from typing import Optional, Tuple
+
+from repro.exec.policy import FaultPolicy, backoff_delay
+
+__all__ = [
+    "TRANSIENT_CONNECT_ERRNOS",
+    "connect_with_retries",
+    "parse_hostport",
+]
+
+#: Connect-phase errnos worth retrying: a daemon that is restarting
+#: (refused) or dropped the handshake (reset) is transiently gone, not
+#: absent.  Anything else (EHOSTUNREACH, DNS failure, ...) fails fast.
+TRANSIENT_CONNECT_ERRNOS = frozenset({
+    errno.ECONNREFUSED, errno.ECONNRESET,
+})
+
+
+def parse_hostport(address: str) -> Tuple[str, int]:
+    """``"host:port"`` or bare ``"port"`` -> ``(host, port)``.
+
+    Raises :class:`ValueError` on anything else; callers wrap it in
+    their own typed error.
+    """
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        host = "127.0.0.1"
+        port = address
+    host = host or "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"bad address {address!r} (want host:port)") from None
+
+
+def connect_with_retries(
+    host: str,
+    port: int,
+    *,
+    timeout: Optional[float],
+    policy: FaultPolicy,
+    key: Optional[str] = None,
+) -> socket.socket:
+    """Connect with bounded retries on transient refusals.
+
+    ECONNREFUSED/ECONNRESET during the handshake get ``policy.retries``
+    more chances, spaced by ``backoff_delay(policy, key, attempt)``;
+    everything else raises immediately.  On exhaustion the last
+    :class:`OSError` is raised.
+    """
+    if key is None:
+        key = f"{host}:{port}"
+    last: Optional[OSError] = None
+    for attempt in range(policy.retries + 1):
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            last = exc
+            if exc.errno not in TRANSIENT_CONNECT_ERRNOS:
+                break
+            if attempt < policy.retries:
+                time.sleep(backoff_delay(policy, key, attempt + 1))
+    assert last is not None
+    raise last

@@ -36,8 +36,11 @@ Hook points:
   normally) and ``net_garbage`` (replace the frame with undecodable
   bytes).  ``match`` tests the routing target (``"host:port"`` on the
   client side) *and* the frame text, so a plan can partition one node
-  of a fleet or strike one request op.  Gating mirrors the store
-  kinds: per-process match counter or cross-process ``O_EXCL`` token.
+  of a fleet or strike one request op — including the federated-store
+  ops (``match="store_get"`` garbles or drops exactly the remote
+  read-through path of :mod:`repro.store.remote`, whose client frames
+  carry the op name).  Gating mirrors the store kinds: per-process
+  match counter or cross-process ``O_EXCL`` token.
 
 When no plan is active every hook is a single ``is-None`` check; the
 fault-free hot path does not pay for this module's existence.

@@ -16,6 +16,9 @@ Examples::
     repro-experiments cache stats                   # store maintenance
     repro-experiments cache verify
     repro-experiments cache gc --max-bytes 500000000
+    repro-experiments cache sync HOST:PORT          # anti-entropy pass
+    repro-experiments cache verify --peers HOST:PORT
+    repro-experiments fig8 --store DIR --store-peers HOST:PORT
     repro-experiments obs summary                   # flight recorder
 
 ``--store DIR`` (default: the ``REPRO_STORE`` environment variable)
@@ -37,6 +40,7 @@ cite before/after profiles instead of guessing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -99,6 +103,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
              "fleet falls back to local execution)",
     )
     parser.add_argument(
+        "--store-peers", metavar="HOST:PORT[,...]", default=None,
+        help="federate the store with these repro.serve daemons: "
+             "misses read through to them, fresh results replicate "
+             "back (requires --store; default: $REPRO_STORE_PEERS; "
+             "bit-identical results even with every peer down)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-cell attempt deadline; an over-deadline worker is "
              "killed and the cell retried (default: no deadline)",
@@ -152,10 +163,30 @@ def main(argv: List[str] | None = None) -> int:
     _add_common(p_abl)
 
     p_cache = sub.add_parser(
-        "cache", help="artifact store maintenance (stats/verify/gc)"
+        "cache", help="artifact store maintenance "
+                      "(stats/verify/gc/sync)"
     )
-    p_cache.add_argument("action", choices=("stats", "verify", "gc"))
+    p_cache.add_argument("action", choices=("stats", "verify", "gc",
+                                            "sync"))
+    p_cache.add_argument("peers", nargs="?", default=None,
+                         metavar="HOST:PORT[,...]",
+                         help="sync: serve daemons to reconcile with "
+                              "(also usable positionally for "
+                              "stats/verify)")
     _add_store(p_cache)
+    p_cache.add_argument("--peers", dest="peers_opt", default=None,
+                         metavar="HOST:PORT[,...]",
+                         help="stats/verify: add a remote section / "
+                              "cross-check shared fingerprints against "
+                              "these peers (default: "
+                              "$REPRO_STORE_PEERS)")
+    p_cache.add_argument("--direction", choices=("push", "pull", "both"),
+                         default="both",
+                         help="sync: transfer direction (default: both)")
+    p_cache.add_argument("--sample", type=int, default=16, metavar="N",
+                         help="verify --peers: shared fingerprints "
+                              "cross-checked per kind per peer "
+                              "(default: 16)")
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="gc: evict least-recently-written entries "
                               "until live objects fit this many bytes")
@@ -182,6 +213,8 @@ def main(argv: List[str] | None = None) -> int:
     store_flag_given = args.store is not None
     if args.store is None:
         args.store = default_store_root()
+    if getattr(args, "store_peers", None) is None:
+        args.store_peers = os.environ.get("REPRO_STORE_PEERS") or None
     t0 = time.time()
 
     if args.command == "cache":
@@ -217,7 +250,9 @@ def main(argv: List[str] | None = None) -> int:
                             ("--timeout/--retries", fault_policy is not None),
                             ("--resume", args.resume),
                             ("--serve", args.serve is not None),
-                            ("--cluster", args.cluster is not None)):
+                            ("--cluster", args.cluster is not None),
+                            ("--store-peers",
+                             args.store_peers is not None)):
             if value:
                 print(f"note: {flag} is ignored by {args.command} "
                       f"(serial simulation sweep)", file=sys.stderr)
@@ -239,7 +274,8 @@ def main(argv: List[str] | None = None) -> int:
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
                             fault_policy=fault_policy, resume=args.resume,
-                            serve=args.serve, cluster=args.cluster)
+                            serve=args.serve, cluster=args.cluster,
+                            peers=args.store_peers)
         print(figure8_text(matrix, args.benchmarks, tuple(args.widths)))
     elif args.command == "fig9":
         matrix = run_matrix(args.benchmarks, widths=(8,), layouts=(True,),
@@ -248,7 +284,8 @@ def main(argv: List[str] | None = None) -> int:
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
                             fault_policy=fault_policy, resume=args.resume,
-                            serve=args.serve, cluster=args.cluster)
+                            serve=args.serve, cluster=args.cluster,
+                            peers=args.store_peers)
         print(figure9_text(matrix, args.benchmarks))
     elif args.command == "table1":
         print(table1_text(args.benchmarks, args.instructions, args.scale))
@@ -259,7 +296,8 @@ def main(argv: List[str] | None = None) -> int:
                             jobs=args.jobs, store=args.store,
                             engine_mode=args.engine_mode,
                             fault_policy=fault_policy, resume=args.resume,
-                            serve=args.serve, cluster=args.cluster)
+                            serve=args.serve, cluster=args.cluster,
+                            peers=args.store_peers)
         print(table3_text(matrix, args.benchmarks))
     elif args.command == "ablations":
         print(ablations.line_width_sweep(
@@ -282,12 +320,29 @@ def main(argv: List[str] | None = None) -> int:
 
 
 def _cache_command(args) -> int:
-    """``cache stats|verify|gc`` against the configured store."""
+    """``cache stats|verify|gc|sync`` against the configured store."""
     if not args.store:
         print(f"no store configured: pass --store DIR or set ${STORE_ENV}",
               file=sys.stderr)
         return 2
     store = ArtifactStore(args.store)
+    peers = (args.peers or args.peers_opt
+             or os.environ.get("REPRO_STORE_PEERS") or None)
+    if args.action == "sync":
+        if not peers:
+            print("cache sync needs peers: "
+                  "repro-experiments cache sync HOST:PORT[,...]",
+                  file=sys.stderr)
+            return 2
+        from repro.store.remote import sync_with_peers
+        rows = sync_with_peers(store, peers, direction=args.direction,
+                               out=print)
+        errors = sum(row["errors"] for row in rows)
+        skipped = sum(1 for row in rows if row["skipped"])
+        if skipped == len(rows):
+            print("cache sync: every peer skipped", file=sys.stderr)
+            return 1
+        return 1 if errors else 0
     if args.action == "stats":
         stats = store.stats()
         print(f"store {stats['root']}")
@@ -311,6 +366,8 @@ def _cache_command(args) -> int:
         if stats["bad_entries"]:
             print(f"  WARNING: {stats['bad_entries']} unreadable index "
                   f"entries (run gc)")
+        if peers:
+            _remote_stats(peers)
         return 0
     if args.action == "verify":
         report = store.verify()
@@ -330,6 +387,8 @@ def _cache_command(args) -> int:
             print(f"  unreadable entry {kind}/{fp}")
         ok = not (report["corrupt_objects"] or report["unreadable_objects"]
                   or report["dangling_entries"] or report["bad_entries"])
+        if peers:
+            ok = _remote_verify(store, peers, args.sample) and ok
         if ok:
             print("store is clean")
         return 0 if ok else 1
@@ -348,6 +407,105 @@ def _cache_command(args) -> int:
           f"{report.get('journals_removed', 0)} sweep journals; "
           f"{report['live_bytes']:,d} live bytes remain")
     return 0
+
+
+def _remote_stats(peers) -> None:
+    """The ``cache stats`` remote section: one row per peer."""
+    from repro.serve.client import ServeClient, ServeError
+    from repro.store.remote import parse_peers
+    from repro.store.remote.client import (
+        RemoteStoreClient,
+        RemoteStoreError,
+        StorePeerUnusable,
+    )
+
+    print("remote peers:")
+    for address in parse_peers(peers):
+        client = RemoteStoreClient(address)
+        try:
+            client.hello()
+        except StorePeerUnusable as exc:
+            print(f"  {address:21s} unusable ({exc})")
+            continue
+        except RemoteStoreError as exc:
+            print(f"  {address:21s} unreachable ({exc})")
+            continue
+        counts = []
+        for kind in ("program", "trace", "result"):
+            try:
+                counts.append(f"{kind} {len(client.has(kind, None))}")
+            except RemoteStoreError:
+                counts.append(f"{kind} ?")
+        print(f"  {address:21s} up  ({', '.join(counts)})")
+        # A federated daemon's status carries its own STORE_REMOTE_*
+        # view (per-peer hits/misses/integrity, replication backlog).
+        try:
+            remote = (ServeClient.at(address).status()
+                      .get("store", {}).get("remote"))
+        except ServeError:
+            remote = None
+        if remote:
+            for row in remote.get("peers", []):
+                print(f"    -> {row['peer']:21s} {row['state']:9s} "
+                      f"hits {row['hits']}  misses {row['misses']}  "
+                      f"integrity {row['integrity']}  "
+                      f"errors {row['errors']}  "
+                      f"replicated {row['replicated']}")
+            rep = remote.get("replication", {})
+            print(f"    replication backlog {rep.get('backlog', 0)}, "
+                  f"dropped {rep.get('dropped', 0)}")
+
+
+def _remote_verify(store, peers, sample: int) -> bool:
+    """``cache verify --peers``: cross-check shared fingerprint oids.
+
+    Samples up to ``sample`` shared fingerprints per kind per peer and
+    compares oids.  Trace records are prefix-extensible (the same
+    fingerprint legitimately maps to different oids as traces grow),
+    so only ``program`` and ``result`` — immutable by construction —
+    are cross-checked.
+    """
+    from repro.store.remote import parse_peers
+    from repro.store.remote.client import (
+        RemoteStoreClient,
+        RemoteStoreError,
+        StorePeerUnusable,
+    )
+
+    local: dict = {}
+    for kind, fp, entry in store.iter_index():
+        if entry is not None:
+            local.setdefault(kind, {})[fp] = entry["object"]
+    ok = True
+    for address in parse_peers(peers):
+        client = RemoteStoreClient(address)
+        try:
+            client.hello()
+        except (StorePeerUnusable, RemoteStoreError) as exc:
+            print(f"peer {address}: skipped ({exc})")
+            continue
+        for kind in ("program", "result"):
+            ours = local.get(kind, {})
+            if not ours:
+                continue
+            try:
+                theirs = client.has(kind, None)
+            except RemoteStoreError as exc:
+                print(f"peer {address}: {kind} listing failed ({exc})")
+                continue
+            shared = sorted(set(ours) & set(theirs))[:max(0, sample)]
+            mismatched = [fp for fp in shared if ours[fp] != theirs[fp]]
+            for fp in mismatched:
+                ok = False
+                print(f"peer {address}: {kind}/{fp} oid mismatch "
+                      f"(local {ours[fp][:12]}.. != "
+                      f"peer {theirs[fp][:12]}..)")
+            print(f"peer {address}: {kind}: {len(shared)} shared "
+                  f"fingerprints checked, "
+                  f"{len(mismatched)} mismatched")
+        print(f"peer {address}: trace records skipped "
+              f"(prefix-extensible)")
+    return ok
 
 
 def _fmt_age(seconds: Optional[float]) -> str:

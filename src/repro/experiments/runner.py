@@ -420,6 +420,46 @@ def _try_serve(
         return None
 
 
+def _federate_store(
+    store: Optional[Union[ArtifactCache, ArtifactStore, str]],
+    peers: Union[str, Sequence[str]],
+) -> Tuple[Optional[Union[ArtifactCache, ArtifactStore, str]], Any]:
+    """Layer ``peers`` under ``store`` as a :class:`TieredStore`.
+
+    Returns ``(store, owned_tier)``: the possibly-wrapped store, plus
+    the tier this run constructed (and must close) — None when the
+    caller already brought a federated store or no wrapping applies.
+    ``peers`` without a store is a warn-once no-op: the federation is
+    a cache layer, and there is nothing to layer it on.
+    """
+    from repro.store.remote import parse_peers
+    from repro.store.remote.tiered import TieredStore
+
+    peer_list = parse_peers(peers)
+    if not peer_list:
+        return store, None
+    if store is None:
+        warn_once(
+            "store.remote.peers-without-store",
+            "run_matrix: peers= requires store=...; running without "
+            "the federated tier",
+            stacklevel=3,
+        )
+        return None, None
+    if isinstance(store, TieredStore):
+        return store, None  # caller owns its tier
+    if isinstance(store, ArtifactCache):
+        if isinstance(store.store, TieredStore):
+            return store, None
+        tier = TieredStore(store.store.root, peer_list)
+        store.store = tier  # keep the cache's hit/miss counters
+        return store, tier
+    root = store.root if isinstance(store, ArtifactStore) else \
+        os.fspath(store)
+    tier = TieredStore(root, peer_list)
+    return tier, tier
+
+
 def _attach_store(
     store: Optional[Union[ArtifactCache, ArtifactStore, str]],
 ) -> Optional[ArtifactCache]:
@@ -466,6 +506,7 @@ def run_matrix(
     resume: bool = False,
     serve: Optional[str] = None,
     cluster: Optional[Union[str, Sequence[str], Any]] = None,
+    peers: Optional[Union[str, Sequence[str]]] = None,
 ) -> RunMatrixResult:
     """Simulate the full cross product and return all results.
 
@@ -533,6 +574,15 @@ def run_matrix(
     deadline.  Dead or partitioned nodes cost redispatches; an
     entirely unreachable fleet degrades (warn-once) to the local pool
     the run would otherwise have used.
+
+    ``peers`` federates the store (requires ``store=``): admission
+    probes read through to the listed ``repro.serve`` daemons'
+    stores (see :mod:`repro.store.remote`) and fresh results
+    replicate to them write-behind.  Peers are a shortcut exactly
+    like the store itself: dead, lying or version-skewed peers cost
+    at most recomputes (warn-once, circuit-broken), never a changed
+    result.  Workers keep plain local stores; all federated traffic
+    happens in this process.
     """
     if warmup is None:
         warmup = instructions // 3
@@ -556,6 +606,9 @@ def run_matrix(
     # Computed once per image (not per cell): the fingerprint keys the
     # in-process ProgramCache on storeless runs too.
     program_fps = program_fingerprints(specs, scale)
+    owned_tier = None
+    if peers:
+        store, owned_tier = _federate_store(store, peers)
     artifacts = _attach_store(store)
     if artifacts is not None:
         result_fps = cell_fingerprints(specs, instructions, warmup, scale,
@@ -602,6 +655,11 @@ def run_matrix(
                 cells=len(specs),
             )
             obs.detach(recorder)
+        if owned_tier is not None:
+            # Bounded write-behind drain: peers that are up get the
+            # fresh results now; a slow or dead peer cannot hold the
+            # sweep's return hostage.
+            owned_tier.close()
 
     # Completions arrive out of order from the pool; results and
     # ``progress`` must still stream in deterministic spec order.  The

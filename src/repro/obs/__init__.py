@@ -237,6 +237,33 @@ CLUSTER_LOCAL_FALLBACKS = _R.counter(
     "Sweeps (or sweep remainders) degraded to a local pool because "
     "the whole fleet was unreachable.")
 
+# remote store (repro.store.remote — the federated tier)
+STORE_REMOTE_HITS = _R.counter(
+    "repro_store_remote_hits_total",
+    "Artifacts filled from a remote peer (verified + written locally).",
+    ("peer",))
+STORE_REMOTE_MISSES = _R.counter(
+    "repro_store_remote_misses_total",
+    "Remote probes answered found=false, by peer.", ("peer",))
+STORE_REMOTE_INTEGRITY = _R.counter(
+    "repro_store_remote_integrity_total",
+    "Remote payloads quarantined after oid verification failed "
+    "(treated as a miss, never served).", ("peer",))
+STORE_REMOTE_ERRORS = _R.counter(
+    "repro_store_remote_errors_total",
+    "Remote transport failures (refused/reset/timeout/garbage frame).",
+    ("peer",))
+STORE_REMOTE_REPLICATED = _R.counter(
+    "repro_store_remote_replicated_total",
+    "Local puts replicated to a peer by the write-behind thread.",
+    ("peer",))
+STORE_REMOTE_REPLICATION_DROPPED = _R.counter(
+    "repro_store_remote_replication_dropped_total",
+    "Write-behind entries dropped (oldest-first) on queue overflow.")
+STORE_REMOTE_REPLICATION_BACKLOG = _R.gauge(
+    "repro_store_remote_replication_backlog",
+    "Entries waiting in the write-behind replication queue.")
+
 # accel
 ACCEL_KERNEL_COMPILES = _R.counter(
     "repro_accel_kernel_compiles_total",

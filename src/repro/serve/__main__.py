@@ -55,6 +55,11 @@ def serve(argv: List[str]) -> int:
                         help="per-attempt wall-clock deadline (seconds)")
     parser.add_argument("--retries", type=int, default=2,
                         help="per-cell retry budget")
+    parser.add_argument("--store-peers", metavar="HOST:PORT[,...]",
+                        default=os.environ.get("REPRO_STORE_PEERS"),
+                        help="federated store peers to read through to "
+                             "and replicate into (default: "
+                             "$REPRO_STORE_PEERS; needs --store)")
     args = parser.parse_args(argv)
 
     policy = FaultPolicy(timeout=args.timeout, retries=args.retries)
@@ -62,11 +67,18 @@ def serve(argv: List[str]) -> int:
         host=args.host, port=args.port,
         store_root=args.store or None, max_workers=args.workers,
         queue_limit=args.queue_limit, policy=policy,
+        store_peers=(args.store_peers or None) if args.store else None,
     )
     host, port = server.address
     print(f"repro-serve: listening on {host}:{port}", flush=True)
     if args.store:
         print(f"repro-serve: store at {args.store}", flush=True)
+        if args.store_peers:
+            print(f"repro-serve: store peers {args.store_peers}",
+                  flush=True)
+    elif args.store_peers:
+        print("repro-serve: ignoring --store-peers (no --store)",
+              flush=True)
 
     def _drain_signal(signum: int, frame: Any) -> None:
         print(f"repro-serve: received signal {signum}, draining",
@@ -127,6 +139,7 @@ class _Daemon:
         env = dict(os.environ)
         env.pop(FAULTS_ENV, None)
         env.pop("REPRO_STORE", None)  # hermetic: --store or nothing
+        env.pop("REPRO_STORE_PEERS", None)  # peers come via extra argv
         if faults is not None:
             env[FAULTS_ENV] = faults
         # The subprocess must import repro however the parent did

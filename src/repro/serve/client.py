@@ -20,13 +20,16 @@ completed, and streams ``progress`` in deterministic spec order.
 
 from __future__ import annotations
 
-import errno
 import socket
-import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.net import (
+    TRANSIENT_CONNECT_ERRNOS,
+    connect_with_retries,
+    parse_hostport,
+)
 from repro.core.results import SimulationResult
-from repro.exec.policy import FaultPolicy, SweepError, backoff_delay
+from repro.exec.policy import FaultPolicy, SweepError
 from repro.serve import protocol
 
 __all__ = [
@@ -45,12 +48,9 @@ __all__ = [
 #: must always come back with *something* so the pool can redispatch.
 DEFAULT_MATRIX_TIMEOUT = 600.0
 
-#: Connect-phase errnos worth retrying: a daemon that is restarting
-#: (refused) or dropped the handshake (reset) is transiently gone, not
-#: absent.  Anything else (EHOSTUNREACH, DNS failure, ...) fails fast.
-_TRANSIENT_CONNECT_ERRNOS = frozenset({
-    errno.ECONNREFUSED, errno.ECONNRESET,
-})
+#: Back-compat alias; the canonical set lives in ``repro.common.net``
+#: now that the remote-store client shares the same retry policy.
+_TRANSIENT_CONNECT_ERRNOS = TRANSIENT_CONNECT_ERRNOS
 
 
 class ServeError(Exception):
@@ -71,13 +71,8 @@ class ServeDraining(ServeError):
 
 def parse_address(address: str) -> Tuple[str, int]:
     """``"host:port"`` or bare ``"port"`` -> ``(host, port)``."""
-    host, sep, port = address.rpartition(":")
-    if not sep:
-        host = "127.0.0.1"
-        port = address
-    host = host or "127.0.0.1"
     try:
-        return host, int(port)
+        return parse_hostport(address)
     except ValueError:
         raise ServeError(f"bad serve address {address!r} "
                          f"(want host:port)") from None
@@ -120,24 +115,19 @@ class ServeClient:
         ``connect_retries`` more chances, spaced by the same
         deterministically-jittered exponential backoff the pools use
         (keyed on the address, so a fleet of clients does not retry in
-        lockstep).  Everything else raises immediately.
+        lockstep).  Everything else raises immediately.  The loop
+        itself lives in :func:`repro.common.net.connect_with_retries`,
+        shared with the remote-store client.
         """
-        last: Optional[OSError] = None
-        for attempt in range(self.connect_retries + 1):
-            try:
-                return socket.create_connection(
-                    (self.host, self.port), timeout=self.connect_timeout
-                )
-            except OSError as exc:
-                last = exc
-                if exc.errno not in _TRANSIENT_CONNECT_ERRNOS:
-                    break
-                if attempt < self.connect_retries:
-                    time.sleep(backoff_delay(
-                        self._backoff_policy, self.address, attempt + 1))
-        raise ServeUnavailable(
-            f"no serve daemon at {self.address} ({last})"
-        ) from None
+        try:
+            return connect_with_retries(
+                self.host, self.port, timeout=self.connect_timeout,
+                policy=self._backoff_policy, key=self.address,
+            )
+        except OSError as exc:
+            raise ServeUnavailable(
+                f"no serve daemon at {self.address} ({exc})"
+            ) from None
 
     def request(self, message: Dict[str, Any],
                 timeout: Optional[float] = None) -> Dict[str, Any]:

@@ -18,6 +18,16 @@ Requests::
      "archs": [...], "layouts": [...], "instructions": N,
      "warmup": N | null, "scale": F, "engine_mode": "accel"|"interp"|null,
      "deadline": SECONDS | null}
+    {"op": "store_has", "version": SALT, "kind": K, "fps": [...] | null}
+    {"op": "store_get", "version": SALT, "kind": K, "fp": FP}
+    {"op": "store_put", "version": SALT, "kind": K, "fp": FP,
+     "oid": OID, "data": BASE64, "meta": {...} | null}
+
+The ``store_*`` ops (:mod:`repro.store.remote`) expose the daemon's
+local artifact store to federated peers; ``version`` is the
+``FORMAT_VERSION:code_version`` salt, so peers of a different code
+generation are detected at the first request rather than mixing
+incompatible artifacts.
 
 Responses carry ``{"ok": true, ...}`` or a **typed error**
 ``{"ok": false, "error": CODE, "message": ...}`` with ``CODE`` one of
@@ -31,6 +41,20 @@ Responses carry ``{"ok": true, ...}`` or a **typed error**
     The daemon is shutting down and no longer admits work.
 ``internal``
     The daemon hit an unexpected error serving this request.
+``frame_too_large``
+    The request line exceeded the daemon's frame limit (advertised as
+    ``max_frame`` in the ``ping`` response); the connection is closed
+    after the error, since the remainder of the oversized line is
+    unparseable.
+``integrity``
+    A ``store_put`` payload failed oid verification (flipped bit in
+    transit or a lying client); nothing was stored.
+``version_skew``
+    A ``store_*`` request's ``version`` salt does not match the
+    daemon's; the response carries the daemon's ``version`` so the
+    peer can warn once and stop asking.
+``no_store``
+    A ``store_*`` request reached a storeless daemon.
 
 A ``matrix`` response's ``cells`` list follows the deterministic
 enumeration of :func:`repro.experiments.runner.matrix_specs`; each
@@ -65,17 +89,31 @@ ERROR_BAD_REQUEST = "bad_request"
 ERROR_OVERLOADED = "overloaded"
 ERROR_DRAINING = "draining"
 ERROR_INTERNAL = "internal"
+ERROR_FRAME_TOO_LARGE = "frame_too_large"
+ERROR_INTEGRITY = "integrity"
+ERROR_VERSION_SKEW = "version_skew"
+ERROR_NO_STORE = "no_store"
 
 #: Per-cell statuses in a matrix response.
 CELL_OK = "ok"
 CELL_FAILED = "failed"
 CELL_DEADLINE = "deadline"
 
-_OPS = ("ping", "status", "metrics", "matrix", "drain")
+_OPS = ("ping", "status", "metrics", "matrix", "drain",
+        "store_has", "store_get", "store_put")
 
 
 class ProtocolError(Exception):
     """A malformed or oversized message (maps to ``bad_request``)."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A message line exceeded the frame limit (``frame_too_large``).
+
+    Subclasses :class:`ProtocolError` so existing catch-all handling
+    keeps working; servers catch it first to answer with the typed
+    code and the limit that was exceeded.
+    """
 
 
 #: Late-bound network fault-injection seam.  ``repro.exec.faults``
@@ -108,21 +146,28 @@ def write_message(stream: IO[bytes], message: Dict[str, Any],
 
 
 def read_message(stream: IO[bytes],
-                 target: str = "") -> Optional[Dict[str, Any]]:
+                 target: str = "",
+                 max_bytes: Optional[int] = None,
+                 ) -> Optional[Dict[str, Any]]:
     """Read one JSON-line message; None on a clean EOF.
 
-    Raises :class:`ProtocolError` on an oversized line, non-JSON bytes,
-    or a line that is not a JSON object.
+    ``max_bytes`` caps the line length (default: the module-level
+    :data:`MAX_LINE_BYTES`, looked up at call time so tests can lower
+    it); servers pass their configured/negotiated limit.  Raises
+    :class:`FrameTooLarge` on an oversized line and
+    :class:`ProtocolError` on non-JSON bytes or a line that is not a
+    JSON object.
     """
     hook = _net_fault_hook
     if hook is not None:
         hook("read", target, stream, b"")
-    line = stream.readline(MAX_LINE_BYTES + 1)
+    limit = MAX_LINE_BYTES if max_bytes is None else max_bytes
+    line = stream.readline(limit + 1)
     if not line:
         return None
-    if len(line) > MAX_LINE_BYTES:
-        raise ProtocolError(
-            f"message exceeds {MAX_LINE_BYTES} bytes"
+    if len(line) > limit:
+        raise FrameTooLarge(
+            f"message exceeds {limit} bytes"
         )
     try:
         message = json.loads(line)

@@ -198,6 +198,7 @@ class ExperimentScheduler:
         max_pool_strikes: int = 3,
         pool_backoff: float = 0.5,
         use_fork_pool: Optional[bool] = None,
+        store_peers: object = None,
     ) -> None:
         self.store_root = store_root
         self.max_workers = max(1, max_workers)
@@ -211,9 +212,18 @@ class ExperimentScheduler:
                 multiprocessing.get_start_method(allow_none=False) == "fork"
         self._use_fork_pool = use_fork_pool
 
+        if store_root is not None and store_peers:
+            # Federated daemon: admission probes read through to the
+            # peers, settled cells replicate write-behind.  Workers
+            # keep plain local stores (the parent owns all store I/O
+            # that matters: admission happens here and settled results
+            # are put here).
+            from repro.store.remote.tiered import TieredStore
+            store: ArtifactStore = TieredStore(store_root, store_peers)
+        elif store_root is not None:
+            store = ArtifactStore(store_root)
         self._artifacts: Optional[ArtifactCache] = (
-            ArtifactCache(ArtifactStore(store_root))
-            if store_root is not None else None
+            ArtifactCache(store) if store_root is not None else None
         )
         #: Daemon-lifetime flight recorder at ``runs/daemon.events``
         #: (requests overlap inside shared batches, so per-request
@@ -572,6 +582,10 @@ class ExperimentScheduler:
         if self._artifacts is not None:
             store["hits"] = dict(self._artifacts.hits)
             store["misses"] = dict(self._artifacts.misses)
+            remote_stats = getattr(self._artifacts.store,
+                                   "remote_stats", None)
+            if callable(remote_stats):
+                store["remote"] = remote_stats()
         with self._lock:
             queue = {
                 "backlog": self._backlog,
@@ -624,4 +638,8 @@ class ExperimentScheduler:
             self._draining = True
             self._lock.notify_all()
         self._thread.join(timeout)
+        if self._artifacts is not None:
+            close = getattr(self._artifacts.store, "close", None)
+            if callable(close):
+                close()  # bounded write-behind flush, then stop
         return not self._thread.is_alive()

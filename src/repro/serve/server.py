@@ -37,7 +37,14 @@ class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         while True:
             try:
-                message = protocol.read_message(self.rfile)
+                message = protocol.read_message(
+                    self.rfile, max_bytes=self.server.max_frame_bytes)
+            except protocol.FrameTooLarge as exc:
+                self._respond(protocol.error_response(
+                    protocol.ERROR_FRAME_TOO_LARGE, str(exc),
+                    limit=self.server.max_frame_bytes,
+                ))
+                return  # the oversized line is still in the stream
             except protocol.ProtocolError as exc:
                 self._respond(protocol.error_response(
                     protocol.ERROR_BAD_REQUEST, str(exc)
@@ -81,9 +88,13 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, scheduler: ExperimentScheduler) -> None:
+    def __init__(self, address, scheduler: ExperimentScheduler,
+                 max_frame_bytes: Optional[int] = None) -> None:
         super().__init__(address, _Handler)
         self.scheduler = scheduler
+        self.max_frame_bytes = (protocol.MAX_LINE_BYTES
+                                if max_frame_bytes is None
+                                else int(max_frame_bytes))
         self.started = time.monotonic()
         self._drain_started = threading.Event()
 
@@ -93,9 +104,12 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         if op in protocol._OPS:
             obs.SERVE_REQUESTS.inc(op=op)
         if op == "ping":
+            from repro.store.remote import version_salt
             return {
                 "ok": True, "op": "ping", "pid": os.getpid(),
                 "version": protocol.PROTOCOL_VERSION,
+                "max_frame": self.max_frame_bytes,
+                "store_version": version_salt(),
             }
         if op == "status":
             status = self.scheduler.status()
@@ -122,6 +136,14 @@ class _TCPServer(socketserver.ThreadingTCPServer):
                 obs.SERVE_REQUEST_SECONDS.observe(
                     time.perf_counter() - started
                 )
+        if op in ("store_has", "store_get", "store_put"):
+            # Lazy import: the remote subpackage pulls cluster.health,
+            # which imports back through serve — fine at dispatch time,
+            # a cycle at module import time.
+            from repro.store.remote import ops as remote_ops
+            artifacts = getattr(self.scheduler, "_artifacts", None)
+            store = artifacts.store if artifacts is not None else None
+            return remote_ops.handle(store, message)
         raise protocol.ProtocolError(f"unknown op: {op!r}")
 
     def _matrix(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -180,10 +202,12 @@ class ExperimentServer:
         host: str = "127.0.0.1",
         port: int = 0,
         scheduler: Optional[ExperimentScheduler] = None,
+        max_frame_bytes: Optional[int] = None,
         **scheduler_kwargs: Any,
     ) -> None:
         self.scheduler = scheduler or ExperimentScheduler(**scheduler_kwargs)
-        self._server = _TCPServer((host, port), self.scheduler)
+        self._server = _TCPServer((host, port), self.scheduler,
+                                  max_frame_bytes=max_frame_bytes)
         self._thread: Optional[threading.Thread] = None
 
     @property

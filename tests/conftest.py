@@ -42,6 +42,9 @@ def _isolated_artifact_store(monkeypatch):
     that pin a mode pass ``engine_mode`` explicitly.
     """
     monkeypatch.delenv("REPRO_STORE", raising=False)
+    # Nor at anyone's live store *peers*: federated read-through must
+    # be something a test sets up explicitly.
+    monkeypatch.delenv("REPRO_STORE_PEERS", raising=False)
     monkeypatch.delenv("REPRO_ACCEL", raising=False)
     # Observability runs at its default (recording enabled) regardless
     # of the invoking shell; tests that pin a state set ``REPRO_OBS``

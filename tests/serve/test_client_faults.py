@@ -209,6 +209,45 @@ def test_net_fault_match_routes_by_address():
 
 
 # ----------------------------------------------------------------------
+# frame caps: parameterized, negotiated, typed
+# ----------------------------------------------------------------------
+def test_read_message_honors_explicit_max_bytes():
+    big = b'{"op": "ping", "pad": "' + b"x" * 256 + b'"}\n'
+    with pytest.raises(protocol.FrameTooLarge, match="exceeds 64"):
+        protocol.read_message(io.BytesIO(big), max_bytes=64)
+    # The same frame is fine under the (much larger) default cap.
+    assert protocol.read_message(io.BytesIO(big))["op"] == "ping"
+
+
+def test_frame_too_large_is_a_protocol_error():
+    # Callers that only catch ProtocolError keep working.
+    assert issubclass(protocol.FrameTooLarge, protocol.ProtocolError)
+
+
+def test_daemon_frame_cap_is_negotiated_and_typed():
+    from repro.serve.server import ExperimentServer
+
+    with ExperimentServer(max_frame_bytes=512) as server:
+        host, port = server.address
+        # Negotiated: ping advertises the daemon's cap.
+        client = ServeClient(host, port)
+        assert client.ping()["max_frame"] == 512
+        # An oversized request bounces with the typed error carrying
+        # the limit — not a hang, not a cut connection.  (The frame
+        # stays under the handler's 8K read buffer so the daemon can
+        # drain it before closing.)
+        with socket.create_connection((host, port), timeout=10) as sock:
+            with sock.makefile("rwb") as stream:
+                stream.write(b'{"op": "ping", "pad": "' +
+                             b"x" * 2048 + b'"}\n')
+                stream.flush()
+                response = protocol.read_message(stream)
+        assert response["ok"] is False
+        assert response["error"] == protocol.ERROR_FRAME_TOO_LARGE
+        assert response["limit"] == 512
+
+
+# ----------------------------------------------------------------------
 # deadline-less requests stay bounded
 # ----------------------------------------------------------------------
 def test_matrix_requests_have_a_bounded_default_timeout():
